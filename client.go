@@ -1,0 +1,42 @@
+package dynq
+
+import "dynq/internal/cache"
+
+// ViewCache is the client-side companion of a dynamic query session
+// (Section 4.1 of the paper): the server sends each object once, together
+// with its disappearance time, and the client keeps it cached until then.
+// Applying every batch of session results and advancing the clock each
+// frame maintains the complete set of currently visible objects without
+// the server ever re-sending one.
+type ViewCache struct {
+	c *cache.Cache[Result]
+}
+
+// NewViewCache creates an empty client cache.
+func NewViewCache() *ViewCache {
+	return &ViewCache{c: cache.New[Result]()}
+}
+
+// Apply upserts a batch of query results. Re-delivered objects (e.g. an
+// object re-entering the view) refresh their disappearance deadline.
+func (v *ViewCache) Apply(results []Result) {
+	for _, r := range results {
+		v.c.Put(r.ID, r, r.Disappear)
+	}
+}
+
+// Advance evicts everything that has left the view by time now,
+// returning the evicted results.
+func (v *ViewCache) Advance(now float64) []Result {
+	return v.c.Advance(now)
+}
+
+// Visible returns the currently cached (visible) objects in unspecified
+// order.
+func (v *ViewCache) Visible() []Result { return v.c.Values() }
+
+// Get returns the cached result for an object, if visible.
+func (v *ViewCache) Get(id ObjectID) (Result, bool) { return v.c.Get(id) }
+
+// Len reports how many objects are currently cached.
+func (v *ViewCache) Len() int { return v.c.Len() }

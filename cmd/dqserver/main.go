@@ -1,0 +1,101 @@
+// Command dqserver serves a dynq database over TCP using the netq
+// protocol. It either reopens a database file built by dqload or
+// generates the paper's synthetic workload in memory at startup.
+//
+// Usage:
+//
+//	dqserver [-addr :7207] [-db db.dynq | -scale F -seed N [-dual]]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"dynq"
+	"dynq/internal/motion"
+	"dynq/netq"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":7207", "listen address")
+		path    = flag.String("db", "", "database file to serve (from dqload)")
+		scale   = flag.Float64("scale", 0.1, "synthetic population scale when no -db is given")
+		seed    = flag.Int64("seed", 1, "synthetic workload seed")
+		dual    = flag.Bool("dual", false, "dual temporal axes for the synthetic index")
+		track   = flag.Bool("track", false, "attach a current-state tracker (enables OpTrack* operations)")
+		horizon = flag.Float64("horizon", 2, "tracker anticipation horizon")
+	)
+	flag.Parse()
+
+	db, err := openDB(*path, *scale, *seed, *dual)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer db.Close()
+	st, err := db.Stats()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("serving %d segments (height %d, %d+%d nodes) on %s\n",
+		st.Segments, st.Height, st.InternalNodes, st.LeafNodes, *addr)
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	srv := netq.NewServer(db)
+	if *track {
+		tk, err := dynq.NewTracker(dynq.TrackerOptions{Horizon: *horizon})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		srv.WithTracker(tk)
+		fmt.Println("tracker attached (OpTrack* enabled)")
+	}
+	if err := srv.Serve(l); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func openDB(path string, scale float64, seed int64, dual bool) (*dynq.DB, error) {
+	if path != "" {
+		return dynq.OpenFile(path)
+	}
+	sim := motion.PaperConfig()
+	sim.Objects = int(float64(sim.Objects) * scale)
+	if sim.Objects < 1 {
+		sim.Objects = 1
+	}
+	sim.Seed = seed
+	start := time.Now()
+	segs, err := motion.GenerateSegments(sim)
+	if err != nil {
+		return nil, err
+	}
+	db, err := dynq.Open(dynq.Options{DualTimeAxes: dual})
+	if err != nil {
+		return nil, err
+	}
+	byObject := map[dynq.ObjectID][]dynq.Segment{}
+	for _, s := range segs {
+		byObject[s.ObjID] = append(byObject[s.ObjID], dynq.Segment{
+			T0: s.Seg.T.Lo, T1: s.Seg.T.Hi,
+			From: s.Seg.Start, To: s.Seg.End,
+		})
+	}
+	if err := db.BulkLoad(byObject); err != nil {
+		db.Close()
+		return nil, err
+	}
+	fmt.Printf("generated and indexed %d segments in %v\n", len(segs), time.Since(start).Round(time.Millisecond))
+	return db, nil
+}

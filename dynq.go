@@ -1,0 +1,354 @@
+// Package dynq is a spatio-temporal database engine for mobile objects
+// with dynamic (continuously moving) queries, reproducing "Dynamic
+// Queries over Mobile Objects" (Lazaridis, Porkaew, Mehrotra; EDBT 2002).
+//
+// Mobile objects report piecewise-linear motion updates; each update is a
+// motion segment indexed by its space-time bounding box in a disk-based
+// R-tree (Native Space Indexing), with exact segment geometry at the leaf
+// level. On top of the index, three query strategies answer a moving
+// observer's continuous view query:
+//
+//   - Snapshot: an independent spatio-temporal range query (the paper's
+//     baseline when repeated per frame).
+//   - PredictiveQuery (PDQ): the observer registers a trajectory; results
+//     stream out incrementally in order of appearance, each index node is
+//     read at most once, and concurrent insertions are merged in live.
+//   - NonPredictiveQuery (NPDQ): no trajectory is known; each snapshot
+//     reuses the previous snapshot's coverage to prune index nodes.
+//
+// A typical session:
+//
+//	db, _ := dynq.Open(dynq.Options{})
+//	db.Insert(42, dynq.Segment{T0: 0, T1: 1, From: []float64{1, 2}, To: []float64{2, 3}})
+//	res, _ := db.Snapshot(dynq.Rect{Min: []float64{0, 0}, Max: []float64{10, 10}}, 0, 1)
+//
+// See the examples directory for a visualization fly-through (PDQ), a
+// vicinity monitor under live updates (NPDQ), and a quickstart.
+package dynq
+
+import (
+	"fmt"
+
+	"dynq/internal/core"
+	"dynq/internal/geom"
+	"dynq/internal/pager"
+	"dynq/internal/rtree"
+	"dynq/internal/stats"
+)
+
+// ObjectID identifies a mobile object across all of its motion updates.
+type ObjectID = uint64
+
+// Rect is an axis-aligned spatial rectangle; Min and Max must have the
+// database's dimensionality.
+type Rect struct {
+	Min, Max []float64
+}
+
+// Segment is one motion update: the object moved linearly from From at
+// time T0 to To at time T1.
+type Segment struct {
+	T0, T1   float64
+	From, To []float64
+}
+
+// Result is one object delivered by a query: the motion segment that made
+// it visible and the [Appear, Disappear] interval during which it stays
+// in the (possibly moving) query window.
+type Result struct {
+	ID        ObjectID
+	Segment   Segment
+	Appear    float64
+	Disappear float64
+}
+
+// Neighbor is one k-nearest-neighbor answer.
+type Neighbor struct {
+	ID      ObjectID
+	Segment Segment
+	Dist    float64
+}
+
+// SplitPolicy names an R-tree node splitting algorithm.
+type SplitPolicy string
+
+// Split policies accepted in Options.
+const (
+	SplitQuadratic SplitPolicy = "quadratic" // Guttman quadratic (default)
+	SplitLinear    SplitPolicy = "linear"    // Guttman linear
+	SplitRStar     SplitPolicy = "rstar"     // R*-style axis split
+)
+
+// Options configure a database.
+type Options struct {
+	// Dims is the spatial dimensionality (default 2).
+	Dims int
+	// DualTimeAxes stores segment start- and end-time ranges separately
+	// in internal index entries. Required for non-predictive dynamic
+	// queries to prune effectively; costs internal fanout (113 vs 145).
+	DualTimeAxes bool
+	// Split selects the R-tree split policy (default quadratic).
+	Split SplitPolicy
+	// Path, when non-empty, stores index pages in a file; otherwise the
+	// index lives in memory.
+	Path string
+	// BufferPages enables a server-side LRU page buffer of the given
+	// capacity. The paper's experiments run bufferless (0): the client,
+	// not the server, caches results.
+	BufferPages int
+}
+
+// DB is a mobile-object database: an NSI R-tree plus the dynamic query
+// engines. All methods are safe for concurrent use except where a session
+// type documents otherwise.
+type DB struct {
+	tree        *rtree.Tree
+	store       pager.Store
+	counters    stats.Counters
+	bufferPages int
+}
+
+// Open creates a database. With Options.Path set, a new page file is
+// created (truncating any existing file); use OpenFile to reattach an
+// existing one.
+func Open(opts Options) (*DB, error) {
+	cfg, err := opts.toConfig()
+	if err != nil {
+		return nil, err
+	}
+	var store pager.Store
+	if opts.Path != "" {
+		fs, err := pager.CreateFileStore(opts.Path)
+		if err != nil {
+			return nil, err
+		}
+		store = fs
+	} else {
+		store = pager.NewMemStore()
+	}
+	tree, err := rtree.NewBuffered(cfg, store, opts.BufferPages)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{tree: tree, store: store, bufferPages: opts.BufferPages}, nil
+}
+
+func (o Options) toConfig() (rtree.Config, error) {
+	cfg := rtree.DefaultConfig()
+	if o.Dims != 0 {
+		cfg.Dims = o.Dims
+	}
+	cfg.DualTime = o.DualTimeAxes
+	switch o.Split {
+	case "", SplitQuadratic:
+		cfg.Split = rtree.SplitQuadratic
+	case SplitLinear:
+		cfg.Split = rtree.SplitLinear
+	case SplitRStar:
+		cfg.Split = rtree.SplitRStarAxis
+	default:
+		return cfg, fmt.Errorf("dynq: unknown split policy %q", o.Split)
+	}
+	return cfg, nil
+}
+
+// Close releases the underlying page store.
+func (db *DB) Close() error { return db.store.Close() }
+
+// Dims returns the spatial dimensionality.
+func (db *DB) Dims() int { return db.tree.Config().Dims }
+
+// Len returns the number of indexed motion segments.
+func (db *DB) Len() int { return db.tree.Size() }
+
+// Insert records one motion update for an object. Coordinates are stored
+// at float32 precision (the on-disk key format).
+func (db *DB) Insert(id ObjectID, seg Segment) error {
+	g, err := db.toSegment(seg)
+	if err != nil {
+		return err
+	}
+	return db.tree.Insert(rtree.ObjectID(id), g)
+}
+
+// BulkLoad builds the index from a segment set at a 0.5 fill factor,
+// replacing any current contents. It is far faster than repeated Insert
+// for large historical loads. The db must be empty.
+func (db *DB) BulkLoad(segs map[ObjectID][]Segment) error {
+	if db.tree.Size() != 0 {
+		return fmt.Errorf("dynq: BulkLoad requires an empty database")
+	}
+	var entries []rtree.LeafEntry
+	for id, list := range segs {
+		for _, s := range list {
+			g, err := db.toSegment(s)
+			if err != nil {
+				return err
+			}
+			entries = append(entries, rtree.LeafEntry{ID: rtree.ObjectID(id), Seg: g})
+		}
+	}
+	tree, err := rtree.BulkLoad(db.tree.Config(), db.store, entries)
+	if err != nil {
+		return err
+	}
+	if db.bufferPages > 0 {
+		if err := tree.UseBuffer(db.bufferPages); err != nil {
+			return err
+		}
+	}
+	db.tree = tree
+	return nil
+}
+
+// Delete removes the motion update of an object that started at t0.
+// It returns ErrNotFound if no such segment is indexed.
+func (db *DB) Delete(id ObjectID, t0 float64) error {
+	err := db.tree.Delete(rtree.ObjectID(id), t0)
+	if err == rtree.ErrNotFound {
+		return ErrNotFound
+	}
+	return err
+}
+
+// ErrNotFound is returned by Delete for a missing segment.
+var ErrNotFound = rtree.ErrNotFound
+
+// Snapshot answers one spatio-temporal range query: all objects whose
+// trajectory passes through view during [t0, t1].
+func (db *DB) Snapshot(view Rect, t0, t1 float64) ([]Result, error) {
+	box, err := db.toBox(view)
+	if err != nil {
+		return nil, err
+	}
+	ms, err := db.tree.RangeSearch(box, geom.Interval{Lo: t0, Hi: t1}, rtree.SearchOptions{}, &db.counters)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(ms))
+	for i, m := range ms {
+		out[i] = Result{
+			ID:        ObjectID(m.ID),
+			Segment:   fromSegment(m.Seg),
+			Appear:    m.Overlap.Lo,
+			Disappear: m.Overlap.Hi,
+		}
+	}
+	return out, nil
+}
+
+// KNN returns the k objects nearest to point at time t.
+func (db *DB) KNN(point []float64, t float64, k int) ([]Neighbor, error) {
+	nbs, err := core.KNN(db.tree, geom.Point(point), t, k, &db.counters)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Neighbor, len(nbs))
+	for i, n := range nbs {
+		out[i] = Neighbor{ID: ObjectID(n.ID), Segment: fromSegment(n.Seg), Dist: n.Dist}
+	}
+	return out, nil
+}
+
+// CostReport is the cumulative query cost since the last ResetCost, in
+// the paper's metrics.
+type CostReport struct {
+	DiskReads     int64 // index nodes fetched
+	LeafReads     int64 // of which leaf-level
+	InternalReads int64 // of which internal-level
+	DistanceComps int64 // geometric predicate evaluations
+	Results       int64 // objects returned
+}
+
+// Cost returns the accumulated query cost counters.
+func (db *DB) Cost() CostReport {
+	s := db.counters.Snapshot()
+	return CostReport{
+		DiskReads:     s.Reads(),
+		LeafReads:     s.LeafReads,
+		InternalReads: s.InternalReads,
+		DistanceComps: s.DistanceComps,
+		Results:       s.Results,
+	}
+}
+
+// ResetCost zeroes the cost counters.
+func (db *DB) ResetCost() { db.counters.Reset() }
+
+// IndexStats describes the physical index shape.
+type IndexStats struct {
+	Height        int
+	Segments      int
+	LeafNodes     int
+	InternalNodes int
+	LeafFanout    int
+	IntFanout     int
+	AvgLeafFill   float64
+	AvgIntFill    float64
+}
+
+// Stats walks the index and reports its shape.
+func (db *DB) Stats() (IndexStats, error) {
+	st, err := db.tree.Stats()
+	if err != nil {
+		return IndexStats{}, err
+	}
+	return IndexStats{
+		Height:        st.Height,
+		Segments:      st.Segments,
+		LeafNodes:     st.LeafNodes,
+		InternalNodes: st.InternalNodes,
+		LeafFanout:    st.MaxLeafFan,
+		IntFanout:     st.MaxIntFan,
+		AvgLeafFill:   st.AvgLeafFill,
+		AvgIntFill:    st.AvgIntFill,
+	}, nil
+}
+
+// Validate checks the index's structural invariants (tests/tools).
+func (db *DB) Validate() error { return db.tree.Validate() }
+
+func (db *DB) toSegment(s Segment) (geom.Segment, error) {
+	d := db.Dims()
+	if len(s.From) != d || len(s.To) != d {
+		return geom.Segment{}, fmt.Errorf("dynq: segment endpoints must have %d dims", d)
+	}
+	if s.T1 < s.T0 {
+		return geom.Segment{}, fmt.Errorf("dynq: segment times inverted (%g > %g)", s.T0, s.T1)
+	}
+	return geom.Segment{
+		T:     geom.Interval{Lo: s.T0, Hi: s.T1},
+		Start: append(geom.Point(nil), s.From...),
+		End:   append(geom.Point(nil), s.To...),
+	}, nil
+}
+
+func fromSegment(g geom.Segment) Segment {
+	return Segment{
+		T0:   g.T.Lo,
+		T1:   g.T.Hi,
+		From: append([]float64(nil), g.Start...),
+		To:   append([]float64(nil), g.End...),
+	}
+}
+
+func (db *DB) toBox(r Rect) (geom.Box, error) {
+	d := db.Dims()
+	if len(r.Min) != d || len(r.Max) != d {
+		return nil, fmt.Errorf("dynq: rect must have %d dims", d)
+	}
+	b := make(geom.Box, d)
+	for i := 0; i < d; i++ {
+		b[i] = geom.Interval{Lo: r.Min[i], Hi: r.Max[i]}
+	}
+	return b, nil
+}
+
+func fromResult(r core.Result) Result {
+	return Result{
+		ID:        ObjectID(r.ID),
+		Segment:   fromSegment(r.Seg),
+		Appear:    r.Appear,
+		Disappear: r.Disappear,
+	}
+}

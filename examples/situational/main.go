@@ -1,0 +1,171 @@
+// Situational: the paper's introduction scenario — a military exercise
+// where a command client tracks friendly/enemy vehicles (mobile), field
+// sensors and obstructions (static) through a database server, over the
+// network. Static objects are "a special case of mobile ones" (Section 1):
+// they are indexed as zero-velocity segments and flow through the same
+// dynamic query machinery.
+//
+// The example starts an in-process TCP server (the same netq protocol
+// cmd/dqserver speaks), registers a patrol trajectory as a predictive
+// query, and renders a textual tactical picture per frame, closing with a
+// proximity sweep (distance self-join) and the server's cost counters.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"net"
+
+	"dynq"
+	"dynq/netq"
+)
+
+const (
+	world   = 100.0
+	nMobile = 120
+	nStatic = 60
+)
+
+func main() {
+	db := buildTheater()
+	defer db.Close()
+
+	// Serve it like a real deployment; the client talks TCP.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := netq.NewServer(db)
+	go srv.Serve(l)
+	defer srv.Close()
+
+	client, err := netq.Dial(l.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	st, err := client.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("connected: %d segments indexed (height %d)\n\n", st.Segments, st.Height)
+
+	// Patrol route: a 16×16 view sweeping a diagonal over 40 time units.
+	patrol := []dynq.Waypoint{
+		{T: 0, View: view(10, 10)},
+		{T: 20, View: view(60, 40)},
+		{T: 40, View: view(20, 70)},
+	}
+	if err := client.StartPredictive(patrol, false); err != nil {
+		log.Fatal(err)
+	}
+
+	picture := dynq.NewViewCache()
+	for f := 0; f <= 20; f++ {
+		t0 := float64(f) * 2
+		batch, err := client.FetchPredictive(t0, t0+2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		picture.Apply(batch)
+		picture.Advance(t0)
+		if f%4 == 0 {
+			mob, stat := 0, 0
+			for _, r := range picture.Visible() {
+				if r.ID >= 1000 {
+					stat++
+				} else {
+					mob++
+				}
+			}
+			fmt.Printf("t=%4.0f  tactical picture: %2d vehicles, %2d static installations (+%d this frame)\n",
+				t0, mob, stat, len(batch))
+		}
+	}
+
+	// Proximity sweep at the end of the patrol: vehicle pairs within 3
+	// units of each other (collision / rendezvous detection).
+	pairs, err := db.Within(3.0, 40)
+	if err != nil {
+		log.Fatal(err)
+	}
+	close := 0
+	for _, p := range pairs {
+		if p.A < 1000 && p.B < 1000 {
+			close++
+		}
+	}
+	fmt.Printf("\nproximity sweep at t=40: %d vehicle pairs within 3 units\n", close)
+
+	cost := db.Cost()
+	fmt.Printf("server cost for the whole session: %d disk reads, %d distance computations\n",
+		cost.DiskReads, cost.DistanceComps)
+}
+
+func view(x, y float64) dynq.Rect {
+	return dynq.Rect{Min: []float64{x, y}, Max: []float64{x + 16, y + 16}}
+}
+
+// buildTheater populates mobile vehicles (ids < 1000) and static
+// installations (ids ≥ 1000).
+func buildTheater() *dynq.DB {
+	db, err := dynq.Open(dynq.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Vehicles: piecewise-linear patrols, one motion update every ~2 tu.
+	for v := 0; v < nMobile; v++ {
+		x := pseudo(v, 1) * world
+		y := pseudo(v, 2) * world
+		heading := pseudo(v, 3) * 2 * math.Pi
+		for t := 0.0; t < 40; t += 2 {
+			heading += (pseudo(v, int(t)+4) - 0.5) * 0.8
+			nx := clamp(x+math.Cos(heading)*2.4, 0, world)
+			ny := clamp(y+math.Sin(heading)*2.4, 0, world)
+			err := db.Insert(dynq.ObjectID(v), dynq.Segment{
+				T0: t, T1: t + 2,
+				From: []float64{x, y}, To: []float64{nx, ny},
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			x, y = nx, ny
+		}
+	}
+	// Static installations: sensors, minefields, obstructions — one
+	// zero-velocity segment covering the whole exercise.
+	for s := 0; s < nStatic; s++ {
+		x := pseudo(s, 7) * world
+		y := pseudo(s, 8) * world
+		err := db.Insert(dynq.ObjectID(1000+s), dynq.Segment{
+			T0: 0, T1: 40,
+			From: []float64{x, y}, To: []float64{x, y},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	return db
+}
+
+// pseudo is a tiny deterministic hash → [0,1) so the example needs no RNG
+// seed plumbing.
+func pseudo(a, b int) float64 {
+	h := uint64(a*2654435761) ^ uint64(b)*0x9e3779b97f4a7c15
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return float64(h%1e9) / 1e9
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

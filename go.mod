@@ -1,0 +1,3 @@
+module dynq
+
+go 1.22

@@ -1,0 +1,16 @@
+package bench
+
+import "testing"
+
+func TestMixedExperimentNPDQWins(t *testing.T) {
+	cfg := Config{Scale: 1, Trajectories: 8, Seed: 1}
+	naive, npdq, err := MixedExperiment(cfg, 200, 30000, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nv, dq := naive.Subseq.Reads(), npdq.Subseq.Reads()
+	t.Logf("mixed workload: naive %.2f reads/query, NPDQ %.2f (saving %.0f%%)", nv, dq, 100*(1-dq/nv))
+	if dq >= nv*0.85 {
+		t.Errorf("NPDQ (%.2f) should save ≥15%% vs naive (%.2f) on the static-heavy mix", dq, nv)
+	}
+}

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"dynq/internal/geom"
+	"dynq/internal/rtree"
+	"dynq/internal/stats"
+	"dynq/internal/trajectory"
+)
+
+// Mode reports which engine an adaptive session is currently using.
+type Mode int
+
+// Adaptive session modes.
+const (
+	ModeNonPredictive Mode = iota // trajectory unknown: NPDQ per frame
+	ModePredictive                // trajectory predicted: SPDQ streaming
+)
+
+func (m Mode) String() string {
+	if m == ModePredictive {
+		return "predictive"
+	}
+	return "non-predictive"
+}
+
+// AdaptiveOptions tune the PDQ ↔ NPDQ hand-off (the paper's future work
+// (iv): "investigating the spectrum of possibilities between complete
+// unpredictability and complete predictability of query motion and
+// automating this in the query processor").
+type AdaptiveOptions struct {
+	// Slack is the deviation δ tolerated before a prediction is
+	// abandoned; predictive mode runs as an SPDQ with windows inflated by
+	// this much, so results stay complete while the observer wobbles
+	// within δ of the predicted path.
+	Slack float64
+	// Horizon is how far ahead (time units) a prediction extends. When
+	// the observer outlives it on a steady course, a fresh prediction is
+	// registered.
+	Horizon float64
+	// StableFrames is how many consecutive frames of consistent motion
+	// are required before the session switches to predictive mode.
+	StableFrames int
+	// Tolerance is the per-frame velocity inconsistency (length units)
+	// still considered "steady". Defaults to Slack/4 when zero.
+	Tolerance float64
+}
+
+func (o *AdaptiveOptions) setDefaults() error {
+	if o.Slack <= 0 {
+		return fmt.Errorf("core: adaptive Slack must be positive")
+	}
+	if o.Horizon <= 0 {
+		return fmt.Errorf("core: adaptive Horizon must be positive")
+	}
+	if o.StableFrames < 2 {
+		o.StableFrames = 3
+	}
+	if o.Tolerance <= 0 {
+		o.Tolerance = o.Slack / 4
+	}
+	return nil
+}
+
+// Adaptive evaluates a dynamic query whose predictability varies: it
+// watches the observer's actual view windows, runs NPDQ while the motion
+// is erratic, and hands off to a semi-predictive (slack-inflated) PDQ as
+// soon as the recent motion extrapolates — switching back the moment the
+// observer deviates beyond the slack (Section 4's three-mode system:
+// snapshot / predictive / non-predictive).
+//
+// Not safe for concurrent use.
+type Adaptive struct {
+	tree *rtree.Tree
+	c    *stats.Counters
+	opts AdaptiveOptions
+
+	mode     Mode
+	npdq     *NPDQ
+	pdq      *PDQ
+	traj     *trajectory.Trajectory
+	hist     []frameObs // recent observed frames (bounded)
+	switches int
+}
+
+type frameObs struct {
+	t   float64 // frame start
+	win geom.Box
+}
+
+// NewAdaptive starts an adaptive session.
+func NewAdaptive(tree *rtree.Tree, opts AdaptiveOptions, c *stats.Counters) (*Adaptive, error) {
+	if err := opts.setDefaults(); err != nil {
+		return nil, err
+	}
+	return &Adaptive{
+		tree: tree,
+		c:    c,
+		opts: opts,
+		npdq: NewNPDQ(tree, NPDQOptions{}, c),
+	}, nil
+}
+
+// Close releases any live predictive session.
+func (a *Adaptive) Close() {
+	if a.pdq != nil {
+		a.pdq.Close()
+		a.pdq = nil
+	}
+}
+
+// Mode returns the engine currently in use.
+func (a *Adaptive) Mode() Mode { return a.mode }
+
+// Switches reports how many PDQ↔NPDQ hand-offs have happened.
+func (a *Adaptive) Switches() int { return a.switches }
+
+// Frame reports the observer's actual view for one frame and returns the
+// newly visible objects (incremental, like the underlying engines — the
+// client keeps a ViewCache). Frames must advance monotonically in time.
+func (a *Adaptive) Frame(window geom.Box, tw geom.Interval) ([]Result, error) {
+	if len(window) != a.tree.Config().Dims {
+		return nil, fmt.Errorf("core: window has %d dims, index has %d", len(window), a.tree.Config().Dims)
+	}
+	if tw.Empty() {
+		return nil, fmt.Errorf("core: frame time window is empty")
+	}
+	if n := len(a.hist); n > 0 && tw.Lo < a.hist[n-1].t {
+		return nil, fmt.Errorf("core: frames must advance in time")
+	}
+	a.observe(frameObs{t: tw.Lo, win: window.Clone()})
+
+	if a.mode == ModePredictive {
+		if a.onCourse(window, tw) {
+			return a.pdq.Drain(tw.Lo, tw.Hi)
+		}
+		// Deviated beyond the slack: abandon the prediction.
+		a.toNonPredictive()
+	}
+	out, err := a.npdq.Next(window, tw)
+	if err != nil {
+		return nil, err
+	}
+	if v, ok := a.steadyVelocity(); ok {
+		handoff, err := a.toPredictive(window, tw, v)
+		if err != nil {
+			return nil, err
+		}
+		// The new predictive session re-announces this frame's view with
+		// proper disappearance times; the client upserts, extending the
+		// deadlines of objects NPDQ delivered with frame-length episodes.
+		out = append(out, handoff...)
+	}
+	return out, nil
+}
+
+func (a *Adaptive) observe(f frameObs) {
+	a.hist = append(a.hist, f)
+	if max := a.opts.StableFrames + 1; len(a.hist) > max {
+		a.hist = a.hist[len(a.hist)-max:]
+	}
+}
+
+// onCourse reports whether the observed window stays within the slack of
+// the predicted one and the prediction still covers this frame.
+func (a *Adaptive) onCourse(window geom.Box, tw geom.Interval) bool {
+	if a.traj.TimeSpan().Hi < tw.Hi {
+		return false // prediction horizon exhausted
+	}
+	pred := a.traj.WindowAt(tw.Lo)
+	dev := 0.0
+	for i := range window {
+		dev = math.Max(dev, math.Abs(window[i].Lo-(pred[i].Lo+a.opts.Slack)))
+		dev = math.Max(dev, math.Abs(window[i].Hi-(pred[i].Hi-a.opts.Slack)))
+	}
+	return dev <= a.opts.Slack
+}
+
+// steadyVelocity extrapolates the recent window motion; ok is true when
+// the last StableFrames deltas agree within the tolerance.
+func (a *Adaptive) steadyVelocity() (geom.Point, bool) {
+	need := a.opts.StableFrames + 1
+	if len(a.hist) < need {
+		return nil, false
+	}
+	h := a.hist[len(a.hist)-need:]
+	d := a.tree.Config().Dims
+	vel := make(geom.Point, d)
+	// Mean velocity of the window's low corner over the stable span.
+	dt := h[len(h)-1].t - h[0].t
+	if dt <= 0 {
+		return nil, false
+	}
+	for i := 0; i < d; i++ {
+		vel[i] = (h[len(h)-1].win[i].Lo - h[0].win[i].Lo) / dt
+	}
+	// Every consecutive step must agree with the mean within tolerance.
+	for k := 1; k < len(h); k++ {
+		stepDt := h[k].t - h[k-1].t
+		if stepDt <= 0 {
+			return nil, false
+		}
+		for i := 0; i < d; i++ {
+			pred := vel[i] * stepDt
+			got := h[k].win[i].Lo - h[k-1].win[i].Lo
+			if math.Abs(got-pred) > a.opts.Tolerance {
+				return nil, false
+			}
+		}
+	}
+	return vel, true
+}
+
+// toPredictive registers a slack-inflated straight-line prediction from
+// the current window at the estimated velocity, returning the new
+// session's results for the current frame.
+func (a *Adaptive) toPredictive(window geom.Box, tw geom.Interval, vel geom.Point) ([]Result, error) {
+	d := a.tree.Config().Dims
+	end := make(geom.Box, d)
+	for i := 0; i < d; i++ {
+		shift := vel[i] * a.opts.Horizon
+		end[i] = geom.Interval{Lo: window[i].Lo + shift, Hi: window[i].Hi + shift}
+	}
+	traj, err := trajectory.New([]trajectory.Key{
+		{T: tw.Lo, Window: window.Clone()},
+		{T: tw.Lo + a.opts.Horizon, Window: end},
+	})
+	if err != nil {
+		return nil, err
+	}
+	traj, err = traj.Inflate(func(float64) float64 { return a.opts.Slack })
+	if err != nil {
+		return nil, err
+	}
+	pdq, err := NewPDQ(a.tree, traj, PDQOptions{LiveUpdates: true}, a.c)
+	if err != nil {
+		return nil, err
+	}
+	a.traj = traj
+	a.pdq = pdq
+	a.mode = ModePredictive
+	a.switches++
+	return a.pdq.Drain(tw.Lo, tw.Hi)
+}
+
+func (a *Adaptive) toNonPredictive() {
+	if a.pdq != nil {
+		a.pdq.Close()
+		a.pdq = nil
+	}
+	a.traj = nil
+	a.mode = ModeNonPredictive
+	a.switches++
+	// NPDQ's previous-query memory is stale (the predictive phase did not
+	// feed it); reset so the next snapshot is evaluated in full.
+	a.npdq.Reset()
+}

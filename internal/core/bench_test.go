@@ -1,0 +1,84 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"dynq/internal/geom"
+	"dynq/internal/rtree"
+	"dynq/internal/stats"
+)
+
+func benchTree(b *testing.B, dual bool) *rtree.Tree {
+	b.Helper()
+	cfg := rtree.DefaultConfig()
+	cfg.DualTime = dual
+	tree, _ := buildIndex(b, cfg, 1000, 100, 61)
+	return tree
+}
+
+// Throughput of one whole predictive dynamic query: trajectory
+// registration plus a 500-frame drain.
+func BenchmarkPDQSession(b *testing.B) {
+	tree := benchTree(b, false)
+	b.ResetTimer()
+	results := 0
+	for i := 0; i < b.N; i++ {
+		tr := straightTraj(b, 20, 40, 8, 0.8, 10, 60)
+		var c stats.Counters
+		pdq, err := NewPDQ(tree, tr, PDQOptions{}, &c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for f := 0; f < 500; f++ {
+			lo := 10 + float64(f)*0.1
+			rs, err := pdq.Drain(lo, lo+0.1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			results += len(rs)
+		}
+		pdq.Close()
+	}
+	b.ReportMetric(float64(results)/float64(b.N), "results/session")
+}
+
+func BenchmarkNPDQFrame(b *testing.B) {
+	tree := benchTree(b, true)
+	var c stats.Counters
+	nq := NewNPDQ(tree, NPDQOptions{}, &c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := i % 500
+		x := 20 + float64(f)*0.08
+		tlo := 10 + float64(f)*0.1
+		win := geom.Box{{Lo: x, Hi: x + 8}, {Lo: 40, Hi: 48}}
+		if _, err := nq.Next(win, geom.Interval{Lo: tlo, Hi: tlo + 0.1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKNN10(b *testing.B) {
+	tree := benchTree(b, false)
+	r := rand.New(rand.NewSource(62))
+	var c stats.Counters
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := geom.Point{r.Float64() * 100, r.Float64() * 100}
+		if _, err := KNN(tree, p, r.Float64()*100, 10, &c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDistanceSelfJoin(b *testing.B) {
+	tree := benchTree(b, false)
+	var c stats.Counters
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DistanceJoin(tree, tree, 1.5, float64(i%100), &c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"dynq/internal/geom"
+	"dynq/internal/motion"
+	"dynq/internal/pager"
+	"dynq/internal/rtree"
+	"dynq/internal/stats"
+	"dynq/internal/trajectory"
+)
+
+// faultTree builds an index over a fault-injecting store (disarmed during
+// the build).
+func faultTree(t *testing.T, cfg rtree.Config) (*rtree.Tree, *pager.FaultStore) {
+	t.Helper()
+	fs := pager.NewFaultStore(pager.NewMemStore())
+	segs, err := motion.GenerateSegments(motion.SimConfig{
+		Objects: 200, Dims: 2, WorldSize: 100, Duration: 50,
+		Speed: 1, SpeedStd: 0.2, UpdateMean: 1, UpdateStd: 0.25, Seed: 41,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := make([]rtree.LeafEntry, len(segs))
+	for i, s := range segs {
+		entries[i] = rtree.LeafEntry{ID: rtree.ObjectID(s.ObjID), Seg: s.Seg}
+	}
+	tree, err := rtree.BulkLoad(cfg, fs, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree, fs
+}
+
+// Every engine must propagate injected read failures as errors — never a
+// silent partial answer.
+func TestEnginesPropagateReadFaults(t *testing.T) {
+	win := geom.Box{{Lo: 20, Hi: 40}, {Lo: 20, Hi: 40}}
+	tw := geom.Interval{Lo: 10, Hi: 12}
+
+	t.Run("RangeSearch", func(t *testing.T) {
+		tree, fs := faultTree(t, rtree.DefaultConfig())
+		fs.Arm(2)
+		defer fs.Disarm()
+		var c stats.Counters
+		if _, err := tree.RangeSearch(win, tw, rtree.SearchOptions{}, &c); !errors.Is(err, pager.ErrInjected) {
+			t.Errorf("range search error = %v, want injected fault", err)
+		}
+	})
+	t.Run("PDQ", func(t *testing.T) {
+		tree, fs := faultTree(t, rtree.DefaultConfig())
+		tr, err := trajectory.New([]trajectory.Key{
+			{T: 5, Window: win},
+			{T: 30, Window: win},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var c stats.Counters
+		pdq, err := NewPDQ(tree, tr, PDQOptions{}, &c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer pdq.Close()
+		fs.Arm(2)
+		defer fs.Disarm()
+		_, err = pdq.Drain(5, 30)
+		if !errors.Is(err, pager.ErrInjected) {
+			t.Errorf("pdq error = %v, want injected fault", err)
+		}
+	})
+	t.Run("NPDQ", func(t *testing.T) {
+		cfg := rtree.DefaultConfig()
+		cfg.DualTime = true
+		tree, fs := faultTree(t, cfg)
+		var c stats.Counters
+		nq := NewNPDQ(tree, NPDQOptions{}, &c)
+		fs.Arm(2)
+		defer fs.Disarm()
+		if _, err := nq.Next(win, tw); !errors.Is(err, pager.ErrInjected) {
+			t.Errorf("npdq error = %v, want injected fault", err)
+		}
+	})
+	t.Run("KNN", func(t *testing.T) {
+		tree, fs := faultTree(t, rtree.DefaultConfig())
+		fs.Arm(2)
+		defer fs.Disarm()
+		var c stats.Counters
+		if _, err := KNN(tree, geom.Point{50, 50}, 10, 5, &c); !errors.Is(err, pager.ErrInjected) {
+			t.Errorf("knn error = %v, want injected fault", err)
+		}
+	})
+	t.Run("DistanceJoin", func(t *testing.T) {
+		tree, fs := faultTree(t, rtree.DefaultConfig())
+		fs.Arm(2)
+		defer fs.Disarm()
+		var c stats.Counters
+		if _, err := DistanceJoin(tree, tree, 2, 10, &c); !errors.Is(err, pager.ErrInjected) {
+			t.Errorf("join error = %v, want injected fault", err)
+		}
+	})
+	t.Run("Insert", func(t *testing.T) {
+		tree, fs := faultTree(t, rtree.DefaultConfig())
+		fs.Arm(1)
+		defer fs.Disarm()
+		seg := geom.Segment{T: geom.Interval{Lo: 1, Hi: 2}, Start: geom.Point{1, 1}, End: geom.Point{2, 2}}
+		if err := tree.Insert(99999, seg); !errors.Is(err, pager.ErrInjected) {
+			t.Errorf("insert error = %v, want injected fault", err)
+		}
+	})
+}
+
+// After a transient fault clears, the same session keeps working: the
+// engines hold no corrupted state.
+func TestEnginesRecoverAfterTransientFault(t *testing.T) {
+	tree, fs := faultTree(t, rtree.DefaultConfig())
+	tr, err := trajectory.New([]trajectory.Key{
+		{T: 5, Window: geom.Box{{Lo: 10, Hi: 30}, {Lo: 10, Hi: 30}}},
+		{T: 40, Window: geom.Box{{Lo: 30, Hi: 50}, {Lo: 10, Hi: 30}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c stats.Counters
+	pdq, err := NewPDQ(tree, tr, PDQOptions{}, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pdq.Close()
+	if _, err := pdq.Drain(5, 15); err != nil {
+		t.Fatal(err)
+	}
+	fs.Arm(1)
+	if _, err := pdq.Drain(15, 25); !errors.Is(err, pager.ErrInjected) {
+		t.Fatalf("expected injected fault, got %v", err)
+	}
+	fs.Disarm()
+	// The failed node pop was consumed; the session continues and the
+	// remaining trajectory still yields results without error.
+	rest, err := pdq.Drain(15, 40)
+	if err != nil {
+		t.Fatalf("session did not recover: %v", err)
+	}
+	_ = rest
+}
+
+func TestFaultStoreMechanics(t *testing.T) {
+	fs := pager.NewFaultStore(pager.NewMemStore())
+	id, err := fs.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, pager.PageSize)
+	if err := fs.WritePage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	// Arm(3): two reads succeed, third and later fail.
+	fs.Arm(3)
+	for i := 0; i < 2; i++ {
+		if err := fs.ReadPage(id, buf); err != nil {
+			t.Fatalf("read %d should succeed: %v", i, err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if err := fs.ReadPage(id, buf); !errors.Is(err, pager.ErrInjected) {
+			t.Fatalf("read should fail: %v", err)
+		}
+	}
+	fs.Disarm()
+	if err := fs.ReadPage(id, buf); err != nil {
+		t.Fatalf("disarmed read failed: %v", err)
+	}
+	// Write faults.
+	fs.ArmWrites(1)
+	if err := fs.WritePage(id, buf); !errors.Is(err, pager.ErrInjected) {
+		t.Fatalf("write should fail: %v", err)
+	}
+	fs.Disarm()
+	if fs.NumPages() != 1 {
+		t.Errorf("NumPages = %d", fs.NumPages())
+	}
+	if err := fs.Sync(); err != nil {
+		t.Errorf("sync: %v", err)
+	}
+	if err := fs.Free(id); err != nil {
+		t.Errorf("free: %v", err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+}

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"dynq/internal/geom"
+	"dynq/internal/pager"
+	"dynq/internal/rtree"
+	"dynq/internal/stats"
+)
+
+// JoinPair is one distance-join answer: two objects within the join
+// distance of each other at the query time.
+type JoinPair struct {
+	A, B rtree.ObjectID
+	SegA geom.Segment
+	SegB geom.Segment
+	Dist float64
+}
+
+// DistanceJoin finds every pair (a ∈ treeA, b ∈ treeB) of objects whose
+// positions at time t lie within delta of each other — the paper's second
+// direction of future work (Section 6 (ii), after the incremental
+// distance joins of [6]). The trees may be the same tree (a self-join;
+// pairs are then reported once with A < B and self-pairs suppressed).
+//
+// The algorithm descends both trees simultaneously, pruning node pairs
+// whose boxes are farther than delta apart at the spatial level or have
+// no segment alive at t, charging reads and distance computations like
+// the other engines.
+func DistanceJoin(treeA, treeB *rtree.Tree, delta, t float64, c *stats.Counters) ([]JoinPair, error) {
+	if treeA.Config().Dims != treeB.Config().Dims {
+		return nil, fmt.Errorf("core: join over trees of different dimensionality")
+	}
+	if delta < 0 {
+		return nil, fmt.Errorf("core: join distance must be non-negative, got %g", delta)
+	}
+	rootA, levelA, okA := treeA.Root()
+	rootB, levelB, okB := treeB.Root()
+	if !okA || !okB {
+		return nil, nil
+	}
+	j := &joiner{
+		treeA: treeA, treeB: treeB,
+		self:  treeA == treeB,
+		delta: delta, t: t, c: c,
+		d:      treeA.Config().Dims,
+		loaded: make(map[pager.PageID]*rtree.Node),
+	}
+	var out []JoinPair
+	if err := j.visit(rootA, levelA, rootB, levelB, &out); err != nil {
+		return nil, err
+	}
+	c.AddResults(len(out))
+	return out, nil
+}
+
+type joiner struct {
+	treeA, treeB *rtree.Tree
+	self         bool
+	delta, t     float64
+	c            *stats.Counters
+	d            int
+	// loaded caches decoded nodes for the duration of one join so a node
+	// paired with many partners is read once (the disk-access accounting
+	// of a join, as in [6]).
+	loaded map[pager.PageID]*rtree.Node
+}
+
+func (j *joiner) load(tree *rtree.Tree, id pager.PageID) (*rtree.Node, error) {
+	// For a self-join the two trees share pages; otherwise ids cannot
+	// collide across trees only if stores differ, so key the cache by
+	// tree when distinct.
+	key := id
+	if !j.self && tree == j.treeB {
+		key = id | 1<<31
+	}
+	if n, ok := j.loaded[key]; ok {
+		return n, nil
+	}
+	n, err := tree.Load(id, j.c)
+	if err != nil {
+		return nil, err
+	}
+	j.loaded[key] = n
+	return n, nil
+}
+
+// aliveBox reports whether the dual-space box can contain a segment alive
+// at time t, and the minimum spatial distance between two boxes.
+func (j *joiner) alive(b geom.Box) bool {
+	return b[j.d].Lo <= j.t && b[j.d+1].Hi >= j.t
+}
+
+func boxMinDist(a, b geom.Box, d int) float64 {
+	s := 0.0
+	for i := 0; i < d; i++ {
+		switch {
+		case a[i].Hi < b[i].Lo:
+			dd := b[i].Lo - a[i].Hi
+			s += dd * dd
+		case b[i].Hi < a[i].Lo:
+			dd := a[i].Lo - b[i].Hi
+			s += dd * dd
+		}
+	}
+	return math.Sqrt(s)
+}
+
+func (j *joiner) visit(idA pager.PageID, levelA int, idB pager.PageID, levelB int, out *[]JoinPair) error {
+	// Descend the deeper side first so both reach the leaf level together.
+	switch {
+	case levelA > 0 && levelA >= levelB:
+		nA, err := j.load(j.treeA, idA)
+		if err != nil {
+			return err
+		}
+		var bBox geom.Box
+		if nb, err := j.peekBox(j.treeB, idB); err != nil {
+			return err
+		} else {
+			bBox = nb
+		}
+		for _, ch := range nA.Children {
+			j.c.AddDistanceComps(1)
+			if !j.alive(ch.Box) {
+				continue
+			}
+			if bBox != nil && boxMinDist(ch.Box, bBox, j.d) > j.delta {
+				continue
+			}
+			if err := j.visit(ch.ID, levelA-1, idB, levelB, out); err != nil {
+				return err
+			}
+		}
+		return nil
+	case levelB > 0:
+		nB, err := j.load(j.treeB, idB)
+		if err != nil {
+			return err
+		}
+		aBox, err := j.peekBox(j.treeA, idA)
+		if err != nil {
+			return err
+		}
+		for _, ch := range nB.Children {
+			j.c.AddDistanceComps(1)
+			if !j.alive(ch.Box) {
+				continue
+			}
+			if aBox != nil && boxMinDist(aBox, ch.Box, j.d) > j.delta {
+				continue
+			}
+			if err := j.visit(idA, levelA, ch.ID, levelB-1, out); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Both leaves: pair the alive segments.
+	if j.self && idA == idB {
+		return j.selfLeaf(idA, out)
+	}
+	if j.self && idA > idB {
+		// Symmetric pair already (or to be) visited as (idB, idA).
+		return nil
+	}
+	nA, err := j.load(j.treeA, idA)
+	if err != nil {
+		return err
+	}
+	nB, err := j.load(j.treeB, idB)
+	if err != nil {
+		return err
+	}
+	for _, ea := range nA.Entries {
+		if !ea.Seg.T.ContainsValue(j.t) {
+			continue
+		}
+		pa := ea.Seg.At(j.t)
+		for _, eb := range nB.Entries {
+			j.c.AddDistanceComps(1)
+			if !eb.Seg.T.ContainsValue(j.t) {
+				continue
+			}
+			if j.self && ea.ID == eb.ID {
+				continue
+			}
+			dist := pa.Dist(eb.Seg.At(j.t))
+			if dist <= j.delta {
+				pair := JoinPair{A: ea.ID, B: eb.ID, SegA: ea.Seg, SegB: eb.Seg, Dist: dist}
+				if j.self && pair.A > pair.B {
+					// Normalize self-join pairs: the (leafB, leafA) visit
+					// is suppressed, so this visit reports both orders.
+					pair = JoinPair{A: eb.ID, B: ea.ID, SegA: eb.Seg, SegB: ea.Seg, Dist: dist}
+				}
+				*out = append(*out, pair)
+			}
+		}
+	}
+	return nil
+}
+
+// selfLeaf pairs the entries of a single leaf with each other.
+func (j *joiner) selfLeaf(id pager.PageID, out *[]JoinPair) error {
+	n, err := j.load(j.treeA, id)
+	if err != nil {
+		return err
+	}
+	for i, ea := range n.Entries {
+		if !ea.Seg.T.ContainsValue(j.t) {
+			continue
+		}
+		pa := ea.Seg.At(j.t)
+		for _, eb := range n.Entries[i+1:] {
+			j.c.AddDistanceComps(1)
+			if !eb.Seg.T.ContainsValue(j.t) || ea.ID == eb.ID {
+				continue
+			}
+			dist := pa.Dist(eb.Seg.At(j.t))
+			if dist <= j.delta {
+				a, b := ea, eb
+				if a.ID > b.ID {
+					a, b = b, a
+				}
+				*out = append(*out, JoinPair{A: a.ID, B: b.ID, SegA: a.Seg, SegB: b.Seg, Dist: dist})
+			}
+		}
+	}
+	return nil
+}
+
+// peekBox returns the MBR of a node (loading it through the join cache).
+func (j *joiner) peekBox(tree *rtree.Tree, id pager.PageID) (geom.Box, error) {
+	n, err := j.load(tree, id)
+	if err != nil {
+		return nil, err
+	}
+	return n.MBR(j.d), nil
+}

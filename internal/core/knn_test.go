@@ -1,0 +1,320 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"dynq/internal/geom"
+	"dynq/internal/pager"
+	"dynq/internal/rtree"
+	"dynq/internal/stats"
+)
+
+func bruteKNN(entries []rtree.LeafEntry, p geom.Point, t float64, k int) []Neighbor {
+	var all []Neighbor
+	for _, e := range entries {
+		if !e.Seg.T.ContainsValue(t) {
+			continue
+		}
+		all = append(all, Neighbor{ID: e.ID, Seg: e.Seg, Dist: math.Sqrt(e.Seg.DistSqAt(t, p))})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Dist != all[j].Dist {
+			return all[i].Dist < all[j].Dist
+		}
+		return all[i].ID < all[j].ID
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+func TestKNNMatchesBruteForce(t *testing.T) {
+	tree, entries := buildIndex(t, rtree.DefaultConfig(), 500, 50, 21)
+	var c stats.Counters
+	for _, k := range []int{1, 5, 20} {
+		got, err := KNN(tree, geom.Point{50, 50}, 25, k, &c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteKNN(entries, geom.Point{50, 50}, 25, k)
+		if len(got) != len(want) {
+			t.Fatalf("k=%d: got %d neighbors, want %d", k, len(got), len(want))
+		}
+		for i := range got {
+			if math.Abs(got[i].Dist-want[i].Dist) > 1e-9 {
+				t.Errorf("k=%d neighbor %d: dist %g, want %g", k, i, got[i].Dist, want[i].Dist)
+			}
+		}
+	}
+}
+
+func TestKNNChargesLessThanFullScan(t *testing.T) {
+	tree, _ := buildIndex(t, rtree.DefaultConfig(), 2000, 100, 22)
+	st, err := tree.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c stats.Counters
+	if _, err := KNN(tree, geom.Point{30, 70}, 50, 10, &c); err != nil {
+		t.Fatal(err)
+	}
+	if reads := c.Snapshot().Reads(); reads >= int64(st.LeafNodes+st.InternalNodes)/2 {
+		t.Errorf("kNN read %d nodes of %d; best-first should prune most of the tree",
+			reads, st.LeafNodes+st.InternalNodes)
+	}
+}
+
+func TestKNNValidation(t *testing.T) {
+	tree, _ := buildIndex(t, rtree.DefaultConfig(), 50, 20, 23)
+	var c stats.Counters
+	if _, err := KNN(tree, geom.Point{1}, 5, 3, &c); err == nil {
+		t.Error("dimension mismatch should be rejected")
+	}
+	if _, err := KNN(tree, geom.Point{1, 1}, 5, 0, &c); err == nil {
+		t.Error("k=0 should be rejected")
+	}
+	empty, err := rtree.New(rtree.DefaultConfig(), pager.NewMemStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := KNN(empty, geom.Point{1, 1}, 5, 3, &c)
+	if err != nil || got != nil {
+		t.Errorf("empty tree kNN = %v, %v", got, err)
+	}
+}
+
+func TestKNNFewerThanK(t *testing.T) {
+	// Only 3 objects alive at the query time.
+	tree, err := rtree.New(rtree.DefaultConfig(), pager.NewMemStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		seg := geom.Segment{
+			T:     geom.Interval{Lo: 0, Hi: 10},
+			Start: geom.Point{float64(i * 10), 0},
+			End:   geom.Point{float64(i * 10), 10},
+		}
+		if err := tree.Insert(rtree.ObjectID(i), seg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// And some dead ones.
+	for i := 10; i < 15; i++ {
+		seg := geom.Segment{
+			T:     geom.Interval{Lo: 50, Hi: 60},
+			Start: geom.Point{1, 1},
+			End:   geom.Point{2, 2},
+		}
+		if err := tree.Insert(rtree.ObjectID(i), seg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var c stats.Counters
+	got, err := KNN(tree, geom.Point{0, 5}, 5, 10, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d neighbors, want 3 (only 3 alive)", len(got))
+	}
+	if got[0].ID != 0 || got[1].ID != 1 || got[2].ID != 2 {
+		t.Errorf("neighbor order = %v", got)
+	}
+}
+
+func TestMovingKNN(t *testing.T) {
+	tree, entries := buildIndex(t, rtree.DefaultConfig(), 300, 50, 24)
+	var c stats.Counters
+	times := []float64{10, 11, 12, 13}
+	pos := func(t float64) geom.Point { return geom.Point{t * 2, 50} }
+	got, err := MovingKNN(tree, pos, times, 5, 1.5, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(times) {
+		t.Fatalf("got %d frames", len(got))
+	}
+	for i, tt := range times {
+		want := bruteKNN(entries, pos(tt), tt, 5)
+		if len(got[i]) != len(want) {
+			t.Fatalf("frame %d: %d neighbors, want %d", i, len(got[i]), len(want))
+		}
+		for j := range want {
+			if math.Abs(got[i][j].Dist-want[j].Dist) > 1e-9 {
+				t.Errorf("frame %d neighbor %d: dist %g, want %g", i, j, got[i][j].Dist, want[j].Dist)
+			}
+		}
+	}
+}
+
+// Property: kNN equals brute force for random points, times and k.
+func TestKNNProperty(t *testing.T) {
+	tree, entries := buildIndex(t, rtree.DefaultConfig(), 200, 40, 25)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := geom.Point{r.Float64() * 100, r.Float64() * 100}
+		tt := r.Float64() * 40
+		k := 1 + r.Intn(15)
+		var c stats.Counters
+		got, err := KNN(tree, p, tt, k, &c)
+		if err != nil {
+			return false
+		}
+		want := bruteKNN(entries, p, tt, k)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if math.Abs(got[i].Dist-want[i].Dist) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNaiveSnapshot(t *testing.T) {
+	tree, entries := buildIndex(t, rtree.DefaultConfig(), 300, 50, 26)
+	var c stats.Counters
+	naive := NewNaive(tree, rtree.SearchOptions{}, &c)
+	win := geom.Box{{Lo: 20, Hi: 35}, {Lo: 20, Hi: 35}}
+	tw := geom.Interval{Lo: 10, Hi: 12}
+	got, err := naive.Snapshot(win, tw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bruteExact(entries, win, tw)
+	gotKeys := resultKeys(got)
+	if len(gotKeys) != len(want) {
+		t.Fatalf("naive found %d, want %d", len(gotKeys), len(want))
+	}
+	for k := range want {
+		if !gotKeys[k] {
+			t.Errorf("missing %+v", k)
+		}
+	}
+	// Each result carries its exact visibility interval.
+	for _, r := range got {
+		if r.Appear > r.Disappear {
+			t.Errorf("inverted episode %+v", r)
+		}
+		if r.Appear < tw.Lo-1e-9 || r.Disappear > tw.Hi+1e-9 {
+			t.Errorf("episode escapes the query window: %+v", r)
+		}
+	}
+	if _, err := naive.Snapshot(win, geom.Interval{Lo: 1, Hi: 0}); err == nil {
+		t.Error("empty time window should be rejected")
+	}
+	// Identical repeat queries cost identical I/O: the baseline has no
+	// cross-query state.
+	before := c.Snapshot()
+	if _, err := naive.Snapshot(win, tw); err != nil {
+		t.Fatal(err)
+	}
+	mid := c.Snapshot()
+	if _, err := naive.Snapshot(win, tw); err != nil {
+		t.Fatal(err)
+	}
+	after := c.Snapshot()
+	if mid.Sub(before).Reads() != after.Sub(mid).Reads() {
+		t.Error("naive repeat queries should cost the same")
+	}
+}
+
+func TestKNNBounded(t *testing.T) {
+	tree, entries := buildIndex(t, rtree.DefaultConfig(), 300, 40, 27)
+	var c stats.Counters
+	p := geom.Point{50, 50}
+	full, err := KNN(tree, p, 20, 10, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != 10 {
+		t.Fatalf("full knn returned %d", len(full))
+	}
+	// A bound at the true k-th distance returns the same set.
+	bounded, err := KNNBounded(tree, p, 20, 10, full[9].Dist, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bounded) != 10 {
+		t.Fatalf("bounded knn returned %d", len(bounded))
+	}
+	for i := range full {
+		if math.Abs(full[i].Dist-bounded[i].Dist) > 1e-9 {
+			t.Errorf("neighbor %d: %g vs %g", i, full[i].Dist, bounded[i].Dist)
+		}
+	}
+	// A bound below the k-th distance returns fewer (never wrong ones).
+	tight, err := KNNBounded(tree, p, 20, 10, full[4].Dist, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tight) > 5 {
+		t.Errorf("tight bound returned %d neighbors", len(tight))
+	}
+	for i := range tight {
+		if math.Abs(tight[i].Dist-full[i].Dist) > 1e-9 {
+			t.Errorf("tight neighbor %d mismatches full result", i)
+		}
+	}
+	// Validation mirrors KNN.
+	if _, err := KNNBounded(tree, geom.Point{1}, 20, 3, 5, &c); err == nil {
+		t.Error("dimension mismatch should be rejected")
+	}
+	if _, err := KNNBounded(tree, p, 20, 0, 5, &c); err == nil {
+		t.Error("k=0 should be rejected")
+	}
+	_ = entries
+}
+
+// The validity-based moving-kNN must read fewer nodes than re-running
+// full kNN per sample on a densely sampled path, while returning exactly
+// the per-sample brute-force answers. The workload's object speed is
+// bounded near 1 (speed N(1, 0.2)); 2.0 is a safe cap.
+func TestMovingKNNIncrementalSavesIO(t *testing.T) {
+	tree, entries := buildIndex(t, rtree.DefaultConfig(), 2000, 100, 28)
+	// High-rate sampling (50 frames per time unit, the regime where the
+	// validity window spans several frames).
+	var times []float64
+	for tt := 10.0; tt < 16; tt += 0.02 {
+		times = append(times, tt)
+	}
+	pos := func(t float64) geom.Point { return geom.Point{10 + t*0.5, 50} }
+
+	var cInc stats.Counters
+	inc, err := MovingKNN(tree, pos, times, 10, 1.5, &cInc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cFull stats.Counters
+	for _, tt := range times {
+		if _, err := KNN(tree, pos(tt), tt, 10, &cFull); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a, b := cInc.Snapshot().Reads(), cFull.Snapshot().Reads(); a >= b {
+		t.Errorf("incremental moving-kNN reads (%d) should be below per-sample kNN (%d)", a, b)
+	}
+	// Every sample must equal the brute-force answer (reuse included).
+	for i, tt := range times {
+		want := bruteKNN(entries, pos(tt), tt, 10)
+		if len(inc[i]) != len(want) {
+			t.Fatalf("sample %d: %d vs %d neighbors", i, len(inc[i]), len(want))
+		}
+		for j := range want {
+			if math.Abs(inc[i][j].Dist-want[j].Dist) > 1e-9 {
+				t.Errorf("sample %d neighbor %d: %g vs %g", i, j, inc[i][j].Dist, want[j].Dist)
+			}
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"fmt"
+
+	"dynq/internal/geom"
+	"dynq/internal/pager"
+	"dynq/internal/rtree"
+	"dynq/internal/stats"
+)
+
+// NPDQOptions tune a non-predictive dynamic query session.
+type NPDQOptions struct {
+	// TrackIDs keeps the object-id set of the previous snapshot's
+	// traversal and suppresses re-delivery at the object level, instead
+	// of the default segment-level geometric suppression. Because a
+	// discarded node's objects are not in the recorded set, an object can
+	// occasionally be re-delivered after its node was skipped for a frame
+	// (a harmless client-cache upsert); combined with ExactAnswers (which
+	// disables discarding) suppression is exact. The id set costs
+	// O(answer) server memory per session; the benchmark suite compares
+	// both modes.
+	TrackIDs bool
+	// ExactAnswers filters answers with the exact leaf-level trajectory
+	// test instead of delivering bounding-box candidates. Discardability
+	// pruning is then disabled: Lemma 1 guarantees only that a skipped
+	// node's Q-relevant segments *box*-matched the previous query, and a
+	// segment can box-match P while its exact trajectory misses P's
+	// window — discarding would hide it from Q even though the client
+	// never received it. Exact mode therefore trades the paper's I/O
+	// savings for exact delivery (see DESIGN.md).
+	ExactAnswers bool
+}
+
+// NPDQ evaluates a non-predictive dynamic query (Section 4.2): a stream
+// of snapshot queries whose future motion is unknown. Each Next call
+// returns the objects that satisfy the new snapshot and were not
+// retrieved by the immediately preceding one, pruning every index node R
+// whose overlap with the new query Q is covered by the previous query P
+// — Lemma 1's discardability test, discardable(P,Q,R) ⇔ (Q∩R) ⊂ P —
+// evaluated on the dual temporal axes of Figure 5(b).
+//
+// In the default (paper) mode, membership is decided at bounding-box
+// granularity: results are candidates whose exact visibility interval is
+// reported when non-empty, and the client performs the final exact check
+// when rendering (it holds the full segment geometry either way). This is
+// the granularity at which the discardability lemma is sound.
+//
+// Node modification stamps guard discardability under concurrent inserts:
+// a node changed since P ran cannot be discarded on P's authority.
+//
+// NPDQ is not safe for concurrent Next calls.
+type NPDQ struct {
+	tree *rtree.Tree
+	c    *stats.Counters
+	opts NPDQOptions
+
+	hasPrev   bool
+	prevQ     geom.Box // previous query in dual key space
+	prevExact geom.Box // previous query spatial extents + time (exact test)
+	prevSeq   uint64   // tree.ModSeq() observed before the previous query ran
+	prevIDs   map[rtree.ObjectID]struct{}
+	curIDs    map[rtree.ObjectID]struct{}
+}
+
+// NewNPDQ starts a non-predictive session over the tree, charging costs
+// to c. The tree should use the dual-temporal-axes layout
+// (rtree.Config.DualTime); with the single-axis layout the session is
+// still correct but discardability almost never fires, which is exactly
+// the problem Figure 5 illustrates (the ablation benchmark measures it).
+func NewNPDQ(tree *rtree.Tree, opts NPDQOptions, c *stats.Counters) *NPDQ {
+	n := &NPDQ{tree: tree, c: c, opts: opts}
+	if opts.TrackIDs {
+		n.prevIDs = make(map[rtree.ObjectID]struct{})
+		n.curIDs = make(map[rtree.ObjectID]struct{})
+	}
+	return n
+}
+
+// Next evaluates the snapshot query (spatial window during time interval
+// tw) and returns only the answers not retrieved by the previous Next
+// call. The first call behaves as a plain snapshot query.
+func (nq *NPDQ) Next(window geom.Box, tw geom.Interval) ([]Result, error) {
+	if len(window) != nq.tree.Config().Dims {
+		return nil, fmt.Errorf("core: query has %d dims, index has %d", len(window), nq.tree.Config().Dims)
+	}
+	if tw.Empty() {
+		return nil, fmt.Errorf("core: query time window is empty")
+	}
+	q := rtree.QueryBox(window, tw)
+	qExact := append(window.Clone(), tw)
+	// Observe the modification sequence before traversal: any node
+	// modified at or after this point will carry a larger stamp, and a
+	// future query must not discard it on this query's authority.
+	seqBefore := nq.tree.ModSeq()
+
+	var out []Result
+	if nq.opts.TrackIDs {
+		clear(nq.curIDs)
+	}
+	root, _, ok := nq.tree.Root()
+	if ok {
+		if err := nq.visit(root, q, qExact, &out); err != nil {
+			return nil, err
+		}
+	}
+	nq.c.AddResults(len(out))
+
+	nq.hasPrev = true
+	nq.prevQ = q
+	nq.prevExact = qExact
+	nq.prevSeq = seqBefore
+	if nq.opts.TrackIDs {
+		nq.prevIDs, nq.curIDs = nq.curIDs, nq.prevIDs
+	}
+	return out, nil
+}
+
+// Reset forgets the previous query: the next call behaves like a first
+// snapshot. Use it when the observer teleports (the paper's "snapshot
+// mode").
+func (nq *NPDQ) Reset() {
+	nq.hasPrev = false
+	if nq.opts.TrackIDs {
+		clear(nq.prevIDs)
+	}
+}
+
+func (nq *NPDQ) visit(id pager.PageID, q, qExact geom.Box, out *[]Result) error {
+	n, err := nq.tree.Load(id, nq.c)
+	if err != nil {
+		return err
+	}
+	if n.Leaf() {
+		nq.collectLeaf(n, q, qExact, out)
+		return nil
+	}
+	// Timestamp guard (Section 4.2's update management). Every insertion
+	// stamps all nodes along its path, so an ancestor's stamp dominates
+	// its descendants': n.Stamp ≤ prevSeq proves nothing under n changed
+	// since the previous query ran, making Lemma 1 applicable to n's
+	// children. A dirty node's children must all be visited — each loaded
+	// child then re-reads its own stamp, so pruning resumes in clean
+	// subtrees below.
+	canDiscard := nq.hasPrev && !nq.opts.ExactAnswers && n.Stamp <= nq.prevSeq
+	for _, ch := range n.Children {
+		nq.c.AddDistanceComps(1)
+		if !ch.Box.Overlaps(q) {
+			continue
+		}
+		if canDiscard && nq.discardable(ch.Box, q) {
+			continue
+		}
+		if err := nq.visit(ch.ID, q, qExact, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// discardable implements Lemma 1: R may be skipped iff every point of
+// Q∩R lies inside P — everything of R relevant to Q was already
+// retrieved by the previous query. The caller has established that R's
+// subtree is unchanged since P ran.
+func (nq *NPDQ) discardable(box, q geom.Box) bool {
+	return nq.prevQ.Contains(q.Intersect(box))
+}
+
+func (nq *NPDQ) collectLeaf(n *rtree.Node, q, qExact geom.Box, out *[]Result) {
+	d := nq.tree.Config().Dims
+	// Geometric suppression ("this segment also satisfied P, so the
+	// client already has it") is only valid for segments that were
+	// present when P ran. A per-entry insertion time is not stored, but
+	// the leaf's stamp bounds it: in a leaf modified since P, any entry
+	// might be new, so everything matching Q is delivered (over-delivery
+	// is safe — the client cache upserts by object id). TrackIDs mode is
+	// immune: it suppresses against P's actually-computed answer.
+	leafClean := nq.hasPrev && n.Stamp <= nq.prevSeq
+	for _, e := range n.Entries {
+		nq.c.AddDistanceComps(1)
+		var ov geom.Interval
+		if nq.opts.ExactAnswers {
+			ov = e.Seg.OverlapTimeInBox(qExact)
+			if ov.Empty() {
+				continue
+			}
+		} else {
+			if !e.Box(d).Overlaps(q) {
+				continue
+			}
+			// Candidate semantics: report the exact episode when the
+			// trajectory really crosses the window, otherwise the
+			// conservative validity∩query window for the client to
+			// re-check.
+			ov = e.Seg.OverlapTimeInBox(qExact)
+			if ov.Empty() {
+				ov = e.Seg.T.Intersect(qExact[d])
+			}
+		}
+		if nq.opts.TrackIDs {
+			nq.curIDs[e.ID] = struct{}{}
+			if _, seen := nq.prevIDs[e.ID]; seen {
+				continue
+			}
+		} else if leafClean && nq.satisfiedPrev(e) {
+			// Segment-level suppression: this segment was part of the
+			// previous answer, so the client already has the object.
+			continue
+		}
+		*out = append(*out, Result{ID: e.ID, Seg: e.Seg, Appear: ov.Lo, Disappear: ov.Hi})
+	}
+}
+
+// satisfiedPrev reports whether the previous query delivered this
+// segment, at the same granularity used for delivery.
+func (nq *NPDQ) satisfiedPrev(e rtree.LeafEntry) bool {
+	if nq.opts.ExactAnswers {
+		return !e.Seg.OverlapTimeInBox(nq.prevExact).Empty()
+	}
+	return e.Box(nq.tree.Config().Dims).Overlaps(nq.prevQ)
+}

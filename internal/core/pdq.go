@@ -1,0 +1,323 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+
+	"dynq/internal/geom"
+	"dynq/internal/pager"
+	"dynq/internal/rtree"
+	"dynq/internal/stats"
+	"dynq/internal/trajectory"
+)
+
+// PDQOptions tune a predictive dynamic query session.
+type PDQOptions struct {
+	// LiveUpdates subscribes the session to index insertions so objects
+	// inserted while the query runs still appear (Section 4.1's update
+	// management). Leave false for historical (read-only) workloads.
+	LiveUpdates bool
+	// RebuildOnRootSplit empties and re-seeds the priority queue when the
+	// index grows a new root, instead of enqueueing the root's new sibling
+	// (the paper's suggestion when the split is close to the root).
+	RebuildOnRootSplit bool
+}
+
+// PDQ evaluates a predictive dynamic query: the observer's trajectory is
+// registered up front and results are pulled incrementally with GetNext,
+// in order of the time they become visible. Each index node is read at
+// most once over the whole dynamic query, which is the source of the
+// paper's I/O improvement (Figure 6).
+//
+// A PDQ is not safe for concurrent GetNext calls; concurrent index
+// insertions are safe when LiveUpdates is enabled.
+type PDQ struct {
+	tree *rtree.Tree
+	traj *trajectory.Trajectory
+	c    *stats.Counters
+	opts PDQOptions
+
+	pq      pdqHeap
+	seq     uint64 // monotone tiebreak for deterministic pop order
+	lastPop pdqKey
+	havePop bool
+	closed  bool
+	unsub   func()
+
+	inboxMu sync.Mutex
+	inbox   []rtree.Update
+	rebuild bool
+}
+
+// NewPDQ starts a predictive dynamic query session over the tree for the
+// given observer trajectory, charging all I/O and CPU to c.
+func NewPDQ(tree *rtree.Tree, traj *trajectory.Trajectory, opts PDQOptions, c *stats.Counters) (*PDQ, error) {
+	if traj.Dims() != tree.Config().Dims {
+		return nil, fmt.Errorf("core: trajectory has %d dims, index has %d", traj.Dims(), tree.Config().Dims)
+	}
+	p := &PDQ{tree: tree, traj: traj, c: c, opts: opts}
+	p.seedFromRoot()
+	if opts.LiveUpdates {
+		p.unsub = tree.OnUpdate(p.enqueueUpdate)
+	}
+	return p, nil
+}
+
+// seedFromRoot computes the root's overlap with the trajectory and primes
+// the queue (the first step of Section 4.1's algorithm).
+func (p *PDQ) seedFromRoot() {
+	root, level, ok := p.tree.Root()
+	if !ok {
+		return
+	}
+	// The root's box is not stored anywhere above it; treat it as always
+	// potentially overlapping and let exploration refine. Seeding with the
+	// whole trajectory span is sound: the root is popped once.
+	p.pushNode(root, level, p.traj.TimeSpan())
+}
+
+// enqueueUpdate receives insertion notifications. It runs under the tree
+// lock, so it only records the update; GetNext integrates the inbox before
+// consulting the queue.
+func (p *PDQ) enqueueUpdate(u rtree.Update) {
+	p.inboxMu.Lock()
+	defer p.inboxMu.Unlock()
+	if u.RootSplit && p.opts.RebuildOnRootSplit {
+		p.rebuild = true
+		p.inbox = p.inbox[:0]
+		return
+	}
+	p.inbox = append(p.inbox, u)
+}
+
+// drainInbox integrates pending update notifications into the priority
+// queue: subtree notifications enqueue the subtree root with its overlap
+// episodes, entry notifications enqueue the segment directly.
+func (p *PDQ) drainInbox() {
+	p.inboxMu.Lock()
+	inbox := p.inbox
+	p.inbox = nil
+	rebuild := p.rebuild
+	p.rebuild = false
+	p.inboxMu.Unlock()
+
+	if rebuild {
+		p.pq = p.pq[:0]
+		p.havePop = false
+		p.seedFromRoot()
+		return
+	}
+	var set geom.IntervalSet
+	for _, u := range inbox {
+		set.Reset()
+		switch u.Kind {
+		case rtree.UpdateEntry:
+			p.c.AddDistanceComps(1)
+			p.traj.OverlapSegment(u.Entry.Seg, &set)
+			for _, iv := range set.Intervals() {
+				p.pushObject(u.Entry, iv)
+			}
+		case rtree.UpdateSubtree:
+			p.c.AddDistanceComps(1)
+			p.traj.OverlapBox(u.Box, &set)
+			for _, iv := range set.Intervals() {
+				p.pushNode(u.Node, u.Level, iv)
+			}
+		}
+	}
+}
+
+// GetNext returns the next object that becomes visible during
+// [tStart, tEnd], or nil when no (further) object appears in that window.
+// It is Algorithm 4.1 of the paper: items are popped in visibility-start
+// order; expired items (already invisible before tStart) are dropped;
+// node items are expanded by computing each child's overlap episodes;
+// duplicate items produced by update management are eliminated on pop.
+//
+// Callers advance tStart/tEnd monotonically along the trajectory (one
+// window per pair of key snapshots, or per rendered frame).
+func (p *PDQ) GetNext(tStart, tEnd float64) (*Result, error) {
+	if p.closed {
+		return nil, fmt.Errorf("core: GetNext on closed PDQ")
+	}
+	if tEnd < tStart {
+		return nil, fmt.Errorf("core: GetNext window [%g,%g] is empty", tStart, tEnd)
+	}
+	p.drainInbox()
+	for len(p.pq) > 0 && tEnd >= p.pq[0].key.iv.Lo {
+		item := heap.Pop(&p.pq).(pdqItem)
+		// Duplicate elimination (Section 4.1): duplicates share a priority
+		// and therefore pop adjacently.
+		if p.havePop && item.key == p.lastPop {
+			continue
+		}
+		p.lastPop, p.havePop = item.key, true
+
+		if tStart > item.key.iv.Hi {
+			// The item's visibility ended before the window of interest;
+			// the query has moved past it.
+			continue
+		}
+		if item.key.isObj {
+			p.c.AddResults(1)
+			return &Result{
+				ID:        item.entry.ID,
+				Seg:       item.entry.Seg,
+				Appear:    item.key.iv.Lo,
+				Disappear: item.key.iv.Hi,
+			}, nil
+		}
+		if err := p.expand(item, tStart); err != nil {
+			return nil, err
+		}
+	}
+	return nil, nil
+}
+
+// expand loads a node (one disk access) and enqueues every child whose
+// visibility has not already ended.
+func (p *PDQ) expand(item pdqItem, tStart float64) error {
+	n, err := p.tree.Load(item.key.node, p.c)
+	if err != nil {
+		return err
+	}
+	var set geom.IntervalSet
+	if n.Leaf() {
+		for _, e := range n.Entries {
+			p.c.AddDistanceComps(1)
+			set.Reset()
+			p.traj.OverlapSegment(e.Seg, &set)
+			for _, iv := range set.Intervals() {
+				if tStart <= iv.Hi {
+					p.pushObject(e, iv)
+				}
+			}
+		}
+		return nil
+	}
+	for _, ch := range n.Children {
+		p.c.AddDistanceComps(1)
+		set.Reset()
+		p.traj.OverlapBox(ch.Box, &set)
+		for _, iv := range set.Intervals() {
+			if tStart <= iv.Hi {
+				p.pushNode(ch.ID, n.Level-1, iv)
+			}
+		}
+	}
+	return nil
+}
+
+// Drain pulls every remaining result visible during [tStart, tEnd],
+// repeatedly calling GetNext. It is the per-frame fetch loop of the
+// visualization client.
+func (p *PDQ) Drain(tStart, tEnd float64) ([]Result, error) {
+	var out []Result
+	for {
+		r, err := p.GetNext(tStart, tEnd)
+		if err != nil {
+			return out, err
+		}
+		if r == nil {
+			return out, nil
+		}
+		out = append(out, *r)
+	}
+}
+
+// Pending reports the number of queued items (diagnostics).
+func (p *PDQ) Pending() int { return len(p.pq) }
+
+// Close releases the session's update subscription. The session must not
+// be used afterwards.
+func (p *PDQ) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	if p.unsub != nil {
+		p.unsub()
+	}
+	p.pq = nil
+}
+
+func (p *PDQ) pushNode(id pager.PageID, level int, iv geom.Interval) {
+	if iv.Empty() {
+		return
+	}
+	p.seq++
+	heap.Push(&p.pq, pdqItem{
+		key: pdqKey{iv: iv, node: id, level: level},
+		seq: p.seq,
+	})
+}
+
+func (p *PDQ) pushObject(e rtree.LeafEntry, iv geom.Interval) {
+	if iv.Empty() {
+		return
+	}
+	p.seq++
+	heap.Push(&p.pq, pdqItem{
+		key:   pdqKey{iv: iv, isObj: true, obj: e.ID, segStart: e.Seg.T.Lo},
+		entry: e,
+		seq:   p.seq,
+	})
+}
+
+// pdqKey identifies a queue item for ordering and duplicate elimination.
+// Two notifications for the same node (or the same segment episode)
+// produce equal keys and pop adjacently.
+type pdqKey struct {
+	iv       geom.Interval
+	isObj    bool
+	node     pager.PageID
+	level    int
+	obj      rtree.ObjectID
+	segStart float64
+}
+
+type pdqItem struct {
+	key   pdqKey
+	entry rtree.LeafEntry // valid when key.isObj
+	seq   uint64
+}
+
+type pdqHeap []pdqItem
+
+func (h pdqHeap) Len() int { return len(h) }
+func (h pdqHeap) Less(i, j int) bool {
+	a, b := h[i].key, h[j].key
+	if a.iv.Lo != b.iv.Lo {
+		return a.iv.Lo < b.iv.Lo
+	}
+	// Total order among equal priorities so duplicates are adjacent.
+	if a.isObj != b.isObj {
+		return !a.isObj // nodes first: they may reveal earlier objects
+	}
+	if a.isObj {
+		if a.obj != b.obj {
+			return a.obj < b.obj
+		}
+		if a.segStart != b.segStart {
+			return a.segStart < b.segStart
+		}
+	} else {
+		if a.node != b.node {
+			return a.node < b.node
+		}
+	}
+	if a.iv.Hi != b.iv.Hi {
+		return a.iv.Hi < b.iv.Hi
+	}
+	return h[i].seq < h[j].seq
+}
+func (h pdqHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *pdqHeap) Push(x any)   { *h = append(*h, x.(pdqItem)) }
+func (h *pdqHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

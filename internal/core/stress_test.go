@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"dynq/internal/geom"
+	"dynq/internal/rtree"
+	"dynq/internal/stats"
+	"dynq/internal/trajectory"
+)
+
+// Concurrent inserters, a live PDQ session, an NPDQ session and naive
+// snapshot queries all share one tree. The test asserts nothing beyond
+// absence of errors and a structurally valid tree — its value is under
+// `go test -race`, where it exercises the tree lock, the PDQ update
+// inbox, and the stats counters.
+func TestConcurrentSessionsAndInserts(t *testing.T) {
+	tree, _ := buildIndex(t, rtree.DefaultConfig(), 300, 100, 51)
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+
+	// Two inserters pushing motion updates.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(100 + w)))
+			for i := 0; i < 800; i++ {
+				t0 := r.Float64() * 95
+				x, y := r.Float64()*100, r.Float64()*100
+				seg := geom.Segment{
+					T:     geom.Interval{Lo: t0, Hi: t0 + 1 + r.Float64()},
+					Start: geom.Point{x, y},
+					End:   geom.Point{x + r.Float64()*2, y + r.Float64()*2},
+				}
+				if err := tree.Insert(rtree.ObjectID(200000+w*1000+i), seg); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+
+	// A live PDQ session advancing through its trajectory.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tr, err := trajectory.New([]trajectory.Key{
+			{T: 10, Window: geom.Box{{Lo: 20, Hi: 35}, {Lo: 20, Hi: 35}}},
+			{T: 80, Window: geom.Box{{Lo: 60, Hi: 75}, {Lo: 20, Hi: 35}}},
+		})
+		if err != nil {
+			errs <- err
+			return
+		}
+		var c stats.Counters
+		pdq, err := NewPDQ(tree, tr, PDQOptions{LiveUpdates: true}, &c)
+		if err != nil {
+			errs <- err
+			return
+		}
+		defer pdq.Close()
+		for f := 0; f < 70; f++ {
+			lo := 10 + float64(f)
+			if _, err := pdq.Drain(lo, lo+1); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+
+	// An NPDQ session walking its own window.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var c stats.Counters
+		nq := NewNPDQ(tree, NPDQOptions{}, &c)
+		for f := 0; f < 60; f++ {
+			x := 30 + float64(f)*0.3
+			tlo := 10 + float64(f)
+			win := geom.Box{{Lo: x, Hi: x + 10}, {Lo: 40, Hi: 50}}
+			if _, err := nq.Next(win, geom.Interval{Lo: tlo, Hi: tlo + 1}); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+
+	// Naive snapshots and kNN probes.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var c stats.Counters
+		naive := NewNaive(tree, rtree.SearchOptions{}, &c)
+		r := rand.New(rand.NewSource(999))
+		for f := 0; f < 60; f++ {
+			lo := r.Float64() * 80
+			win := geom.Box{{Lo: lo, Hi: lo + 10}, {Lo: lo, Hi: lo + 10}}
+			tlo := r.Float64() * 95
+			if _, err := naive.Snapshot(win, geom.Interval{Lo: tlo, Hi: tlo + 1}); err != nil {
+				errs <- err
+				return
+			}
+			if _, err := KNN(tree, geom.Point{lo, lo}, tlo, 5, &c); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatalf("tree invalid after concurrent load: %v", err)
+	}
+}

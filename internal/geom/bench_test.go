@@ -1,0 +1,65 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkBoxOverlaps(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	boxes := make([]Box, 256)
+	for i := range boxes {
+		boxes[i] = randBox(r, 4)
+	}
+	q := randBox(r, 4)
+	b.ResetTimer()
+	hits := 0
+	for i := 0; i < b.N; i++ {
+		if q.Overlaps(boxes[i%len(boxes)]) {
+			hits++
+		}
+	}
+	_ = hits
+}
+
+func BenchmarkSegmentOverlapTimeInBox(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	segs := make([]Segment, 256)
+	for i := range segs {
+		segs[i] = Segment{
+			T:     Interval{Lo: r.Float64() * 50, Hi: 50 + r.Float64()*50},
+			Start: Point{r.Float64() * 100, r.Float64() * 100},
+			End:   Point{r.Float64() * 100, r.Float64() * 100},
+		}
+	}
+	q := Box{{Lo: 30, Hi: 50}, {Lo: 30, Hi: 50}, {Lo: 40, Hi: 60}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = segs[i%len(segs)].OverlapTimeInBox(q)
+	}
+}
+
+func BenchmarkSolveBetween(b *testing.B) {
+	l := Linear{A: 3, B: 0.7, T0: 1}
+	w := Interval{Lo: 0, Hi: 100}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = l.SolveBetween(10, 40, w)
+	}
+}
+
+func BenchmarkIntervalSetAdd(b *testing.B) {
+	r := rand.New(rand.NewSource(3))
+	ivs := make([]Interval, 1024)
+	for i := range ivs {
+		ivs[i] = randInterval(r)
+	}
+	b.ResetTimer()
+	var s IntervalSet
+	for i := 0; i < b.N; i++ {
+		if i%64 == 0 {
+			s.Reset()
+		}
+		s.Add(ivs[i%len(ivs)])
+	}
+}

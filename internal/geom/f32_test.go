@@ -1,0 +1,68 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestF32Rounding(t *testing.T) {
+	// A value not representable in float32.
+	x := 0.1
+	lo, hi := F32Floor(x), F32Ceil(x)
+	if float64(lo) > x {
+		t.Errorf("floor %v > %v", lo, x)
+	}
+	if float64(hi) < x {
+		t.Errorf("ceil %v < %v", hi, x)
+	}
+	if lo == hi {
+		t.Error("0.1 is not float32-representable; floor and ceil must differ")
+	}
+	// Exactly representable values round to themselves.
+	for _, v := range []float64{0, 1, -2.5, 1024} {
+		if float64(F32Floor(v)) != v || float64(F32Ceil(v)) != v {
+			t.Errorf("representable %v changed by rounding", v)
+		}
+	}
+}
+
+// Property: floor ≤ x ≤ ceil for all finite float64 in float32 range, and
+// the rounded pair differs by at most one ULP around x.
+func TestF32OutwardProperty(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.Abs(x) > math.MaxFloat32/2 {
+			return true
+		}
+		lo, hi := F32Floor(x), F32Ceil(x)
+		return float64(lo) <= x && x <= float64(hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a widened interval contains the original.
+func TestIntervalToF32Property(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) ||
+			math.Abs(a) > math.MaxFloat32/2 || math.Abs(b) > math.MaxFloat32/2 {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		lo, hi := IntervalToF32(Interval{a, b})
+		return float64(lo) <= a && b <= float64(hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntervalToF32Empty(t *testing.T) {
+	lo, hi := IntervalToF32(EmptyInterval())
+	if lo <= hi {
+		t.Error("empty interval should stay empty after conversion")
+	}
+}

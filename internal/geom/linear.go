@@ -1,0 +1,69 @@
+package geom
+
+import "math"
+
+func sqrt(x float64) float64 { return math.Sqrt(x) }
+
+// Linear is the affine function of time v(t) = A + B·(t - T0). It models
+// the moving borders of a query trapezoid (Section 4.1, Figure 3) and the
+// coordinates of linearly translating objects (Equation 1).
+type Linear struct {
+	A  float64 // value at t = T0
+	B  float64 // slope
+	T0 float64 // reference time
+}
+
+// At evaluates the linear form at time t.
+func (l Linear) At(t float64) float64 { return l.A + l.B*(t-l.T0) }
+
+// LinearBetween returns the linear form interpolating value v0 at time t0
+// and value v1 at time t1. If t1 == t0 the form is constant v0.
+func LinearBetween(t0, v0, t1, v1 float64) Linear {
+	if t1 == t0 {
+		return Linear{A: v0, B: 0, T0: t0}
+	}
+	return Linear{A: v0, B: (v1 - v0) / (t1 - t0), T0: t0}
+}
+
+// Sub returns the linear form l(t) - o(t).
+func (l Linear) Sub(o Linear) Linear {
+	// Rebase o to l.T0: o(t) = o.A + o.B*(l.T0 - o.T0) + o.B*(t - l.T0).
+	oa := o.A + o.B*(l.T0-o.T0)
+	return Linear{A: l.A - oa, B: l.B - o.B, T0: l.T0}
+}
+
+// SolveLE returns the sub-interval of window w on which l(t) ≤ c.
+//
+// This single solver subsumes the paper's "four cases" of Figure 3(b):
+// an upward- or downward-moving border crossing a fixed bound yields a
+// half-line in t, clipped to the window; a parallel border yields either
+// the whole window or nothing.
+func (l Linear) SolveLE(c float64, w Interval) Interval {
+	if w.Empty() {
+		return EmptyInterval()
+	}
+	if l.B == 0 {
+		if l.A <= c {
+			return w
+		}
+		return EmptyInterval()
+	}
+	// l(t) = c at tc.
+	tc := l.T0 + (c-l.A)/l.B
+	if l.B > 0 {
+		// Increasing: l(t) ≤ c for t ≤ tc.
+		return w.Intersect(Interval{Lo: math.Inf(-1), Hi: tc})
+	}
+	// Decreasing: l(t) ≤ c for t ≥ tc.
+	return w.Intersect(Interval{Lo: tc, Hi: math.Inf(1)})
+}
+
+// SolveGE returns the sub-interval of window w on which l(t) ≥ c.
+func (l Linear) SolveGE(c float64, w Interval) Interval {
+	return Linear{A: -l.A, B: -l.B, T0: l.T0}.SolveLE(-c, w)
+}
+
+// SolveBetween returns the sub-interval of w on which lo ≤ l(t) ≤ hi.
+func (l Linear) SolveBetween(lo, hi float64, w Interval) Interval {
+	return l.SolveLE(hi, w).Intersect(l.SolveGE(lo, w))
+}

@@ -1,0 +1,103 @@
+package geom
+
+// Segment is one motion segment of an object in native (d-dimensional)
+// space: the object translates linearly from Start at time T.Lo to End at
+// time T.Hi (Equation 1 of the paper, between two motion updates).
+//
+// The NSI leaf level stores segments by their end points, not their
+// bounding boxes, so queries can test the exact trajectory (the leaf-level
+// optimization of Section 3.2).
+type Segment struct {
+	T     Interval // valid time [t_l, t_h]
+	Start Point    // location at T.Lo
+	End   Point    // location at T.Hi
+}
+
+// Dims returns the spatial dimensionality of the segment.
+func (s Segment) Dims() int { return len(s.Start) }
+
+// At returns the object's location at time t, which must lie inside s.T
+// (clamped otherwise). This is the location function f of Equation 1.
+func (s Segment) At(t float64) Point {
+	if s.T.Length() == 0 {
+		return s.Start.Clone()
+	}
+	f := (t - s.T.Lo) / (s.T.Hi - s.T.Lo)
+	if f < 0 {
+		f = 0
+	} else if f > 1 {
+		f = 1
+	}
+	return s.Start.Lerp(s.End, f)
+}
+
+// Coord returns the i-th coordinate of the trajectory as a linear form of
+// time.
+func (s Segment) Coord(i int) Linear {
+	return LinearBetween(s.T.Lo, s.Start[i], s.T.Hi, s.End[i])
+}
+
+// Velocity returns the constant velocity vector of the segment; zero for
+// an instantaneous segment.
+func (s Segment) Velocity() Point {
+	v := make(Point, s.Dims())
+	dt := s.T.Length()
+	if dt == 0 {
+		return v
+	}
+	for i := range v {
+		v[i] = (s.End[i] - s.Start[i]) / dt
+	}
+	return v
+}
+
+// BoundingBox returns the segment's space-time bounding box with spatial
+// dimensions first and the time interval as the final extent. This is the
+// NSI index key of Section 3.2.
+func (s Segment) BoundingBox() Box {
+	d := s.Dims()
+	b := make(Box, d+1)
+	for i := 0; i < d; i++ {
+		lo, hi := s.Start[i], s.End[i]
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		b[i] = Interval{Lo: lo, Hi: hi}
+	}
+	b[d] = s.T
+	return b
+}
+
+// IntersectsBox reports whether the exact trajectory passes through the
+// spatio-temporal query box q (spatial extents first, time extent last),
+// i.e. whether there is a time t ∈ q[d] ∩ s.T at which the object's
+// position lies inside the spatial extents of q. This is the exact
+// leaf-level test of Section 3.2 that avoids the false admissions of the
+// bounding-box test.
+func (s Segment) IntersectsBox(q Box) bool {
+	return !s.OverlapTimeInBox(q).Empty()
+}
+
+// OverlapTimeInBox returns the time interval during which the trajectory
+// lies inside the spatial extents of q, clipped to q's time extent. The
+// result is empty if the trajectory never enters q during q's validity.
+func (s Segment) OverlapTimeInBox(q Box) Interval {
+	d := s.Dims()
+	w := s.T.Intersect(q[d])
+	for i := 0; i < d && !w.Empty(); i++ {
+		w = s.Coord(i).SolveBetween(q[i].Lo, q[i].Hi, w)
+	}
+	return w
+}
+
+// DistSqAt returns the squared Euclidean distance between the object's
+// position at time t and the point p.
+func (s Segment) DistSqAt(t float64, p Point) float64 {
+	x := s.At(t)
+	sum := 0.0
+	for i := range x {
+		dd := x[i] - p[i]
+		sum += dd * dd
+	}
+	return sum
+}

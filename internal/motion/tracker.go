@@ -1,0 +1,94 @@
+package motion
+
+import (
+	"fmt"
+
+	"dynq/internal/geom"
+)
+
+// Tracker implements the update policy of Section 3.1: the database's
+// picture of an object is its last motion update, extrapolated linearly
+// (dead reckoning). The object — or the sensor tracking it — compares its
+// true position against that extrapolation and issues a new update only
+// when the deviation exceeds a threshold, bounding the database's error
+// while keeping the update rate low (the cost/precision trade-off of
+// [28]).
+//
+// Observe feeds true positions in time order; whenever the dead-reckoned
+// error exceeds the threshold, the tracker closes the current motion
+// segment (which is then ready for indexing) and opens a new one from the
+// observed state.
+type Tracker struct {
+	threshold float64
+
+	started bool
+	lastT   float64
+	lastPos geom.Point
+	lastVel geom.Point // velocity reported with the last update
+	prevT   float64
+	prevPos geom.Point // most recent observation (pending segment end)
+}
+
+// NewTracker creates a tracker that tolerates deviations up to threshold
+// length units before issuing an update.
+func NewTracker(threshold float64) *Tracker {
+	return &Tracker{threshold: threshold}
+}
+
+// Observe records the object's true position at time t (strictly
+// increasing across calls). If the dead-reckoned estimate has drifted
+// beyond the threshold, the closed motion segment is returned for
+// indexing; otherwise seg is nil. The very first observation initializes
+// the tracker and reports the initial velocity estimate as zero.
+func (tr *Tracker) Observe(t float64, pos geom.Point) (seg *geom.Segment, err error) {
+	if !tr.started {
+		tr.started = true
+		tr.lastT, tr.prevT = t, t
+		tr.lastPos = pos.Clone()
+		tr.prevPos = pos.Clone()
+		tr.lastVel = make(geom.Point, len(pos))
+		return nil, nil
+	}
+	if t <= tr.prevT {
+		return nil, fmt.Errorf("motion: observations must have increasing time: %g after %g", t, tr.prevT)
+	}
+	// Dead-reckoned position per the last update.
+	predicted := tr.lastPos.Add(tr.lastVel.Scale(t - tr.lastT))
+	if predicted.Dist(pos) <= tr.threshold {
+		tr.prevT, tr.prevPos = t, pos.Clone()
+		return nil, nil
+	}
+	// Deviation exceeded: close the segment at the current observation and
+	// re-estimate velocity from the observed motion.
+	closed := &geom.Segment{
+		T:     geom.Interval{Lo: tr.lastT, Hi: t},
+		Start: tr.lastPos.Clone(),
+		End:   pos.Clone(),
+	}
+	dt := t - tr.lastT
+	tr.lastVel = pos.Sub(tr.lastPos).Scale(1 / dt)
+	tr.lastT = t
+	tr.lastPos = pos.Clone()
+	tr.prevT, tr.prevPos = t, pos.Clone()
+	return closed, nil
+}
+
+// Flush closes and returns the pending segment up to the last
+// observation, or nil if fewer than two observations arrived since the
+// last update. Call it when an object disappears or the simulation ends.
+func (tr *Tracker) Flush() *geom.Segment {
+	if !tr.started || tr.prevT <= tr.lastT {
+		return nil
+	}
+	seg := &geom.Segment{
+		T:     geom.Interval{Lo: tr.lastT, Hi: tr.prevT},
+		Start: tr.lastPos.Clone(),
+		End:   tr.prevPos.Clone(),
+	}
+	tr.lastT = tr.prevT
+	tr.lastPos = tr.prevPos.Clone()
+	return seg
+}
+
+// Threshold returns the configured deviation bound.
+func (tr *Tracker) Threshold() float64 { return tr.threshold }

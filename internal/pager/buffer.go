@@ -1,0 +1,175 @@
+package pager
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// BufferPool caches pages of an underlying Store with LRU replacement and
+// write-back of dirty frames. It tracks hits and misses so the ablation
+// experiments can compare "naive + server-side LRU buffer" against the
+// dynamic query algorithms.
+//
+// A BufferPool with capacity 0 is a pass-through (every Get is a miss):
+// this models the paper's experimental setting, where the server keeps no
+// per-session buffer.
+type BufferPool struct {
+	store    Store
+	capacity int
+
+	frames map[PageID]*list.Element
+	lru    *list.List // front = most recently used
+
+	hits, misses, evictions, writeBacks int64
+}
+
+type frame struct {
+	id    PageID
+	data  []byte
+	dirty bool
+}
+
+// NewBufferPool wraps store with an LRU buffer holding up to capacity
+// pages.
+func NewBufferPool(store Store, capacity int) *BufferPool {
+	return &BufferPool{
+		store:    store,
+		capacity: capacity,
+		frames:   make(map[PageID]*list.Element),
+		lru:      list.New(),
+	}
+}
+
+// Get returns the contents of a page. The returned slice is only valid
+// until the next call on the pool; callers must copy or decode
+// immediately.
+func (bp *BufferPool) Get(id PageID) ([]byte, error) {
+	if el, ok := bp.frames[id]; ok {
+		bp.hits++
+		bp.lru.MoveToFront(el)
+		return el.Value.(*frame).data, nil
+	}
+	bp.misses++
+	buf := make([]byte, PageSize)
+	if err := bp.store.ReadPage(id, buf); err != nil {
+		return nil, err
+	}
+	if bp.capacity > 0 {
+		if err := bp.insert(&frame{id: id, data: buf}); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// Put replaces the contents of a page. The write is buffered if the pool
+// has capacity, otherwise it goes straight to the store.
+func (bp *BufferPool) Put(id PageID, data []byte) error {
+	if len(data) != PageSize {
+		return ErrBadPageData
+	}
+	if el, ok := bp.frames[id]; ok {
+		f := el.Value.(*frame)
+		copy(f.data, data)
+		f.dirty = true
+		bp.lru.MoveToFront(el)
+		return nil
+	}
+	if bp.capacity == 0 {
+		return bp.store.WritePage(id, data)
+	}
+	buf := make([]byte, PageSize)
+	copy(buf, data)
+	return bp.insert(&frame{id: id, data: buf, dirty: true})
+}
+
+func (bp *BufferPool) insert(f *frame) error {
+	for bp.lru.Len() >= bp.capacity {
+		if err := bp.evictOldest(); err != nil {
+			return err
+		}
+	}
+	bp.frames[f.id] = bp.lru.PushFront(f)
+	return nil
+}
+
+func (bp *BufferPool) evictOldest() error {
+	el := bp.lru.Back()
+	if el == nil {
+		return fmt.Errorf("pager: buffer pool eviction with no frames")
+	}
+	f := el.Value.(*frame)
+	if f.dirty {
+		bp.writeBacks++
+		if err := bp.store.WritePage(f.id, f.data); err != nil {
+			return err
+		}
+	}
+	bp.lru.Remove(el)
+	delete(bp.frames, f.id)
+	bp.evictions++
+	return nil
+}
+
+// Alloc allocates a fresh page in the underlying store.
+func (bp *BufferPool) Alloc() (PageID, error) { return bp.store.Alloc() }
+
+// Free drops any buffered frame for the page and releases it in the
+// store.
+func (bp *BufferPool) Free(id PageID) error {
+	if el, ok := bp.frames[id]; ok {
+		bp.lru.Remove(el)
+		delete(bp.frames, id)
+	}
+	return bp.store.Free(id)
+}
+
+// Flush writes all dirty frames back to the store (frames stay cached).
+func (bp *BufferPool) Flush() error {
+	for el := bp.lru.Front(); el != nil; el = el.Next() {
+		f := el.Value.(*frame)
+		if f.dirty {
+			bp.writeBacks++
+			if err := bp.store.WritePage(f.id, f.data); err != nil {
+				return err
+			}
+			f.dirty = false
+		}
+	}
+	return nil
+}
+
+// Invalidate flushes and then drops every cached frame, so subsequent
+// Gets hit the store again. The experiment harness calls this between
+// queries when modelling a bufferless server.
+func (bp *BufferPool) Invalidate() error {
+	if err := bp.Flush(); err != nil {
+		return err
+	}
+	bp.lru.Init()
+	clear(bp.frames)
+	return nil
+}
+
+// ResetStats zeroes the hit/miss accounting.
+func (bp *BufferPool) ResetStats() {
+	bp.hits, bp.misses, bp.evictions, bp.writeBacks = 0, 0, 0, 0
+}
+
+// Hits reports Gets served from the buffer.
+func (bp *BufferPool) Hits() int64 { return bp.hits }
+
+// Misses reports Gets that went to the store.
+func (bp *BufferPool) Misses() int64 { return bp.misses }
+
+// Evictions reports frames displaced by LRU replacement.
+func (bp *BufferPool) Evictions() int64 { return bp.evictions }
+
+// WriteBacks reports dirty frames written to the store.
+func (bp *BufferPool) WriteBacks() int64 { return bp.writeBacks }
+
+// Len reports the number of currently buffered frames.
+func (bp *BufferPool) Len() int { return bp.lru.Len() }
+
+// Capacity reports the pool's frame capacity.
+func (bp *BufferPool) Capacity() int { return bp.capacity }

@@ -1,0 +1,235 @@
+package pager
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"testing"
+	"testing/quick"
+)
+
+func openRaw(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_RDWR, 0o644)
+}
+
+func TestBufferPoolPassThrough(t *testing.T) {
+	s := NewMemStore()
+	bp := NewBufferPool(s, 0)
+	id, _ := bp.Alloc()
+	if err := bp.Put(id, fillPage(0x11)); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		b, err := bp.Get(id)
+		if err != nil {
+			t.Fatalf("get: %v", err)
+		}
+		if !bytes.Equal(b, fillPage(0x11)) {
+			t.Fatal("bad contents")
+		}
+	}
+	if bp.Hits() != 0 || bp.Misses() != 3 {
+		t.Errorf("capacity-0 pool should never hit: hits=%d misses=%d", bp.Hits(), bp.Misses())
+	}
+}
+
+func TestBufferPoolHitsAndEviction(t *testing.T) {
+	s := NewMemStore()
+	bp := NewBufferPool(s, 2)
+	var ids []PageID
+	for i := 0; i < 3; i++ {
+		id, _ := bp.Alloc()
+		if err := bp.Put(id, fillPage(byte(i))); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+		ids = append(ids, id)
+	}
+	// Pool holds pages 1,2 (page 0 was evicted, dirty → written back).
+	if bp.Len() != 2 {
+		t.Errorf("len = %d, want 2", bp.Len())
+	}
+	if bp.Evictions() != 1 || bp.WriteBacks() != 1 {
+		t.Errorf("evictions=%d writeBacks=%d", bp.Evictions(), bp.WriteBacks())
+	}
+	// Page 0 must have reached the store despite eviction.
+	buf := make([]byte, PageSize)
+	if err := s.ReadPage(ids[0], buf); err != nil || !bytes.Equal(buf, fillPage(0)) {
+		t.Errorf("evicted page lost: %v", err)
+	}
+	// Re-reading page 2 is a hit; page 0 is a miss.
+	bp.ResetStats()
+	if _, err := bp.Get(ids[2]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bp.Get(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if bp.Hits() != 1 || bp.Misses() != 1 {
+		t.Errorf("hits=%d misses=%d, want 1/1", bp.Hits(), bp.Misses())
+	}
+}
+
+func TestBufferPoolLRUOrder(t *testing.T) {
+	s := NewMemStore()
+	bp := NewBufferPool(s, 2)
+	a, _ := bp.Alloc()
+	b, _ := bp.Alloc()
+	c, _ := bp.Alloc()
+	for _, id := range []PageID{a, b, c} {
+		if err := s.WritePage(id, fillPage(byte(id))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bp.Get(a)
+	bp.Get(b)
+	bp.Get(a) // touch a: b becomes LRU
+	bp.Get(c) // evicts b
+	bp.ResetStats()
+	bp.Get(a)
+	bp.Get(c)
+	if bp.Misses() != 0 {
+		t.Errorf("a and c should still be cached, misses=%d", bp.Misses())
+	}
+	bp.Get(b)
+	if bp.Misses() != 1 {
+		t.Errorf("b should have been evicted, misses=%d", bp.Misses())
+	}
+}
+
+func TestBufferPoolFlushAndInvalidate(t *testing.T) {
+	s := NewMemStore()
+	bp := NewBufferPool(s, 8)
+	id, _ := bp.Alloc()
+	if err := bp.Put(id, fillPage(0x42)); err != nil {
+		t.Fatal(err)
+	}
+	// Before flush, the store still has zeros (write was buffered).
+	buf := make([]byte, PageSize)
+	s.ReadPage(id, buf)
+	if bytes.Equal(buf, fillPage(0x42)) {
+		t.Error("write should have been buffered, not written through")
+	}
+	if err := bp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s.ReadPage(id, buf)
+	if !bytes.Equal(buf, fillPage(0x42)) {
+		t.Error("flush did not persist the page")
+	}
+	// Invalidate drops frames: next Get is a miss.
+	bp.ResetStats()
+	if err := bp.Invalidate(); err != nil {
+		t.Fatal(err)
+	}
+	if bp.Len() != 0 {
+		t.Errorf("len after invalidate = %d", bp.Len())
+	}
+	bp.Get(id)
+	if bp.Misses() != 1 {
+		t.Errorf("expected miss after invalidate, misses=%d", bp.Misses())
+	}
+}
+
+func TestBufferPoolFree(t *testing.T) {
+	s := NewMemStore()
+	bp := NewBufferPool(s, 4)
+	id, _ := bp.Alloc()
+	bp.Put(id, fillPage(1))
+	if err := bp.Free(id); err != nil {
+		t.Fatal(err)
+	}
+	if bp.Len() != 0 {
+		t.Error("freed page should leave the pool")
+	}
+	id2, _ := bp.Alloc()
+	if id2 != id {
+		t.Errorf("freed page not reused: got %d want %d", id2, id)
+	}
+	b, err := bp.Get(id2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, make([]byte, PageSize)) {
+		t.Error("reused page should read as zeros")
+	}
+}
+
+func TestBufferPoolPutRejectsShort(t *testing.T) {
+	bp := NewBufferPool(NewMemStore(), 1)
+	id, _ := bp.Alloc()
+	if err := bp.Put(id, []byte{1, 2, 3}); err == nil {
+		t.Error("short put should fail")
+	}
+}
+
+func TestBufferPoolCapacity(t *testing.T) {
+	bp := NewBufferPool(NewMemStore(), 7)
+	if bp.Capacity() != 7 {
+		t.Errorf("capacity = %d", bp.Capacity())
+	}
+}
+
+// Property: a BufferPool over a MemStore behaves exactly like a plain
+// map under any interleaving of Get/Put/Flush/Invalidate, for any
+// capacity.
+func TestBufferPoolModelProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		store := NewMemStore()
+		bp := NewBufferPool(store, r.Intn(5)) // includes capacity 0
+		model := map[PageID]byte{}
+		var ids []PageID
+		for step := 0; step < 150; step++ {
+			switch op := r.Intn(5); {
+			case op == 0 || len(ids) == 0: // alloc
+				id, err := bp.Alloc()
+				if err != nil {
+					return false
+				}
+				ids = append(ids, id)
+				model[id] = 0
+			case op == 1: // put
+				id := ids[r.Intn(len(ids))]
+				b := byte(r.Intn(256))
+				if err := bp.Put(id, fillPage(b)); err != nil {
+					return false
+				}
+				model[id] = b
+			case op == 2: // get + compare
+				id := ids[r.Intn(len(ids))]
+				data, err := bp.Get(id)
+				if err != nil {
+					return false
+				}
+				if data[0] != model[id] || data[PageSize-1] != model[id] {
+					return false
+				}
+			case op == 3: // flush
+				if err := bp.Flush(); err != nil {
+					return false
+				}
+			case op == 4: // invalidate (must not lose dirty data)
+				if err := bp.Invalidate(); err != nil {
+					return false
+				}
+			}
+		}
+		// After a final flush, the raw store agrees with the model.
+		if err := bp.Flush(); err != nil {
+			return false
+		}
+		buf := make([]byte, PageSize)
+		for id, b := range model {
+			if err := store.ReadPage(id, buf); err != nil {
+				return false
+			}
+			if buf[0] != b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,89 @@
+package pager
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// ErrInjected is the failure returned by a FaultStore when armed.
+var ErrInjected = errors.New("pager: injected fault")
+
+// FaultStore wraps a Store and injects failures on demand: after Arm(n),
+// the n-th subsequent read (or write, per ArmWrites) fails with
+// ErrInjected and the store keeps failing until Disarm. It exists for
+// failure-propagation tests: every query engine must surface I/O errors
+// instead of returning partial answers silently.
+type FaultStore struct {
+	Inner Store
+
+	readCountdown  atomic.Int64 // <0: disarmed
+	writeCountdown atomic.Int64
+}
+
+// NewFaultStore wraps inner with fault injection disarmed.
+func NewFaultStore(inner Store) *FaultStore {
+	f := &FaultStore{Inner: inner}
+	f.readCountdown.Store(-1)
+	f.writeCountdown.Store(-1)
+	return f
+}
+
+// Arm makes the n-th subsequent ReadPage (1-based) and all reads after it
+// fail.
+func (f *FaultStore) Arm(n int64) { f.readCountdown.Store(n) }
+
+// ArmWrites makes the n-th subsequent WritePage and all writes after it
+// fail.
+func (f *FaultStore) ArmWrites(n int64) { f.writeCountdown.Store(n) }
+
+// Disarm stops injecting failures.
+func (f *FaultStore) Disarm() {
+	f.readCountdown.Store(-1)
+	f.writeCountdown.Store(-1)
+}
+
+func trip(c *atomic.Int64) bool {
+	for {
+		v := c.Load()
+		if v < 0 {
+			return false
+		}
+		if v <= 1 {
+			return true // stay tripped
+		}
+		if c.CompareAndSwap(v, v-1) {
+			return false
+		}
+	}
+}
+
+// ReadPage implements Store.
+func (f *FaultStore) ReadPage(id PageID, buf []byte) error {
+	if trip(&f.readCountdown) {
+		return ErrInjected
+	}
+	return f.Inner.ReadPage(id, buf)
+}
+
+// WritePage implements Store.
+func (f *FaultStore) WritePage(id PageID, buf []byte) error {
+	if trip(&f.writeCountdown) {
+		return ErrInjected
+	}
+	return f.Inner.WritePage(id, buf)
+}
+
+// Alloc implements Store.
+func (f *FaultStore) Alloc() (PageID, error) { return f.Inner.Alloc() }
+
+// Free implements Store.
+func (f *FaultStore) Free(id PageID) error { return f.Inner.Free(id) }
+
+// NumPages implements Store.
+func (f *FaultStore) NumPages() int { return f.Inner.NumPages() }
+
+// Sync implements Store.
+func (f *FaultStore) Sync() error { return f.Inner.Sync() }
+
+// Close implements Store.
+func (f *FaultStore) Close() error { return f.Inner.Close() }

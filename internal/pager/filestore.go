@@ -1,0 +1,200 @@
+package pager
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+)
+
+// FileStore is a Store persisted in a single file. It exists so indexes
+// can be built once (cmd/dqload) and reopened by later runs; the
+// experiment harness itself defaults to MemStore.
+type FileStore struct {
+	f      *os.File
+	count  uint32 // data pages in the file (allocated + freed)
+	free   PageID // head of free-page chain
+	root   PageID // user root pointer (see SetRoot)
+	aux    []byte // caller metadata (see SetAux)
+	closed bool
+}
+
+// MaxAux is the caller-metadata capacity of the header page.
+const MaxAux = 256
+
+// CreateFileStore creates (truncating) a page file at path.
+func CreateFileStore(path string) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pager: create %s: %w", path, err)
+	}
+	fs := &FileStore{f: f, free: InvalidPage, root: InvalidPage}
+	if err := fs.writeHeader(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return fs, nil
+}
+
+// OpenFileStore opens an existing page file.
+func OpenFileStore(path string) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pager: open %s: %w", path, err)
+	}
+	hdr := make([]byte, PageSize)
+	if _, err := f.ReadAt(hdr, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("pager: read header of %s: %w", path, err)
+	}
+	if !bytes.Equal(hdr[hdrMagicOff:hdrMagicOff+8], []byte(fileMagic)) {
+		f.Close()
+		return nil, fmt.Errorf("pager: %s is not a dynq page file", path)
+	}
+	auxLen := int(binary.LittleEndian.Uint16(hdr[hdrAuxLenOff:]))
+	if auxLen > MaxAux {
+		f.Close()
+		return nil, fmt.Errorf("pager: %s header aux length %d corrupt", path, auxLen)
+	}
+	return &FileStore{
+		f:     f,
+		count: binary.LittleEndian.Uint32(hdr[hdrCountOff:]),
+		free:  PageID(binary.LittleEndian.Uint32(hdr[hdrFreeOff:])),
+		root:  PageID(binary.LittleEndian.Uint32(hdr[hdrRootOff:])),
+		aux:   append([]byte(nil), hdr[hdrAuxOff:hdrAuxOff+auxLen]...),
+	}, nil
+}
+
+func (fs *FileStore) writeHeader() error {
+	hdr := make([]byte, PageSize)
+	putHeader(hdr, fs.count, fs.free, fs.root)
+	binary.LittleEndian.PutUint16(hdr[hdrAuxLenOff:], uint16(len(fs.aux)))
+	copy(hdr[hdrAuxOff:], fs.aux)
+	_, err := fs.f.WriteAt(hdr, 0)
+	return err
+}
+
+func (fs *FileStore) offset(id PageID) int64 { return int64(id+1) * PageSize }
+
+func (fs *FileStore) check(id PageID) error {
+	if fs.closed {
+		return ErrClosed
+	}
+	if uint32(id) >= fs.count {
+		return fmt.Errorf("%w: %d >= %d", ErrPageOutOfRange, id, fs.count)
+	}
+	return nil
+}
+
+// ReadPage implements Store.
+func (fs *FileStore) ReadPage(id PageID, buf []byte) error {
+	if len(buf) != PageSize {
+		return ErrBadPageData
+	}
+	if err := fs.check(id); err != nil {
+		return err
+	}
+	_, err := fs.f.ReadAt(buf, fs.offset(id))
+	return err
+}
+
+// WritePage implements Store.
+func (fs *FileStore) WritePage(id PageID, buf []byte) error {
+	if len(buf) != PageSize {
+		return ErrBadPageData
+	}
+	if err := fs.check(id); err != nil {
+		return err
+	}
+	_, err := fs.f.WriteAt(buf, fs.offset(id))
+	return err
+}
+
+// Alloc implements Store.
+func (fs *FileStore) Alloc() (PageID, error) {
+	if fs.closed {
+		return InvalidPage, ErrClosed
+	}
+	if fs.free != InvalidPage {
+		id := fs.free
+		var link [4]byte
+		if _, err := fs.f.ReadAt(link[:], fs.offset(id)); err != nil {
+			return InvalidPage, err
+		}
+		fs.free = PageID(binary.LittleEndian.Uint32(link[:]))
+		zero := make([]byte, PageSize)
+		if err := fs.WritePage(id, zero); err != nil {
+			return InvalidPage, err
+		}
+		return id, fs.writeHeader()
+	}
+	id := PageID(fs.count)
+	fs.count++
+	zero := make([]byte, PageSize)
+	if _, err := fs.f.WriteAt(zero, fs.offset(id)); err != nil {
+		fs.count--
+		return InvalidPage, err
+	}
+	return id, fs.writeHeader()
+}
+
+// Free implements Store.
+func (fs *FileStore) Free(id PageID) error {
+	if err := fs.check(id); err != nil {
+		return err
+	}
+	var link [4]byte
+	binary.LittleEndian.PutUint32(link[:], uint32(fs.free))
+	if _, err := fs.f.WriteAt(link[:], fs.offset(id)); err != nil {
+		return err
+	}
+	fs.free = id
+	return fs.writeHeader()
+}
+
+// NumPages implements Store. Freed pages remain counted until reused; the
+// file does not shrink.
+func (fs *FileStore) NumPages() int { return int(fs.count) }
+
+// SetRoot records a user root page id (the index root) in the file header.
+func (fs *FileStore) SetRoot(id PageID) error {
+	fs.root = id
+	return fs.writeHeader()
+}
+
+// Root returns the user root page id recorded in the header.
+func (fs *FileStore) Root() PageID { return fs.root }
+
+// SetAux stores up to MaxAux bytes of caller metadata (e.g. index shape)
+// in the header page, durable across reopen.
+func (fs *FileStore) SetAux(data []byte) error {
+	if len(data) > MaxAux {
+		return fmt.Errorf("pager: aux data %d bytes exceeds %d", len(data), MaxAux)
+	}
+	fs.aux = append(fs.aux[:0], data...)
+	return fs.writeHeader()
+}
+
+// Aux returns the caller metadata stored in the header (nil if none).
+func (fs *FileStore) Aux() []byte { return append([]byte(nil), fs.aux...) }
+
+// Sync implements Store.
+func (fs *FileStore) Sync() error {
+	if fs.closed {
+		return ErrClosed
+	}
+	return fs.f.Sync()
+}
+
+// Close implements Store.
+func (fs *FileStore) Close() error {
+	if fs.closed {
+		return nil
+	}
+	fs.closed = true
+	if err := fs.writeHeader(); err != nil {
+		fs.f.Close()
+		return err
+	}
+	return fs.f.Close()
+}

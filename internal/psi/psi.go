@@ -1,0 +1,195 @@
+// Package psi implements Parametric Space Indexing — the alternative to
+// Native Space Indexing studied in the paper's prior work [14,15] and
+// summarized in its Section 2: instead of indexing a motion segment by
+// its space-time bounding box, the segment is indexed as a *point* in
+// motion-parameter space (initial location and velocity) with its
+// validity interval on the temporal axes.
+//
+// The paper reports that NSI outperforms PSI "because of the loss of
+// locality associated with PSI": a spatial range query maps to a
+// non-rectangular region of parameter space that interval arithmetic can
+// only bound loosely, so more nodes are visited. This package exists to
+// reproduce that comparison (see BenchmarkAblationPSIvsNSI); the dynamic
+// query engines use NSI exclusively, as the paper does.
+package psi
+
+import (
+	"fmt"
+
+	"dynq/internal/geom"
+	"dynq/internal/pager"
+	"dynq/internal/rtree"
+	"dynq/internal/stats"
+)
+
+// Index is a PSI index over linearly moving objects. Internally it is an
+// R-tree whose "spatial" key dimensions are the motion parameters
+// (x₁…x_d, v₁…v_d); each motion segment occupies a single parameter-space
+// point for its validity interval.
+type Index struct {
+	dims int // native space dimensionality d
+	tree *rtree.Tree
+}
+
+// New creates an empty PSI index for d-dimensional motion over the store.
+func New(dims int, store pager.Store) (*Index, error) {
+	cfg := rtree.DefaultConfig()
+	cfg.Dims = 2 * dims // location + velocity parameters
+	tree, err := rtree.New(cfg, store)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{dims: dims, tree: tree}, nil
+}
+
+// BulkLoad builds a PSI index from motion segments.
+func BulkLoad(dims int, store pager.Store, segs []rtree.LeafEntry) (*Index, error) {
+	cfg := rtree.DefaultConfig()
+	cfg.Dims = 2 * dims
+	conv := make([]rtree.LeafEntry, len(segs))
+	for i, e := range segs {
+		p, err := toParam(dims, e.Seg)
+		if err != nil {
+			return nil, fmt.Errorf("segment %d: %w", i, err)
+		}
+		conv[i] = rtree.LeafEntry{ID: e.ID, Seg: p}
+	}
+	tree, err := rtree.BulkLoad(cfg, store, conv)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{dims: dims, tree: tree}, nil
+}
+
+// Insert adds one motion segment.
+func (ix *Index) Insert(id rtree.ObjectID, seg geom.Segment) error {
+	p, err := toParam(ix.dims, seg)
+	if err != nil {
+		return err
+	}
+	return ix.tree.Insert(id, p)
+}
+
+// Size returns the number of indexed segments.
+func (ix *Index) Size() int { return ix.tree.Size() }
+
+// toParam converts a native-space motion segment into its parameter-space
+// representation: a stationary "segment" at (location(t_l), velocity)
+// over the same validity interval.
+func toParam(dims int, seg geom.Segment) (geom.Segment, error) {
+	if len(seg.Start) != dims || len(seg.End) != dims {
+		return geom.Segment{}, fmt.Errorf("psi: segment has %d dims, index expects %d", len(seg.Start), dims)
+	}
+	v := seg.Velocity()
+	p := make(geom.Point, 2*dims)
+	copy(p, seg.Start)
+	copy(p[dims:], v)
+	return geom.Segment{T: seg.T, Start: p, End: p.Clone()}, nil
+}
+
+// fromParam reconstructs the native-space motion segment.
+func fromParam(dims int, p geom.Segment) geom.Segment {
+	start := geom.Point(p.Start[:dims]).Clone()
+	vel := geom.Point(p.Start[dims:])
+	dt := p.T.Length()
+	end := make(geom.Point, dims)
+	for i := range end {
+		end[i] = start[i] + vel[i]*dt
+	}
+	return geom.Segment{T: p.T, Start: start, End: end}
+}
+
+// RangeSearch answers a spatio-temporal range query over the PSI index:
+// all segments whose native-space trajectory passes through the spatial
+// window during tw. Internal nodes are pruned with interval arithmetic —
+// the positions reachable from a parameter box during the query window —
+// and leaf entries are tested exactly after conversion back to native
+// space. Costs are charged like the NSI engines (one read per node, one
+// distance computation per entry examined).
+func (ix *Index) RangeSearch(spatial geom.Box, tw geom.Interval, c *stats.Counters) ([]rtree.Match, error) {
+	if len(spatial) != ix.dims {
+		return nil, fmt.Errorf("psi: query has %d dims, index has %d", len(spatial), ix.dims)
+	}
+	if tw.Empty() {
+		return nil, fmt.Errorf("psi: query time window is empty")
+	}
+	root, _, ok := ix.tree.Root()
+	if !ok {
+		return nil, nil
+	}
+	qExact := append(spatial.Clone(), tw)
+	var out []rtree.Match
+	if err := ix.visit(root, spatial, tw, qExact, c, &out); err != nil {
+		return nil, err
+	}
+	c.AddResults(len(out))
+	return out, nil
+}
+
+func (ix *Index) visit(id pager.PageID, spatial geom.Box, tw geom.Interval, qExact geom.Box, c *stats.Counters, out *[]rtree.Match) error {
+	n, err := ix.tree.Load(id, c)
+	if err != nil {
+		return err
+	}
+	if n.Leaf() {
+		for _, e := range n.Entries {
+			c.AddDistanceComps(1)
+			native := fromParam(ix.dims, e.Seg)
+			if ov := native.OverlapTimeInBox(qExact); !ov.Empty() {
+				*out = append(*out, rtree.Match{ID: e.ID, Seg: native, Overlap: ov})
+			}
+		}
+		return nil
+	}
+	for _, ch := range n.Children {
+		c.AddDistanceComps(1)
+		if ix.boxMayMatch(ch.Box, spatial, tw) {
+			if err := ix.visit(ch.ID, spatial, tw, qExact, c, out); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// boxMayMatch is the conservative parameter-space pruning test: given a
+// box over (locations, velocities, start times, end times), could some
+// contained segment be inside the spatial window at some time in tw?
+//
+// A segment's position is x(t) = x₀ + v·(t − t_l) for t ∈ [t_l, t_h].
+// With x₀, v, t_l ranging over the box and t over tw clipped to the
+// box's validity hull, interval arithmetic bounds the reachable
+// positions; the box is pruned if the bound misses the window in any
+// dimension. This looseness — the elapsed-time range couples with the
+// velocity range — is precisely PSI's "loss of locality".
+func (ix *Index) boxMayMatch(b geom.Box, spatial geom.Box, tw geom.Interval) bool {
+	d := ix.dims
+	ts := b[2*d]   // start-time range
+	te := b[2*d+1] // end-time range
+	// Segments alive during tw: start ≤ tw.Hi and end ≥ tw.Lo.
+	if ts.Lo > tw.Hi || te.Hi < tw.Lo {
+		return false
+	}
+	// Query times achievable inside the box's validity hull.
+	qt := tw.Intersect(geom.Interval{Lo: ts.Lo, Hi: te.Hi})
+	if qt.Empty() {
+		return false
+	}
+	// Elapsed time t − t_l ranges over [max(0, qt.Lo − ts.Hi), qt.Hi − ts.Lo].
+	dt := geom.Interval{Lo: qt.Lo - ts.Hi, Hi: qt.Hi - ts.Lo}
+	if dt.Lo < 0 {
+		dt.Lo = 0
+	}
+	if dt.Empty() {
+		return false
+	}
+	for i := 0; i < d; i++ {
+		x0 := b[i]
+		v := b[d+i]
+		reach := x0.Add(v.Mul(dt))
+		if !reach.Overlaps(spatial[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,190 @@
+package quadtree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dynq/internal/geom"
+	"dynq/internal/motion"
+	"dynq/internal/pager"
+	"dynq/internal/rtree"
+	"dynq/internal/stats"
+)
+
+func worldBounds() geom.Box {
+	return geom.Box{{Lo: 0, Hi: 100}, {Lo: 0, Hi: 100}}
+}
+
+func genEntries(t testing.TB, objects int, seed int64) []rtree.LeafEntry {
+	t.Helper()
+	segs, err := motion.GenerateSegments(motion.SimConfig{
+		Objects: objects, Dims: 2, WorldSize: 100, Duration: 50,
+		Speed: 1, SpeedStd: 0.2, UpdateMean: 1, UpdateStd: 0.25, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]rtree.LeafEntry, len(segs))
+	for i, s := range segs {
+		out[i] = rtree.LeafEntry{ID: rtree.ObjectID(s.ObjID), Seg: s.Seg}
+	}
+	return out
+}
+
+func buildQuadtree(t testing.TB, entries []rtree.LeafEntry) *Tree {
+	t.Helper()
+	qt, err := New(worldBounds(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if err := qt.Insert(e.ID, e.Seg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return qt
+}
+
+func bruteForce(entries []rtree.LeafEntry, spatial geom.Box, tw geom.Interval) map[rtree.ObjectID]int {
+	q := append(spatial.Clone(), tw)
+	out := map[rtree.ObjectID]int{}
+	for _, e := range entries {
+		if e.Seg.IntersectsBox(q) {
+			out[e.ID]++
+		}
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(geom.Box{{Lo: 0, Hi: 1}}, 10); err == nil {
+		t.Error("1-d bounds should be rejected")
+	}
+	if _, err := New(geom.Box{{Lo: 1, Hi: 0}, {Lo: 0, Hi: 1}}, 10); err == nil {
+		t.Error("empty bounds should be rejected")
+	}
+	if _, err := New(worldBounds(), 0); err == nil {
+		t.Error("zero depth should be rejected")
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	qt, err := New(worldBounds(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := geom.Segment{T: geom.Interval{Lo: 0, Hi: 1}, Start: geom.Point{-5, 5}, End: geom.Point{5, 5}}
+	if err := qt.Insert(1, bad); err == nil {
+		t.Error("out-of-bounds segment should be rejected")
+	}
+	if err := qt.Insert(1, geom.Segment{T: geom.Interval{Lo: 1, Hi: 0}, Start: geom.Point{1, 1}, End: geom.Point{2, 2}}); err == nil {
+		t.Error("empty validity should be rejected")
+	}
+	if err := qt.Insert(1, geom.Segment{T: geom.Interval{Lo: 0, Hi: 1}, Start: geom.Point{1}, End: geom.Point{2}}); err == nil {
+		t.Error("wrong dims should be rejected")
+	}
+}
+
+func TestSearchMatchesBruteForce(t *testing.T) {
+	entries := genEntries(t, 100, 1)
+	qt := buildQuadtree(t, entries)
+	if qt.Len() != len(entries) {
+		t.Fatalf("len = %d, want %d", qt.Len(), len(entries))
+	}
+	for _, q := range []struct {
+		spatial geom.Box
+		tw      geom.Interval
+	}{
+		{geom.Box{{Lo: 20, Hi: 35}, {Lo: 20, Hi: 35}}, geom.Interval{Lo: 10, Hi: 12}},
+		{worldBounds(), geom.Interval{Lo: 0, Hi: 50}},
+		{geom.Box{{Lo: 70, Hi: 90}, {Lo: 5, Hi: 25}}, geom.Interval{Lo: 40, Hi: 45}},
+	} {
+		var c stats.Counters
+		got, err := qt.Search(q.spatial, q.tw, &c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		for _, n := range bruteForce(entries, q.spatial, q.tw) {
+			want += n
+		}
+		if len(got) != want {
+			t.Errorf("query %v/%v: got %d, want %d", q.spatial, q.tw, len(got), want)
+		}
+	}
+	var c stats.Counters
+	if _, err := qt.Search(geom.Box{{Lo: 0, Hi: 1}}, geom.Interval{Lo: 0, Hi: 1}, &c); err == nil {
+		t.Error("1-d query should be rejected")
+	}
+	if _, err := qt.Search(worldBounds(), geom.Interval{Lo: 1, Hi: 0}, &c); err == nil {
+		t.Error("empty window should be rejected")
+	}
+}
+
+func TestStatsShape(t *testing.T) {
+	entries := genEntries(t, 200, 2)
+	qt := buildQuadtree(t, entries)
+	st := qt.Stats()
+	if st.Segments != len(entries) || st.Nodes < 10 || st.MaxDepth < 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// Property: quadtree results equal brute force for random queries.
+func TestSearchProperty(t *testing.T) {
+	entries := genEntries(t, 60, 3)
+	qt := buildQuadtree(t, entries)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		lo0, lo1 := r.Float64()*80, r.Float64()*80
+		spatial := geom.Box{{Lo: lo0, Hi: lo0 + 5 + r.Float64()*15}, {Lo: lo1, Hi: lo1 + 5 + r.Float64()*15}}
+		start := r.Float64() * 48
+		tw := geom.Interval{Lo: start, Hi: start + r.Float64()*3}
+		var c stats.Counters
+		got, err := qt.Search(spatial, tw, &c)
+		if err != nil {
+			return false
+		}
+		want := 0
+		for _, n := range bruteForce(entries, spatial, tw) {
+			want += n
+		}
+		return len(got) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The comparison the ablation bench quantifies: on the paper's workload
+// the R-tree needs fewer node visits than the MX-CIF quadtree (midline
+// straddlers pile up at shallow quadrants and every query rescans them).
+func TestRTreeBeatsQuadtree(t *testing.T) {
+	entries := genEntries(t, 300, 4)
+	qt := buildQuadtree(t, entries)
+	rt, err := rtree.BulkLoad(rtree.DefaultConfig(), pagerStore(), entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cQ, cR stats.Counters
+	r := rand.New(rand.NewSource(5))
+	for k := 0; k < 50; k++ {
+		lo0, lo1 := r.Float64()*90, r.Float64()*90
+		spatial := geom.Box{{Lo: lo0, Hi: lo0 + 8}, {Lo: lo1, Hi: lo1 + 8}}
+		start := r.Float64() * 49
+		tw := geom.Interval{Lo: start, Hi: start + 0.5}
+		if _, err := qt.Search(spatial, tw, &cQ); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rt.RangeSearch(spatial, tw, rtree.SearchOptions{}, &cR); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q, rr := cQ.Snapshot().DistanceComps, cR.Snapshot().DistanceComps
+	if rr >= q {
+		t.Errorf("R-tree distance comps (%d) should be below quadtree (%d)", rr, q)
+	}
+}
+
+func pagerStore() pager.Store { return pager.NewMemStore() }

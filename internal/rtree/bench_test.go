@@ -1,0 +1,100 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"dynq/internal/geom"
+	"dynq/internal/pager"
+	"dynq/internal/stats"
+)
+
+func benchEntries(n int, seed int64) []LeafEntry {
+	r := rand.New(rand.NewSource(seed))
+	entries := make([]LeafEntry, n)
+	for i := range entries {
+		entries[i] = LeafEntry{ID: ObjectID(i), Seg: randSegment(r)}
+	}
+	return entries
+}
+
+func BenchmarkInsert(b *testing.B) {
+	entries := benchEntries(b.N, 1)
+	tree, err := New(DefaultConfig(), pager.NewMemStore())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tree.Insert(entries[i].ID, entries[i].Seg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBulkLoad100k(b *testing.B) {
+	entries := benchEntries(100000, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BulkLoad(DefaultConfig(), pager.NewMemStore(), entries); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(entries)), "segments")
+}
+
+func BenchmarkRangeSearch(b *testing.B) {
+	tree, err := BulkLoad(DefaultConfig(), pager.NewMemStore(), benchEntries(100000, 3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(4))
+	var c stats.Counters
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo0, lo1 := r.Float64()*90, r.Float64()*90
+		start := r.Float64() * 99
+		_, err := tree.RangeSearch(
+			geom.Box{{Lo: lo0, Hi: lo0 + 8}, {Lo: lo1, Hi: lo1 + 8}},
+			geom.Interval{Lo: start, Hi: start + 0.5},
+			SearchOptions{}, &c)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(c.Snapshot().Reads())/float64(b.N), "reads/query")
+}
+
+func BenchmarkNodeEncodeDecode(b *testing.B) {
+	cfg := DefaultConfig()
+	n := &Node{ID: 1, Level: 0, Stamp: 7}
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < cfg.MaxLeafEntries(); i++ {
+		n.Entries = append(n.Entries, LeafEntry{ID: ObjectID(i), Seg: randSegment(r)})
+	}
+	buf := make([]byte, pager.PageSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := encodeNode(cfg, n, buf); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := decodeNode(cfg, 1, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDelete(b *testing.B) {
+	entries := benchEntries(b.N, 6)
+	tree, err := BulkLoad(DefaultConfig(), pager.NewMemStore(), entries)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := entries[i]
+		if err := tree.Delete(e.ID, float64(float32(e.Seg.T.Lo))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

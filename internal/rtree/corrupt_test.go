@@ -1,0 +1,88 @@
+package rtree
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dynq/internal/pager"
+)
+
+// decodeNode must never panic on corrupted page bytes: it either returns
+// an error or a structurally plausible node (counts within fanout). The
+// harness feeds random mutations of a valid page and fully random pages.
+func TestDecodeNodeNeverPanics(t *testing.T) {
+	cfg := DefaultConfig()
+	// A valid page to mutate.
+	valid := make([]byte, pager.PageSize)
+	r := rand.New(rand.NewSource(1))
+	n := &Node{ID: 1, Level: 0, Stamp: 5}
+	for i := 0; i < 40; i++ {
+		n.Entries = append(n.Entries, LeafEntry{ID: ObjectID(i), Seg: randSegment(r)})
+	}
+	if err := encodeNode(cfg, n, valid); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(buf []byte) bool {
+		defer func() {
+			if recover() != nil {
+				t.Fatal("decodeNode panicked")
+			}
+		}()
+		node, err := decodeNode(cfg, 1, buf)
+		if err != nil {
+			return true
+		}
+		if node.Leaf() {
+			return len(node.Entries) <= cfg.MaxLeafEntries()
+		}
+		return len(node.Children) <= cfg.MaxInternalEntries()
+	}
+
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		buf := make([]byte, pager.PageSize)
+		switch rr.Intn(3) {
+		case 0: // random mutations of the valid page
+			copy(buf, valid)
+			for k := 0; k < 1+rr.Intn(16); k++ {
+				buf[rr.Intn(len(buf))] = byte(rr.Intn(256))
+			}
+		case 1: // fully random bytes (respecting the layout flag byte)
+			rr.Read(buf)
+			buf[1] = 0 // single-time layout so the config matches
+		case 2: // plausible header, garbage body
+			buf[0] = byte(rr.Intn(4))
+			buf[1] = 0
+			binary.LittleEndian.PutUint16(buf[2:], uint16(rr.Intn(1<<16)))
+			rr.Read(buf[16:])
+		}
+		return check(buf)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// A count field larger than the page can hold must be rejected, not read
+// out of bounds.
+func TestDecodeNodeRejectsOversizedCount(t *testing.T) {
+	cfg := DefaultConfig()
+	buf := make([]byte, pager.PageSize)
+	buf[0] = 0 // leaf
+	binary.LittleEndian.PutUint16(buf[2:], 60000)
+	if _, err := decodeNode(cfg, 1, buf); err == nil {
+		t.Error("oversized leaf count should be rejected")
+	}
+	buf[0] = 1 // internal
+	binary.LittleEndian.PutUint16(buf[2:], 60000)
+	if _, err := decodeNode(cfg, 1, buf); err == nil {
+		t.Error("oversized internal count should be rejected")
+	}
+	// Short buffer.
+	if _, err := decodeNode(cfg, 1, buf[:100]); err == nil {
+		t.Error("short buffer should be rejected")
+	}
+}

@@ -1,0 +1,206 @@
+package rtree
+
+import (
+	"fmt"
+
+	"dynq/internal/geom"
+	"dynq/internal/pager"
+	"dynq/internal/stats"
+)
+
+// Match is one segment returned by a range search: the object, its exact
+// segment, and the time interval during which the segment actually lies
+// inside the query's spatial range (clipped to the query's time window).
+type Match struct {
+	ID      ObjectID
+	Seg     geom.Segment
+	Overlap geom.Interval
+}
+
+// SearchOptions tune a range search.
+type SearchOptions struct {
+	// BBOnlyLeaf disables the exact leaf-level segment test and matches on
+	// segment bounding boxes instead, re-admitting the false positives the
+	// NSI leaf optimization eliminates. Ablation only.
+	BBOnlyLeaf bool
+}
+
+// RangeSearch answers a snapshot query (Definition 3): all segments whose
+// trajectory passes through the spatial box during the time window. One
+// disk access is charged per node visited and one distance computation per
+// child entry examined, the paper's cost accounting.
+func (t *Tree) RangeSearch(spatial geom.Box, tw geom.Interval, opts SearchOptions, c *stats.Counters) ([]Match, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(spatial) != t.cfg.Dims {
+		return nil, fmt.Errorf("rtree: query has %d dims, tree has %d", len(spatial), t.cfg.Dims)
+	}
+	if t.root == pager.InvalidPage {
+		return nil, nil
+	}
+	q := QueryBox(spatial, tw)
+	qst := geom.Box(append(geom.Box{}, spatial...))
+	qst = append(qst, tw) // spatial extents + single time extent, for the exact test
+	var out []Match
+	err := t.searchNode(t.root, q, qst, opts, c, &out)
+	if err != nil {
+		return nil, err
+	}
+	c.AddResults(len(out))
+	return out, nil
+}
+
+func (t *Tree) searchNode(id pager.PageID, q, qst geom.Box, opts SearchOptions, c *stats.Counters, out *[]Match) error {
+	n, err := t.load(id, c)
+	if err != nil {
+		return err
+	}
+	if n.Leaf() {
+		for _, e := range n.Entries {
+			c.AddDistanceComps(1)
+			if opts.BBOnlyLeaf {
+				if e.Box(t.cfg.Dims).Overlaps(q) {
+					ov := e.Seg.T.Intersect(qst[t.cfg.Dims])
+					*out = append(*out, Match{ID: e.ID, Seg: e.Seg, Overlap: ov})
+				}
+				continue
+			}
+			if ov := e.Seg.OverlapTimeInBox(qst); !ov.Empty() {
+				*out = append(*out, Match{ID: e.ID, Seg: e.Seg, Overlap: ov})
+			}
+		}
+		return nil
+	}
+	for _, ch := range n.Children {
+		c.AddDistanceComps(1)
+		if ch.Box.Overlaps(q) {
+			if err := t.searchNode(ch.ID, q, qst, opts, c, out); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// TreeStats summarizes the physical shape of the tree, mirroring the
+// figures the paper reports for its index (Section 5: fanout 145/127,
+// height 3).
+type TreeStats struct {
+	Height        int
+	Segments      int
+	LeafNodes     int
+	InternalNodes int
+	AvgLeafFill   float64 // mean entries per leaf / max leaf entries
+	AvgIntFill    float64
+	MaxLeafFan    int
+	MaxIntFan     int
+}
+
+// Stats walks the whole tree (not counted against any query counters).
+func (t *Tree) Stats() (TreeStats, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := TreeStats{
+		Height:     t.height,
+		Segments:   t.size,
+		MaxLeafFan: t.cfg.MaxLeafEntries(),
+		MaxIntFan:  t.cfg.MaxInternalEntries(),
+	}
+	if t.root == pager.InvalidPage {
+		return st, nil
+	}
+	var leafEntries, intEntries int
+	var walk func(id pager.PageID) error
+	walk = func(id pager.PageID) error {
+		n, err := t.load(id, nil)
+		if err != nil {
+			return err
+		}
+		if n.Leaf() {
+			st.LeafNodes++
+			leafEntries += len(n.Entries)
+			return nil
+		}
+		st.InternalNodes++
+		intEntries += len(n.Children)
+		for _, ch := range n.Children {
+			if err := walk(ch.ID); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root); err != nil {
+		return TreeStats{}, err
+	}
+	if st.LeafNodes > 0 {
+		st.AvgLeafFill = float64(leafEntries) / float64(st.LeafNodes*st.MaxLeafFan)
+	}
+	if st.InternalNodes > 0 {
+		st.AvgIntFill = float64(intEntries) / float64(st.InternalNodes*st.MaxIntFan)
+	}
+	return st, nil
+}
+
+// Validate checks the structural invariants of the tree and returns the
+// first violation found (nil when sound): every child box contains its
+// subtree's geometry, all leaves are at level 0 with uniform depth, entry
+// counts respect the fanout, and the recorded size matches the number of
+// stored segments. Intended for tests and the loader tool.
+func (t *Tree) Validate() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.root == pager.InvalidPage {
+		if t.size != 0 || t.height != 0 {
+			return fmt.Errorf("rtree: empty tree with size=%d height=%d", t.size, t.height)
+		}
+		return nil
+	}
+	segs := 0
+	var walk func(id pager.PageID, wantLevel int, within geom.Box) error
+	walk = func(id pager.PageID, wantLevel int, within geom.Box) error {
+		n, err := t.load(id, nil)
+		if err != nil {
+			return err
+		}
+		if n.Level != wantLevel {
+			return fmt.Errorf("rtree: node %d at level %d, expected %d", id, n.Level, wantLevel)
+		}
+		if n.Leaf() {
+			if len(n.Entries) > t.cfg.MaxLeafEntries() {
+				return fmt.Errorf("rtree: leaf %d over-full (%d)", id, len(n.Entries))
+			}
+			segs += len(n.Entries)
+			if within != nil {
+				for _, e := range n.Entries {
+					if !within.Contains(e.Box(t.cfg.Dims)) {
+						return fmt.Errorf("rtree: leaf %d entry %d escapes parent box %v", id, e.ID, within)
+					}
+				}
+			}
+			return nil
+		}
+		if len(n.Children) > t.cfg.MaxInternalEntries() {
+			return fmt.Errorf("rtree: internal %d over-full (%d)", id, len(n.Children))
+		}
+		if len(n.Children) == 0 {
+			return fmt.Errorf("rtree: internal %d is empty", id)
+		}
+		for _, ch := range n.Children {
+			if within != nil && !within.Contains(ch.Box) {
+				return fmt.Errorf("rtree: node %d child %d box escapes parent box", id, ch.ID)
+			}
+			if err := walk(ch.ID, wantLevel-1, ch.Box); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, t.height-1, nil); err != nil {
+		return err
+	}
+	if segs != t.size {
+		return fmt.Errorf("rtree: recorded size %d, found %d segments", t.size, segs)
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+// Package stats provides the cost counters used throughout the query
+// engines. The paper's two performance measures (Section 5) are the number
+// of disk accesses per query — reported separately for leaf and internal
+// levels of the index (the split bars of Figures 6 and 10) — and the
+// number of distance computations (the CPU measure of Figures 7 and 11).
+package stats
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Counters accumulates the costs of one or more query evaluations. The
+// zero value is ready to use. All methods are safe for concurrent use, so
+// a single Counters can be shared between a query session and a concurrent
+// update stream.
+type Counters struct {
+	internalReads atomic.Int64 // index node fetches above the leaf level
+	leafReads     atomic.Int64 // leaf node fetches
+	distanceComps atomic.Int64 // geometric predicate evaluations
+	results       atomic.Int64 // objects returned
+	bufferHits    atomic.Int64 // page requests served from the buffer pool
+	pageWrites    atomic.Int64 // pages written (index maintenance)
+}
+
+// AddRead records a node fetch; leaf selects which level counter.
+func (c *Counters) AddRead(leaf bool) {
+	if c == nil {
+		return
+	}
+	if leaf {
+		c.leafReads.Add(1)
+	} else {
+		c.internalReads.Add(1)
+	}
+}
+
+// AddDistanceComps records n geometric predicate evaluations (the paper's
+// "distance computations": one per child entry examined).
+func (c *Counters) AddDistanceComps(n int) {
+	if c == nil {
+		return
+	}
+	c.distanceComps.Add(int64(n))
+}
+
+// AddResults records n objects returned to the client.
+func (c *Counters) AddResults(n int) {
+	if c == nil {
+		return
+	}
+	c.results.Add(int64(n))
+}
+
+// AddBufferHit records a page request satisfied without a disk access.
+func (c *Counters) AddBufferHit() {
+	if c == nil {
+		return
+	}
+	c.bufferHits.Add(1)
+}
+
+// AddPageWrite records a page write.
+func (c *Counters) AddPageWrite() {
+	if c == nil {
+		return
+	}
+	c.pageWrites.Add(1)
+}
+
+// Snapshot is an immutable copy of the counter values.
+type Snapshot struct {
+	InternalReads int64 // node fetches above the leaf level
+	LeafReads     int64 // leaf node fetches
+	DistanceComps int64 // geometric predicate evaluations
+	Results       int64 // objects returned
+	BufferHits    int64 // page requests served from buffer
+	PageWrites    int64 // page writes
+}
+
+// Snapshot returns the current counter values.
+func (c *Counters) Snapshot() Snapshot {
+	if c == nil {
+		return Snapshot{}
+	}
+	return Snapshot{
+		InternalReads: c.internalReads.Load(),
+		LeafReads:     c.leafReads.Load(),
+		DistanceComps: c.distanceComps.Load(),
+		Results:       c.results.Load(),
+		BufferHits:    c.bufferHits.Load(),
+		PageWrites:    c.pageWrites.Load(),
+	}
+}
+
+// Reset zeroes all counters.
+func (c *Counters) Reset() {
+	if c == nil {
+		return
+	}
+	c.internalReads.Store(0)
+	c.leafReads.Store(0)
+	c.distanceComps.Store(0)
+	c.results.Store(0)
+	c.bufferHits.Store(0)
+	c.pageWrites.Store(0)
+}
+
+// Reads returns the total number of disk accesses (leaf + internal).
+func (s Snapshot) Reads() int64 { return s.InternalReads + s.LeafReads }
+
+// Sub returns the per-operation deltas between two snapshots taken before
+// and after an operation (s is "after", o is "before").
+func (s Snapshot) Sub(o Snapshot) Snapshot {
+	return Snapshot{
+		InternalReads: s.InternalReads - o.InternalReads,
+		LeafReads:     s.LeafReads - o.LeafReads,
+		DistanceComps: s.DistanceComps - o.DistanceComps,
+		Results:       s.Results - o.Results,
+		BufferHits:    s.BufferHits - o.BufferHits,
+		PageWrites:    s.PageWrites - o.PageWrites,
+	}
+}
+
+// Add returns the component-wise sum of two snapshots.
+func (s Snapshot) Add(o Snapshot) Snapshot {
+	return Snapshot{
+		InternalReads: s.InternalReads + o.InternalReads,
+		LeafReads:     s.LeafReads + o.LeafReads,
+		DistanceComps: s.DistanceComps + o.DistanceComps,
+		Results:       s.Results + o.Results,
+		BufferHits:    s.BufferHits + o.BufferHits,
+		PageWrites:    s.PageWrites + o.PageWrites,
+	}
+}
+
+// String renders a compact human-readable summary.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("reads=%d (leaf=%d internal=%d) dist=%d results=%d hits=%d writes=%d",
+		s.Reads(), s.LeafReads, s.InternalReads, s.DistanceComps, s.Results, s.BufferHits, s.PageWrites)
+}
+
+// Mean divides every component by n (for averaging over n queries);
+// values are truncated toward zero. n must be positive.
+type Mean struct {
+	InternalReads float64
+	LeafReads     float64
+	DistanceComps float64
+	Results       float64
+}
+
+// MeanOver returns the per-query averages of a snapshot over n queries.
+func (s Snapshot) MeanOver(n int) Mean {
+	if n <= 0 {
+		return Mean{}
+	}
+	f := float64(n)
+	return Mean{
+		InternalReads: float64(s.InternalReads) / f,
+		LeafReads:     float64(s.LeafReads) / f,
+		DistanceComps: float64(s.DistanceComps) / f,
+		Results:       float64(s.Results) / f,
+	}
+}
+
+// Reads returns the mean total disk accesses per query.
+func (m Mean) Reads() float64 { return m.InternalReads + m.LeafReads }

@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCountersBasic(t *testing.T) {
+	var c Counters
+	c.AddRead(true)
+	c.AddRead(true)
+	c.AddRead(false)
+	c.AddDistanceComps(7)
+	c.AddResults(3)
+	c.AddBufferHit()
+	c.AddPageWrite()
+	s := c.Snapshot()
+	if s.LeafReads != 2 || s.InternalReads != 1 || s.Reads() != 3 {
+		t.Errorf("reads = %+v", s)
+	}
+	if s.DistanceComps != 7 || s.Results != 3 || s.BufferHits != 1 || s.PageWrites != 1 {
+		t.Errorf("snapshot = %+v", s)
+	}
+	c.Reset()
+	if c.Snapshot() != (Snapshot{}) {
+		t.Error("reset should zero everything")
+	}
+}
+
+func TestNilCountersAreSafe(t *testing.T) {
+	var c *Counters
+	c.AddRead(true)
+	c.AddDistanceComps(1)
+	c.AddResults(1)
+	c.AddBufferHit()
+	c.AddPageWrite()
+	c.Reset()
+	if c.Snapshot() != (Snapshot{}) {
+		t.Error("nil counters should snapshot to zero")
+	}
+}
+
+func TestSnapshotArithmetic(t *testing.T) {
+	a := Snapshot{InternalReads: 5, LeafReads: 10, DistanceComps: 100, Results: 7, BufferHits: 2, PageWrites: 1}
+	b := Snapshot{InternalReads: 2, LeafReads: 4, DistanceComps: 40, Results: 3, BufferHits: 1, PageWrites: 1}
+	d := a.Sub(b)
+	if d.InternalReads != 3 || d.LeafReads != 6 || d.DistanceComps != 60 || d.Results != 4 {
+		t.Errorf("sub = %+v", d)
+	}
+	sum := d.Add(b)
+	if sum != a {
+		t.Errorf("add(sub) != original: %+v", sum)
+	}
+}
+
+func TestMeanOver(t *testing.T) {
+	s := Snapshot{InternalReads: 10, LeafReads: 30, DistanceComps: 200, Results: 50}
+	m := s.MeanOver(10)
+	if m.InternalReads != 1 || m.LeafReads != 3 || m.Reads() != 4 || m.DistanceComps != 20 || m.Results != 5 {
+		t.Errorf("mean = %+v", m)
+	}
+	if s.MeanOver(0) != (Mean{}) {
+		t.Error("MeanOver(0) should be zero")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := Snapshot{InternalReads: 1, LeafReads: 2}
+	str := s.String()
+	if !strings.Contains(str, "reads=3") || !strings.Contains(str, "leaf=2") {
+		t.Errorf("string = %q", str)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	var c Counters
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.AddRead(j%2 == 0)
+				c.AddDistanceComps(2)
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.Reads() != 8000 || s.DistanceComps != 16000 {
+		t.Errorf("concurrent totals = %+v", s)
+	}
+}

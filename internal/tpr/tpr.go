@@ -1,0 +1,261 @@
+// Package tpr implements a Time-Parameterized R-tree — the specialized
+// index for the *current and anticipated* positions of mobile objects
+// introduced by Šaltenis et al. (the paper's reference [19]) — and adapts
+// the dynamic-query machinery to it, which is the paper's future work
+// (iii): "adapting dynamic queries to a specialized index for mobile
+// objects such as TPR-tree".
+//
+// Where the NSI R-tree stores the full motion history (one segment per
+// update), a TPR-tree holds exactly one entry per object: its last
+// reported position and velocity. Bounding rectangles are
+// time-parameterized — each border moves at the extreme velocity of the
+// subtree — so they bound every object now and at any future time.
+// Queries ask about the present or the anticipated future: "who is (will
+// be) inside this window at time t / during [t1,t2] / along this
+// trajectory".
+//
+// The tree is an in-memory structure (current-state indexes are much
+// smaller than histories: one entry per object); node visits are still
+// charged to stats.Counters with the same leaf/internal accounting as the
+// disk-based index, so costs are comparable.
+package tpr
+
+import (
+	"fmt"
+	"math"
+
+	"dynq/internal/geom"
+)
+
+// Entry is the current motion state of one object: at RefTime it was at
+// Pos moving with velocity Vel (Equation 1 of the paper, open-ended).
+type Entry struct {
+	ID      uint64
+	RefTime float64
+	Pos     geom.Point
+	Vel     geom.Point
+}
+
+// posAt returns the anticipated position at time t (t ≥ RefTime).
+func (e Entry) posAt(t float64) geom.Point {
+	p := make(geom.Point, len(e.Pos))
+	for i := range p {
+		p[i] = e.Pos[i] + e.Vel[i]*(t-e.RefTime)
+	}
+	return p
+}
+
+// coord returns coordinate i as a linear function of time.
+func (e Entry) coord(i int) geom.Linear {
+	return geom.Linear{A: e.Pos[i], B: e.Vel[i], T0: e.RefTime}
+}
+
+// tpbr is a time-parameterized bounding rectangle: at time t its extent
+// along dimension i is [PosLo(t), PosHi(t)] with each border moving at
+// the subtree's extreme velocity. Conservative for all t ≥ Ref.
+type tpbr struct {
+	ref          float64
+	posLo, posHi geom.Point
+	velLo, velHi geom.Point
+}
+
+func emptyTPBR(dims int) tpbr {
+	b := tpbr{
+		ref:   0,
+		posLo: make(geom.Point, dims),
+		posHi: make(geom.Point, dims),
+		velLo: make(geom.Point, dims),
+		velHi: make(geom.Point, dims),
+	}
+	for i := 0; i < dims; i++ {
+		b.posLo[i], b.posHi[i] = math.Inf(1), math.Inf(-1)
+	}
+	return b
+}
+
+func (b tpbr) empty() bool { return len(b.posLo) == 0 || b.posLo[0] > b.posHi[0] }
+
+// rebase returns the equivalent tpbr referenced at time t ≥ b.ref. The
+// result never aliases b's slices: callers mutate rebased bounds for
+// what-if computations (chooseChild), so sharing would corrupt the tree.
+func (b tpbr) rebase(t float64) tpbr {
+	if b.empty() {
+		return b
+	}
+	dt := t - b.ref
+	nb := tpbr{ref: t,
+		posLo: make(geom.Point, len(b.posLo)), posHi: make(geom.Point, len(b.posHi)),
+		velLo: append(geom.Point(nil), b.velLo...), velHi: append(geom.Point(nil), b.velHi...),
+	}
+	for i := range b.posLo {
+		nb.posLo[i] = b.posLo[i] + b.velLo[i]*dt
+		nb.posHi[i] = b.posHi[i] + b.velHi[i]*dt
+	}
+	return nb
+}
+
+// addEntry grows the tpbr to cover an entry for all t ≥ max(ref, e.RefTime).
+func (b tpbr) addEntry(e Entry) tpbr {
+	if b.empty() {
+		nb := tpbr{ref: e.RefTime,
+			posLo: append(geom.Point(nil), e.Pos...), posHi: append(geom.Point(nil), e.Pos...),
+			velLo: append(geom.Point(nil), e.Vel...), velHi: append(geom.Point(nil), e.Vel...),
+		}
+		return nb
+	}
+	ref := math.Max(b.ref, e.RefTime)
+	nb := b.rebase(ref)
+	for i := range nb.posLo {
+		p := e.Pos[i] + e.Vel[i]*(ref-e.RefTime)
+		nb.posLo[i] = math.Min(nb.posLo[i], p)
+		nb.posHi[i] = math.Max(nb.posHi[i], p)
+		nb.velLo[i] = math.Min(nb.velLo[i], e.Vel[i])
+		nb.velHi[i] = math.Max(nb.velHi[i], e.Vel[i])
+	}
+	return nb
+}
+
+// union grows the tpbr to cover another tpbr.
+func (b tpbr) union(o tpbr) tpbr {
+	if b.empty() {
+		return o
+	}
+	if o.empty() {
+		return b
+	}
+	ref := math.Max(b.ref, o.ref)
+	nb, no := b.rebase(ref), o.rebase(ref)
+	for i := range nb.posLo {
+		nb.posLo[i] = math.Min(nb.posLo[i], no.posLo[i])
+		nb.posHi[i] = math.Max(nb.posHi[i], no.posHi[i])
+		nb.velLo[i] = math.Min(nb.velLo[i], no.velLo[i])
+		nb.velHi[i] = math.Max(nb.velHi[i], no.velHi[i])
+	}
+	return nb
+}
+
+// boxAt returns the (static) box bounding the subtree at time t ≥ ref.
+func (b tpbr) boxAt(t float64) geom.Box {
+	dt := t - b.ref
+	if dt < 0 {
+		dt = 0
+	}
+	box := make(geom.Box, len(b.posLo))
+	for i := range box {
+		box[i] = geom.Interval{Lo: b.posLo[i] + b.velLo[i]*dt, Hi: b.posHi[i] + b.velHi[i]*dt}
+	}
+	return box
+}
+
+// overlapWindow returns the sub-interval of tw during which the tpbr can
+// overlap the static window (linear borders → linear inequalities).
+// Callers guarantee tw.Lo ≥ b.ref (the tree only answers queries at or
+// after its latest update, the anticipated-future semantics of a TPR
+// index), so the parameterized borders are valid over all of tw.
+func (b tpbr) overlapWindow(w geom.Box, tw geom.Interval) geom.Interval {
+	iv := tw
+	for i := 0; i < len(w) && !iv.Empty(); i++ {
+		lo := geom.Linear{A: b.posLo[i], B: b.velLo[i], T0: b.ref}
+		hi := geom.Linear{A: b.posHi[i], B: b.velHi[i], T0: b.ref}
+		iv = lo.SolveLE(w[i].Hi, iv)
+		iv = hi.SolveGE(w[i].Lo, iv)
+	}
+	return iv
+}
+
+// integralArea is the TPR-tree's optimization metric: the box area
+// integrated (approximated by the endpoint average) over [t0, t0+h].
+func (b tpbr) integralArea(t0, h float64) float64 {
+	if b.empty() {
+		return 0
+	}
+	return (b.boxAt(t0).Area() + b.boxAt(t0+h).Area()) / 2
+}
+
+type node struct {
+	leaf     bool
+	bound    tpbr
+	children []*node
+	entries  []Entry
+}
+
+// Tree is an in-memory TPR-tree. Not safe for concurrent use.
+type Tree struct {
+	dims       int
+	horizon    float64
+	maxEntries int
+	minEntries int
+	root       *node
+	byID       map[uint64]Entry
+	now        float64 // latest reference time seen (for the metric)
+}
+
+// New creates a TPR-tree for d-dimensional motion. horizon is the time
+// window over which bounding quality is optimized (Šaltenis et al.'s H) —
+// choose it near the expected time between motion updates: too large a
+// horizon makes the metric cluster by velocity and the anticipated bounds
+// balloon. fanout is the node capacity (32 is a reasonable in-memory
+// default).
+func New(dims int, horizon float64, fanout int) (*Tree, error) {
+	if dims < 1 {
+		return nil, fmt.Errorf("tpr: dims must be positive")
+	}
+	if horizon <= 0 {
+		return nil, fmt.Errorf("tpr: horizon must be positive")
+	}
+	if fanout < 4 {
+		return nil, fmt.Errorf("tpr: fanout must be at least 4")
+	}
+	return &Tree{
+		dims:       dims,
+		horizon:    horizon,
+		maxEntries: fanout,
+		minEntries: fanout * 2 / 5,
+		byID:       make(map[uint64]Entry),
+	}, nil
+}
+
+// Len returns the number of indexed objects.
+func (t *Tree) Len() int { return len(t.byID) }
+
+// Update inserts or replaces an object's motion state. RefTime must not
+// decrease for the same object.
+func (t *Tree) Update(e Entry) error {
+	if len(e.Pos) != t.dims || len(e.Vel) != t.dims {
+		return fmt.Errorf("tpr: entry has wrong dimensionality")
+	}
+	if old, ok := t.byID[e.ID]; ok {
+		if e.RefTime < old.RefTime {
+			return fmt.Errorf("tpr: stale update for object %d (%g < %g)", e.ID, e.RefTime, old.RefTime)
+		}
+		if !t.remove(old) {
+			return fmt.Errorf("tpr: internal inconsistency: object %d not found for replacement", e.ID)
+		}
+		delete(t.byID, e.ID)
+	}
+	e = Entry{ID: e.ID, RefTime: e.RefTime,
+		Pos: append(geom.Point(nil), e.Pos...), Vel: append(geom.Point(nil), e.Vel...)}
+	t.insert(e)
+	t.byID[e.ID] = e
+	if e.RefTime > t.now {
+		t.now = e.RefTime
+	}
+	return nil
+}
+
+// Remove deletes an object's state, reporting whether it was present.
+func (t *Tree) Remove(id uint64) bool {
+	e, ok := t.byID[id]
+	if !ok {
+		return false
+	}
+	t.remove(e)
+	delete(t.byID, id)
+	return true
+}
+
+// Get returns the current motion state of an object.
+func (t *Tree) Get(id uint64) (Entry, bool) {
+	e, ok := t.byID[id]
+	return e, ok
+}

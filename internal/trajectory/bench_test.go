@@ -1,0 +1,71 @@
+package trajectory
+
+import (
+	"math/rand"
+	"testing"
+
+	"dynq/internal/geom"
+)
+
+func benchTrajectory(b *testing.B) *Trajectory {
+	b.Helper()
+	keys := []Key{
+		{T: 0, Window: window(0, 8, 40, 48)},
+		{T: 20, Window: window(40, 48, 40, 48)},
+		{T: 35, Window: window(40, 48, 70, 78)},
+		{T: 50, Window: window(10, 18, 70, 78)},
+	}
+	tr, err := New(keys)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+func BenchmarkOverlapBox(b *testing.B) {
+	tr := benchTrajectory(b)
+	r := rand.New(rand.NewSource(1))
+	boxes := make([]geom.Box, 256)
+	for i := range boxes {
+		x, y := r.Float64()*90, r.Float64()*90
+		t0 := r.Float64() * 45
+		boxes[i] = geom.Box{
+			{Lo: x, Hi: x + 5}, {Lo: y, Hi: y + 5},
+			{Lo: t0, Hi: t0 + 2}, {Lo: t0 + 1, Hi: t0 + 3},
+		}
+	}
+	var set geom.IntervalSet
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		set.Reset()
+		tr.OverlapBox(boxes[i%len(boxes)], &set)
+	}
+}
+
+func BenchmarkOverlapSegment(b *testing.B) {
+	tr := benchTrajectory(b)
+	r := rand.New(rand.NewSource(2))
+	segs := make([]geom.Segment, 256)
+	for i := range segs {
+		t0 := r.Float64() * 45
+		segs[i] = geom.Segment{
+			T:     geom.Interval{Lo: t0, Hi: t0 + 1.5},
+			Start: geom.Point{r.Float64() * 90, r.Float64() * 90},
+			End:   geom.Point{r.Float64() * 90, r.Float64() * 90},
+		}
+	}
+	var set geom.IntervalSet
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		set.Reset()
+		tr.OverlapSegment(segs[i%len(segs)], &set)
+	}
+}
+
+func BenchmarkWindowAt(b *testing.B) {
+	tr := benchTrajectory(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tr.WindowAt(float64(i%50) + 0.25)
+	}
+}

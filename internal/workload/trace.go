@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"dynq/internal/geom"
+	"dynq/internal/rtree"
+)
+
+// The trace format is one motion segment per CSV record:
+//
+//	id, t0, t1, x0, y0, ..., x1, y1, ...
+//
+// with d start coordinates followed by d end coordinates. It lets users
+// load their own movement data through dqload -import, and exports the
+// synthetic workloads for use by other tools.
+
+// WriteTrace writes segments as CSV.
+func WriteTrace(w io.Writer, dims int, segs []rtree.LeafEntry) error {
+	cw := csv.NewWriter(w)
+	rec := make([]string, 3+2*dims)
+	for _, e := range segs {
+		if len(e.Seg.Start) != dims || len(e.Seg.End) != dims {
+			return fmt.Errorf("workload: segment of object %d has wrong dimensionality", e.ID)
+		}
+		rec[0] = strconv.FormatUint(uint64(e.ID), 10)
+		rec[1] = strconv.FormatFloat(e.Seg.T.Lo, 'g', -1, 64)
+		rec[2] = strconv.FormatFloat(e.Seg.T.Hi, 'g', -1, 64)
+		for i := 0; i < dims; i++ {
+			rec[3+i] = strconv.FormatFloat(e.Seg.Start[i], 'g', -1, 64)
+			rec[3+dims+i] = strconv.FormatFloat(e.Seg.End[i], 'g', -1, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadTrace parses a CSV trace of d-dimensional motion segments.
+func ReadTrace(r io.Reader, dims int) ([]rtree.LeafEntry, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 3 + 2*dims
+	var out []rtree.LeafEntry
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace record %d: %w", line+1, err)
+		}
+		line++
+		id, err := strconv.ParseUint(rec[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace record %d: bad id %q", line, rec[0])
+		}
+		nums := make([]float64, len(rec)-1)
+		for i, f := range rec[1:] {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("workload: trace record %d field %d: %w", line, i+2, err)
+			}
+			nums[i] = v
+		}
+		if nums[1] < nums[0] {
+			return nil, fmt.Errorf("workload: trace record %d: t1 < t0", line)
+		}
+		seg := geom.Segment{
+			T:     geom.Interval{Lo: nums[0], Hi: nums[1]},
+			Start: append(geom.Point(nil), nums[2:2+dims]...),
+			End:   append(geom.Point(nil), nums[2+dims:2+2*dims]...),
+		}
+		out = append(out, rtree.LeafEntry{ID: rtree.ObjectID(id), Seg: seg})
+	}
+}

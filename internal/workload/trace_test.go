@@ -1,0 +1,71 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dynq/internal/motion"
+	"dynq/internal/rtree"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	segs, err := motion.GenerateSegments(motion.SimConfig{
+		Objects: 10, Dims: 2, WorldSize: 100, Duration: 20,
+		Speed: 1, UpdateMean: 1, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := make([]rtree.LeafEntry, len(segs))
+	for i, s := range segs {
+		entries[i] = rtree.LeafEntry{ID: rtree.ObjectID(s.ObjID), Seg: s.Seg}
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, 2, entries); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("round trip lost records: %d vs %d", len(got), len(entries))
+	}
+	for i := range got {
+		a, b := got[i], entries[i]
+		if a.ID != b.ID || a.Seg.T != b.Seg.T ||
+			a.Seg.Start[0] != b.Seg.Start[0] || a.Seg.End[1] != b.Seg.End[1] {
+			t.Fatalf("record %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"not,a,number,0,0,1,1\n",
+		"1,0,1,0,0\n",                 // wrong field count
+		"1,5,4,0,0,1,1\n",             // t1 < t0
+		"1,0,zero,0,0,1,1\n",          // bad float
+		"-3,0,1,0,0,1,1\n",            // bad id
+		"1,0,1,0,0,1,1,extra,extra\n", // too many fields
+	}
+	for _, c := range cases {
+		if _, err := ReadTrace(strings.NewReader(c), 2); err == nil {
+			t.Errorf("trace %q should be rejected", c)
+		}
+	}
+	// Empty trace is fine.
+	got, err := ReadTrace(strings.NewReader(""), 2)
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty trace = %v, %v", got, err)
+	}
+}
+
+func TestWriteTraceRejectsWrongDims(t *testing.T) {
+	entries := []rtree.LeafEntry{{ID: 1}}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, 2, entries); err == nil {
+		t.Error("dimension mismatch should be rejected")
+	}
+}

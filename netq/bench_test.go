@@ -1,0 +1,57 @@
+package netq
+
+import (
+	"net"
+	"testing"
+
+	"dynq"
+)
+
+func BenchmarkSnapshotRoundTrip(b *testing.B) {
+	db, err := dynq.Open(dynq.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 500; i++ {
+		x := float64(i % 100)
+		err := db.Insert(dynq.ObjectID(i), dynq.Segment{
+			T0: 0, T1: 100,
+			From: []float64{x, 50}, To: []float64{x, 50},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	l, stop := listen(b, db)
+	defer stop()
+	cl, err := Dial(l)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	view := dynq.Rect{Min: []float64{40, 40}, Max: []float64{60, 60}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Snapshot(view, 10, 11); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func listen(b *testing.B, db *dynq.DB) (addr string, stop func()) {
+	b.Helper()
+	// Reuse the test helper shape without *testing.T.
+	srv := NewServer(db)
+	l, err := netListen()
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(l)
+	return l.Addr().String(), func() {
+		l.Close()
+		srv.Close()
+	}
+}
+
+func netListen() (net.Listener, error) { return net.Listen("tcp", "127.0.0.1:0") }

@@ -1,0 +1,412 @@
+// Package netq exposes a dynq database over TCP, reflecting the paper's
+// client/server architecture (Section 4): retrieval happens at the
+// server, buffering at the client. A client opens one connection per
+// query session; dynamic-query state (the PDQ priority queue, the NPDQ
+// previous-snapshot memory) lives server-side with the connection, while
+// the client keeps results in a ViewCache keyed on disappearance time.
+//
+// The wire protocol is gob-encoded request/response pairs, one in flight
+// per connection.
+package netq
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"dynq"
+)
+
+// Op identifies a request type.
+type Op string
+
+// Protocol operations.
+const (
+	OpSnapshot      Op = "snapshot"       // independent snapshot query
+	OpInsert        Op = "insert"         // motion update
+	OpKNN           Op = "knn"            // k nearest neighbors at a time instant
+	OpPDQStart      Op = "pdq-start"      // register a trajectory (one per conn)
+	OpPDQFetch      Op = "pdq-fetch"      // fetch newly visible objects
+	OpNPDQ          Op = "npdq"           // next snapshot of the NPDQ session
+	OpNPDQReset     Op = "npdq-reset"     // forget NPDQ history (teleport)
+	OpAdaptiveStart Op = "adaptive-start" // start an adaptive session (one per conn)
+	OpAdaptiveFrame Op = "adaptive-frame" // report a view frame, get new objects
+	OpStats         Op = "stats"          // index statistics
+	// Tracker operations (available when the server was given one).
+	OpTrackUpdate Op = "track-update" // report an object's current state
+	OpTrackAt     Op = "track-at"     // anticipated occupants at an instant
+	OpTrackDuring Op = "track-during" // anticipated occupants over an interval
+	OpTrackAlong  Op = "track-along"  // anticipated occupants along a trajectory
+)
+
+// Request is one client→server message.
+type Request struct {
+	Op        Op
+	View      dynq.Rect
+	T0, T1    float64
+	Waypoints []dynq.Waypoint
+	Live      bool
+	Point     []float64
+	Vel       []float64
+	K         int
+	ID        dynq.ObjectID
+	Segment   dynq.Segment
+	Adaptive  dynq.AdaptiveOptions
+}
+
+// Response is one server→client message.
+type Response struct {
+	Err         string
+	Results     []dynq.Result
+	Neighbors   []dynq.Neighbor
+	Stats       dynq.IndexStats
+	Anticipated []dynq.Anticipated
+	Predictive  bool // adaptive session mode after this frame
+}
+
+// Server serves a database to network clients.
+type Server struct {
+	db *dynq.DB
+
+	trackMu sync.Mutex // Tracker is not concurrency-safe; serialize ops
+	tracker *dynq.Tracker
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	done  bool
+}
+
+// NewServer wraps a database.
+func NewServer(db *dynq.DB) *Server {
+	return &Server{db: db, conns: make(map[net.Conn]struct{})}
+}
+
+// WithTracker attaches a current-state tracker, enabling the OpTrack*
+// operations. Call before Serve.
+func (s *Server) WithTracker(tk *dynq.Tracker) *Server {
+	s.tracker = tk
+	return s
+}
+
+// Serve accepts connections until the listener closes. It always returns
+// a non-nil error (net.ErrClosed after Close).
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.done {
+			s.mu.Unlock()
+			conn.Close()
+			return net.ErrClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// Close terminates all client connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.done = true
+	for c := range s.conns {
+		c.Close()
+	}
+	clear(s.conns)
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+
+	// Per-connection session state.
+	sess := &connSessions{npdq: s.db.NonPredictiveQuery(dynq.NonPredictiveOptions{})}
+	defer sess.close()
+
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return // disconnect (io.EOF) or protocol error
+		}
+		resp := s.dispatch(sess, req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// connSessions is the dynamic-query state tied to one connection.
+type connSessions struct {
+	pdq      *dynq.PredictiveSession
+	npdq     *dynq.NonPredictiveSession
+	adaptive *dynq.AdaptiveSession
+}
+
+func (cs *connSessions) close() {
+	if cs.pdq != nil {
+		cs.pdq.Close()
+	}
+	if cs.adaptive != nil {
+		cs.adaptive.Close()
+	}
+}
+
+func (s *Server) dispatch(sess *connSessions, req Request) Response {
+	pdq, npdq := &sess.pdq, sess.npdq
+	fail := func(err error) Response { return Response{Err: err.Error()} }
+	switch req.Op {
+	case OpSnapshot:
+		rs, err := s.db.Snapshot(req.View, req.T0, req.T1)
+		if err != nil {
+			return fail(err)
+		}
+		return Response{Results: rs}
+	case OpInsert:
+		if err := s.db.Insert(req.ID, req.Segment); err != nil {
+			return fail(err)
+		}
+		return Response{}
+	case OpKNN:
+		nbs, err := s.db.KNN(req.Point, req.T0, req.K)
+		if err != nil {
+			return fail(err)
+		}
+		return Response{Neighbors: nbs}
+	case OpPDQStart:
+		if *pdq != nil {
+			(*pdq).Close()
+		}
+		sess, err := s.db.PredictiveQuery(req.Waypoints, dynq.PredictiveOptions{Live: req.Live})
+		if err != nil {
+			return fail(err)
+		}
+		*pdq = sess
+		return Response{}
+	case OpPDQFetch:
+		if *pdq == nil {
+			return fail(errors.New("netq: no predictive session started"))
+		}
+		rs, err := (*pdq).Fetch(req.T0, req.T1)
+		if err != nil {
+			return fail(err)
+		}
+		return Response{Results: rs}
+	case OpNPDQ:
+		rs, err := npdq.Snapshot(req.View, req.T0, req.T1)
+		if err != nil {
+			return fail(err)
+		}
+		return Response{Results: rs}
+	case OpNPDQReset:
+		npdq.Reset()
+		return Response{}
+	case OpAdaptiveStart:
+		if sess.adaptive != nil {
+			sess.adaptive.Close()
+		}
+		a, err := s.db.AdaptiveQuery(req.Adaptive)
+		if err != nil {
+			return fail(err)
+		}
+		sess.adaptive = a
+		return Response{}
+	case OpAdaptiveFrame:
+		if sess.adaptive == nil {
+			return fail(errors.New("netq: no adaptive session started"))
+		}
+		rs, err := sess.adaptive.Frame(req.View, req.T0, req.T1)
+		if err != nil {
+			return fail(err)
+		}
+		return Response{Results: rs, Predictive: sess.adaptive.Predictive()}
+	case OpTrackUpdate, OpTrackAt, OpTrackDuring, OpTrackAlong:
+		return s.dispatchTracker(req)
+	case OpStats:
+		st, err := s.db.Stats()
+		if err != nil {
+			return fail(err)
+		}
+		return Response{Stats: st}
+	default:
+		return fail(fmt.Errorf("netq: unknown op %q", req.Op))
+	}
+}
+
+func (s *Server) dispatchTracker(req Request) Response {
+	fail := func(err error) Response { return Response{Err: err.Error()} }
+	if s.tracker == nil {
+		return fail(errors.New("netq: server has no tracker"))
+	}
+	s.trackMu.Lock()
+	defer s.trackMu.Unlock()
+	switch req.Op {
+	case OpTrackUpdate:
+		if err := s.tracker.Update(req.ID, req.T0, req.Point, req.Vel); err != nil {
+			return fail(err)
+		}
+		return Response{}
+	case OpTrackAt:
+		as, err := s.tracker.At(req.View, req.T0)
+		if err != nil {
+			return fail(err)
+		}
+		return Response{Anticipated: as}
+	case OpTrackDuring:
+		as, err := s.tracker.During(req.View, req.T0, req.T1)
+		if err != nil {
+			return fail(err)
+		}
+		return Response{Anticipated: as}
+	default: // OpTrackAlong
+		as, err := s.tracker.Along(req.Waypoints)
+		if err != nil {
+			return fail(err)
+		}
+		return Response{Anticipated: as}
+	}
+}
+
+// Client is a connection to a dqserver. Methods are safe for sequential
+// use only (one request in flight per connection).
+type Client struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (useful for tests with
+// in-memory pipes).
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+}
+
+// Close terminates the connection (and the server-side sessions).
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(req Request) (Response, error) {
+	if err := c.enc.Encode(req); err != nil {
+		return Response{}, err
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Response{}, fmt.Errorf("netq: server closed the connection")
+		}
+		return Response{}, err
+	}
+	if resp.Err != "" {
+		return Response{}, errors.New(resp.Err)
+	}
+	return resp, nil
+}
+
+// Snapshot runs an independent snapshot query.
+func (c *Client) Snapshot(view dynq.Rect, t0, t1 float64) ([]dynq.Result, error) {
+	resp, err := c.roundTrip(Request{Op: OpSnapshot, View: view, T0: t0, T1: t1})
+	return resp.Results, err
+}
+
+// Insert sends a motion update.
+func (c *Client) Insert(id dynq.ObjectID, seg dynq.Segment) error {
+	_, err := c.roundTrip(Request{Op: OpInsert, ID: id, Segment: seg})
+	return err
+}
+
+// KNN asks for the k objects nearest to point at time t.
+func (c *Client) KNN(point []float64, t float64, k int) ([]dynq.Neighbor, error) {
+	resp, err := c.roundTrip(Request{Op: OpKNN, Point: point, T0: t, K: k})
+	return resp.Neighbors, err
+}
+
+// StartPredictive registers the observer trajectory for this connection.
+func (c *Client) StartPredictive(waypoints []dynq.Waypoint, live bool) error {
+	_, err := c.roundTrip(Request{Op: OpPDQStart, Waypoints: waypoints, Live: live})
+	return err
+}
+
+// FetchPredictive returns the objects becoming visible during [t0, t1].
+func (c *Client) FetchPredictive(t0, t1 float64) ([]dynq.Result, error) {
+	resp, err := c.roundTrip(Request{Op: OpPDQFetch, T0: t0, T1: t1})
+	return resp.Results, err
+}
+
+// NonPredictive evaluates the next snapshot of this connection's
+// non-predictive dynamic query.
+func (c *Client) NonPredictive(view dynq.Rect, t0, t1 float64) ([]dynq.Result, error) {
+	resp, err := c.roundTrip(Request{Op: OpNPDQ, View: view, T0: t0, T1: t1})
+	return resp.Results, err
+}
+
+// ResetNonPredictive forgets the NPDQ history (observer teleported).
+func (c *Client) ResetNonPredictive() error {
+	_, err := c.roundTrip(Request{Op: OpNPDQReset})
+	return err
+}
+
+// Stats fetches index statistics.
+func (c *Client) Stats() (dynq.IndexStats, error) {
+	resp, err := c.roundTrip(Request{Op: OpStats})
+	return resp.Stats, err
+}
+
+// StartAdaptive starts this connection's adaptive dynamic query session.
+func (c *Client) StartAdaptive(opts dynq.AdaptiveOptions) error {
+	_, err := c.roundTrip(Request{Op: OpAdaptiveStart, Adaptive: opts})
+	return err
+}
+
+// AdaptiveFrame reports the observer's view for one frame; it returns the
+// newly visible objects and whether the server is currently predicting
+// the observer's motion.
+func (c *Client) AdaptiveFrame(view dynq.Rect, t0, t1 float64) ([]dynq.Result, bool, error) {
+	resp, err := c.roundTrip(Request{Op: OpAdaptiveFrame, View: view, T0: t0, T1: t1})
+	return resp.Results, resp.Predictive, err
+}
+
+// TrackUpdate reports an object's current motion state to the server's
+// tracker.
+func (c *Client) TrackUpdate(id dynq.ObjectID, t float64, pos, vel []float64) error {
+	_, err := c.roundTrip(Request{Op: OpTrackUpdate, ID: id, T0: t, Point: pos, Vel: vel})
+	return err
+}
+
+// TrackAt returns the objects anticipated inside the view at time t.
+func (c *Client) TrackAt(view dynq.Rect, t float64) ([]dynq.Anticipated, error) {
+	resp, err := c.roundTrip(Request{Op: OpTrackAt, View: view, T0: t})
+	return resp.Anticipated, err
+}
+
+// TrackDuring returns the objects anticipated inside the view during
+// [t0, t1].
+func (c *Client) TrackDuring(view dynq.Rect, t0, t1 float64) ([]dynq.Anticipated, error) {
+	resp, err := c.roundTrip(Request{Op: OpTrackDuring, View: view, T0: t0, T1: t1})
+	return resp.Anticipated, err
+}
+
+// TrackAlong returns the objects anticipated to enter the moving view.
+func (c *Client) TrackAlong(waypoints []dynq.Waypoint) ([]dynq.Anticipated, error) {
+	resp, err := c.roundTrip(Request{Op: OpTrackAlong, Waypoints: waypoints})
+	return resp.Anticipated, err
+}

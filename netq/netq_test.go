@@ -1,0 +1,336 @@
+package netq
+
+import (
+	"net"
+	"sync"
+	"testing"
+
+	"dynq"
+)
+
+func startServer(t *testing.T, db *dynq.DB) (addr string, stop func()) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(db)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		srv.Serve(l)
+	}()
+	return l.Addr().String(), func() {
+		l.Close()
+		srv.Close()
+		wg.Wait()
+	}
+}
+
+func testDB(t *testing.T) *dynq.DB {
+	t.Helper()
+	db, err := dynq.Open(dynq.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	for i := 0; i < 50; i++ {
+		x := float64(i * 2)
+		err := db.Insert(dynq.ObjectID(i), dynq.Segment{
+			T0: 0, T1: 100,
+			From: []float64{x, 50}, To: []float64{x, 50},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestSnapshotOverTheWire(t *testing.T) {
+	db := testDB(t)
+	addr, stop := startServer(t, db)
+	defer stop()
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	rs, err := cl.Snapshot(dynq.Rect{Min: []float64{0, 0}, Max: []float64{20, 100}}, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 11 { // x = 0,2,...,20
+		t.Errorf("snapshot found %d, want 11", len(rs))
+	}
+	// Insert over the wire, then find it.
+	if err := cl.Insert(999, dynq.Segment{T0: 0, T1: 1, From: []float64{1, 1}, To: []float64{1, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	rs, err = cl.Snapshot(dynq.Rect{Min: []float64{0, 0}, Max: []float64{2, 2}}, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0].ID != 999 {
+		t.Errorf("inserted object not found: %v", rs)
+	}
+	// Stats round-trip.
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Segments != 51 {
+		t.Errorf("stats segments = %d", st.Segments)
+	}
+	// KNN round-trip.
+	nbs, err := cl.KNN([]float64{0, 50}, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nbs) != 3 || nbs[0].ID != 0 {
+		t.Errorf("knn = %v", nbs)
+	}
+}
+
+func TestPredictiveSessionOverTheWire(t *testing.T) {
+	db := testDB(t)
+	addr, stop := startServer(t, db)
+	defer stop()
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Fetch before start is an error.
+	if _, err := cl.FetchPredictive(0, 1); err == nil {
+		t.Error("fetch without a session should fail")
+	}
+	wps := []dynq.Waypoint{
+		{T: 0, View: dynq.Rect{Min: []float64{0, 40}, Max: []float64{10, 60}}},
+		{T: 10, View: dynq.Rect{Min: []float64{40, 40}, Max: []float64{50, 60}}},
+	}
+	if err := cl.StartPredictive(wps, false); err != nil {
+		t.Fatal(err)
+	}
+	view := dynq.NewViewCache()
+	total := 0
+	for f := 0; f < 10; f++ {
+		t0, t1 := float64(f), float64(f+1)
+		rs, err := cl.FetchPredictive(t0, t1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		view.Apply(rs)
+		total += len(rs)
+	}
+	if total == 0 {
+		t.Error("predictive session returned nothing")
+	}
+	// Objects between x=0 and x=50 with y=50 should all have appeared.
+	for i := 0; i <= 25; i++ {
+		if _, ok := view.Get(dynq.ObjectID(i)); !ok {
+			t.Errorf("object %d (x=%d) never delivered", i, i*2)
+		}
+	}
+}
+
+func TestNonPredictiveSessionOverTheWire(t *testing.T) {
+	db := testDB(t)
+	addr, stop := startServer(t, db)
+	defer stop()
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	view := dynq.Rect{Min: []float64{0, 0}, Max: []float64{30, 100}}
+	first, err := cl.NonPredictive(view, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) == 0 {
+		t.Fatal("first NPDQ snapshot empty")
+	}
+	repeat, err := cl.NonPredictive(view, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repeat) != 0 {
+		t.Errorf("same-window follow-up returned %d new results", len(repeat))
+	}
+	if err := cl.ResetNonPredictive(); err != nil {
+		t.Fatal(err)
+	}
+	again, err := cl.NonPredictive(view, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(first) {
+		t.Errorf("post-reset snapshot returned %d, want %d", len(again), len(first))
+	}
+}
+
+func TestTwoClientsAreIsolated(t *testing.T) {
+	db := testDB(t)
+	addr, stop := startServer(t, db)
+	defer stop()
+	a, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	view := dynq.Rect{Min: []float64{0, 0}, Max: []float64{30, 100}}
+	if _, err := a.NonPredictive(view, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Client B's NPDQ session must be independent: same window still
+	// returns the full answer.
+	rs, err := b.NonPredictive(view, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) == 0 {
+		t.Error("second client's first snapshot should be a full answer")
+	}
+}
+
+func TestServerRejectsBadRequests(t *testing.T) {
+	db := testDB(t)
+	addr, stop := startServer(t, db)
+	defer stop()
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.roundTrip(Request{Op: "bogus"}); err == nil {
+		t.Error("unknown op should error")
+	}
+	if _, err := cl.Snapshot(dynq.Rect{Min: []float64{0}, Max: []float64{1}}, 0, 1); err == nil {
+		t.Error("bad rect should error")
+	}
+	// The connection survives request errors.
+	if _, err := cl.Stats(); err != nil {
+		t.Errorf("connection should survive a rejected request: %v", err)
+	}
+}
+
+func TestAdaptiveOverTheWire(t *testing.T) {
+	db := testDB(t)
+	addr, stop := startServer(t, db)
+	defer stop()
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Frame before start is rejected.
+	if _, _, err := cl.AdaptiveFrame(dynq.Rect{Min: []float64{0, 0}, Max: []float64{10, 10}}, 0, 1); err == nil {
+		t.Error("frame without a session should fail")
+	}
+	if err := cl.StartAdaptive(dynq.AdaptiveOptions{Slack: 1, Horizon: 10}); err != nil {
+		t.Fatal(err)
+	}
+	x := 0.0
+	predictive := false
+	total := 0
+	for f := 0; f < 20; f++ {
+		t0 := float64(f)
+		x += 1.5
+		rs, pred, err := cl.AdaptiveFrame(dynq.Rect{
+			Min: []float64{x, 40}, Max: []float64{x + 15, 60},
+		}, t0, t0+1)
+		if err != nil {
+			t.Fatalf("frame %d: %v", f, err)
+		}
+		total += len(rs)
+		predictive = pred
+	}
+	if !predictive {
+		t.Error("steady motion over the wire should reach predictive mode")
+	}
+	if total == 0 {
+		t.Error("adaptive session delivered nothing")
+	}
+}
+
+func TestTrackerOverTheWire(t *testing.T) {
+	db := testDB(t)
+	tk, err := dynq.NewTracker(dynq.TrackerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := netListen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(db).WithTracker(tk)
+	go srv.Serve(l)
+	defer func() { l.Close(); srv.Close() }()
+
+	cl, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Report a fleet heading east.
+	for i := 0; i < 5; i++ {
+		if err := cl.TrackUpdate(dynq.ObjectID(i), 0, []float64{float64(i * 3), 50}, []float64{1, 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := cl.TrackAt(dynq.Rect{Min: []float64{10, 45}, Max: []float64{22, 55}}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 { // at t=10 fleet spans x ∈ [10, 22]
+		t.Errorf("anticipated %d at t=10, want 5: %v", len(got), got)
+	}
+	during, err := cl.TrackDuring(dynq.Rect{Min: []float64{30, 45}, Max: []float64{35, 55}}, 10, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(during) != 5 {
+		t.Errorf("during = %d, want 5", len(during))
+	}
+	along, err := cl.TrackAlong([]dynq.Waypoint{
+		{T: 0, View: dynq.Rect{Min: []float64{0, 45}, Max: []float64{10, 55}}},
+		{T: 30, View: dynq.Rect{Min: []float64{30, 45}, Max: []float64{40, 55}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(along) == 0 {
+		t.Error("trajectory query returned nothing")
+	}
+	// Stale update rejected over the wire.
+	if err := cl.TrackUpdate(1, -5, []float64{0, 0}, []float64{0, 0}); err == nil {
+		t.Error("stale tracker update should fail")
+	}
+}
+
+func TestTrackerOpsWithoutTracker(t *testing.T) {
+	db := testDB(t)
+	addr, stop := startServer(t, db)
+	defer stop()
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.TrackAt(dynq.Rect{Min: []float64{0, 0}, Max: []float64{1, 1}}, 0); err == nil {
+		t.Error("tracker ops on a tracker-less server should fail")
+	}
+}

@@ -1,0 +1,88 @@
+package dynq
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dynq/internal/pager"
+	"dynq/internal/rtree"
+)
+
+// The database's shape metadata is stored in the page file's header so a
+// file-backed database can be reopened:
+//
+//	offset 0  1 byte  format version (1)
+//	offset 1  1 byte  spatial dimensionality
+//	offset 2  1 byte  dual-time flag
+//	offset 3  1 byte  split policy
+//	offset 4  4 bytes root page id
+//	offset 8  4 bytes height
+//	offset 12 8 bytes segment count
+//	offset 20 8 bytes modification sequence
+const metaVersion = 1
+
+func encodeMeta(m rtree.Meta) []byte {
+	buf := make([]byte, 28)
+	buf[0] = metaVersion
+	buf[1] = byte(m.Config.Dims)
+	if m.Config.DualTime {
+		buf[2] = 1
+	}
+	buf[3] = byte(m.Config.Split)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(m.Root))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(m.Height))
+	binary.LittleEndian.PutUint64(buf[12:], uint64(m.Size))
+	binary.LittleEndian.PutUint64(buf[20:], m.ModSeq)
+	return buf
+}
+
+func decodeMeta(buf []byte) (rtree.Meta, error) {
+	if len(buf) < 28 || buf[0] != metaVersion {
+		return rtree.Meta{}, fmt.Errorf("dynq: page file has no (or incompatible) database metadata")
+	}
+	cfg := rtree.DefaultConfig()
+	cfg.Dims = int(buf[1])
+	cfg.DualTime = buf[2] == 1
+	cfg.Split = rtree.SplitPolicy(buf[3])
+	return rtree.Meta{
+		Root:   pager.PageID(binary.LittleEndian.Uint32(buf[4:])),
+		Height: int(binary.LittleEndian.Uint32(buf[8:])),
+		Size:   int(binary.LittleEndian.Uint64(buf[12:])),
+		ModSeq: binary.LittleEndian.Uint64(buf[20:]),
+		Config: cfg,
+	}, nil
+}
+
+// Sync persists index metadata and flushes pages. For a memory-backed
+// database it is a no-op.
+func (db *DB) Sync() error {
+	if err := db.tree.Pool().Flush(); err != nil {
+		return err
+	}
+	if fs, ok := db.store.(*pager.FileStore); ok {
+		if err := fs.SetAux(encodeMeta(db.tree.Meta())); err != nil {
+			return err
+		}
+	}
+	return db.store.Sync()
+}
+
+// OpenFile reattaches a database previously created with Options.Path and
+// persisted with Sync.
+func OpenFile(path string) (*DB, error) {
+	fs, err := pager.OpenFileStore(path)
+	if err != nil {
+		return nil, err
+	}
+	m, err := decodeMeta(fs.Aux())
+	if err != nil {
+		fs.Close()
+		return nil, err
+	}
+	tree, err := rtree.Restore(m.Config, fs, m.Root, m.Height, m.Size, m.ModSeq)
+	if err != nil {
+		fs.Close()
+		return nil, err
+	}
+	return &DB{tree: tree, store: fs}, nil
+}

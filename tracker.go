@@ -1,0 +1,167 @@
+package dynq
+
+import (
+	"fmt"
+
+	"dynq/internal/geom"
+	"dynq/internal/stats"
+	"dynq/internal/tpr"
+	"dynq/internal/trajectory"
+)
+
+// TrackerOptions configure a Tracker.
+type TrackerOptions struct {
+	// Dims is the spatial dimensionality (default 2).
+	Dims int
+	// Horizon is the anticipation window the index optimizes for — choose
+	// it near the expected time between motion updates (default 2).
+	Horizon float64
+	// Fanout is the node capacity (default 32).
+	Fanout int
+}
+
+// Tracker indexes the *current* motion state of a fleet — one (position,
+// velocity) entry per object — and answers questions about the present
+// and the anticipated future: who is (or will be) inside a window, now,
+// during an interval, or along an observer's trajectory. It is the
+// TPR-tree companion (the paper's future work (iii)) to DB, which stores
+// the full motion history.
+//
+// Not safe for concurrent use.
+type Tracker struct {
+	tree     *tpr.Tree
+	counters stats.Counters
+	dims     int
+}
+
+// Anticipated is one Tracker answer: an object's current motion state and
+// the time interval during which it satisfies the query, assuming it
+// keeps its course.
+type Anticipated struct {
+	ID       ObjectID
+	Time     float64 // reference time of the state
+	Pos, Vel []float64
+	Appear   float64
+	Vanish   float64
+}
+
+// NewTracker creates an empty current-state index.
+func NewTracker(opts TrackerOptions) (*Tracker, error) {
+	if opts.Dims == 0 {
+		opts.Dims = 2
+	}
+	if opts.Horizon == 0 {
+		opts.Horizon = 2
+	}
+	if opts.Fanout == 0 {
+		opts.Fanout = 32
+	}
+	tree, err := tpr.New(opts.Dims, opts.Horizon, opts.Fanout)
+	if err != nil {
+		return nil, err
+	}
+	return &Tracker{tree: tree, dims: opts.Dims}, nil
+}
+
+// Update records an object's latest motion state: at time t it is at pos
+// moving with velocity vel. Updates for one object must not go back in
+// time.
+func (tk *Tracker) Update(id ObjectID, t float64, pos, vel []float64) error {
+	return tk.tree.Update(tpr.Entry{
+		ID:      id,
+		RefTime: t,
+		Pos:     geom.Point(pos),
+		Vel:     geom.Point(vel),
+	})
+}
+
+// Remove forgets an object, reporting whether it was tracked.
+func (tk *Tracker) Remove(id ObjectID) bool { return tk.tree.Remove(id) }
+
+// Len reports how many objects are tracked.
+func (tk *Tracker) Len() int { return tk.tree.Len() }
+
+// Now returns the latest update time; queries must not start before it.
+func (tk *Tracker) Now() float64 { return tk.tree.Now() }
+
+// At returns every object anticipated inside the view at time t.
+func (tk *Tracker) At(view Rect, t float64) ([]Anticipated, error) {
+	return tk.During(view, t, t)
+}
+
+// During returns every object anticipated inside the view at some time
+// in [t0, t1], each with the interval it stays inside.
+func (tk *Tracker) During(view Rect, t0, t1 float64) ([]Anticipated, error) {
+	box, err := toTrackerBox(view, tk.dims)
+	if err != nil {
+		return nil, err
+	}
+	ms, err := tk.tree.SearchDuring(box, geom.Interval{Lo: t0, Hi: t1}, &tk.counters)
+	if err != nil {
+		return nil, err
+	}
+	return fromMatches(ms), nil
+}
+
+// Along returns every object anticipated to enter the moving view defined
+// by the waypoints — a predictive dynamic query against current states.
+func (tk *Tracker) Along(waypoints []Waypoint) ([]Anticipated, error) {
+	keys := make([]trajectory.Key, len(waypoints))
+	for i, w := range waypoints {
+		box, err := toTrackerBox(w.View, tk.dims)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = trajectory.Key{T: w.T, Window: box}
+	}
+	traj, err := trajectory.New(keys)
+	if err != nil {
+		return nil, err
+	}
+	ms, err := tk.tree.SearchTrajectory(traj, &tk.counters)
+	if err != nil {
+		return nil, err
+	}
+	return fromMatches(ms), nil
+}
+
+// Cost returns the tracker's accumulated query cost.
+func (tk *Tracker) Cost() CostReport {
+	s := tk.counters.Snapshot()
+	return CostReport{
+		DiskReads:     s.Reads(),
+		LeafReads:     s.LeafReads,
+		InternalReads: s.InternalReads,
+		DistanceComps: s.DistanceComps,
+		Results:       s.Results,
+	}
+}
+
+// ResetCost zeroes the tracker's cost counters.
+func (tk *Tracker) ResetCost() { tk.counters.Reset() }
+
+func toTrackerBox(r Rect, dims int) (geom.Box, error) {
+	if len(r.Min) != dims || len(r.Max) != dims {
+		return nil, fmt.Errorf("dynq: rect must have %d dims", dims)
+	}
+	b := make(geom.Box, dims)
+	for i := 0; i < dims; i++ {
+		b[i] = geom.Interval{Lo: r.Min[i], Hi: r.Max[i]}
+	}
+	return b, nil
+}
+
+func fromMatches(ms []tpr.Match) []Anticipated {
+	out := make([]Anticipated, len(ms))
+	for i, m := range ms {
+		out[i] = Anticipated{
+			ID:     m.Entry.ID,
+			Time:   m.Entry.RefTime,
+			Pos:    append([]float64(nil), m.Entry.Pos...),
+			Vel:    append([]float64(nil), m.Entry.Vel...),
+			Appear: m.Overlap.Lo,
+			Vanish: m.Overlap.Hi,
+		}
+	}
+	return out
+}
