@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	dqbench [-fig N] [-scale F] [-trajectories N] [-seed N] [-csv] [-mixed]
+//	dqbench [-fig N] [-scale F] [-trajectories N] [-seed N] [-csv] [-mixed] [-hist]
 //
 //	-fig 0            regenerate all figures (6-13); or a single figure
 //	-scale 0.2        object population scale (1.0 = the paper's 5000
@@ -15,15 +15,23 @@
 //	-seed 1           workload RNG seed
 //	-csv              machine-readable output for plotting
 //	-mixed            also run the mixed static+mobile NPDQ experiment
+//	-hist             report per-frame wall-time percentiles per figure
+//
+// SIGINT/SIGTERM finishes the current figure and exits cleanly; a second
+// signal forces exit.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"dynq/internal/bench"
+	"dynq/internal/obs"
 	"dynq/internal/stats"
 )
 
@@ -35,10 +43,35 @@ func main() {
 		seed         = flag.Int64("seed", 1, "workload RNG seed")
 		mixed        = flag.Bool("mixed", false, "also run the mixed static+mobile NPDQ experiment")
 		csvOut       = flag.Bool("csv", false, "emit machine-readable CSV instead of tables")
+		hist         = flag.Bool("hist", false, "report per-frame wall-time percentiles (p50/p95/p99) per figure")
 	)
 	flag.Parse()
 
+	// Shut down cleanly on SIGINT/SIGTERM: finish the figure in flight,
+	// skip the rest. A second signal forces exit.
+	var interrupted atomic.Bool
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "\ndqbench: interrupted, finishing current figure (^C again to force)")
+		interrupted.Store(true)
+		<-sig
+		fmt.Fprintln(os.Stderr, "dqbench: forced exit")
+		os.Exit(130)
+	}()
+
 	cfg := bench.Config{Scale: *scale, Trajectories: *trajectories, Seed: *seed}
+	// The latency hook feeds whichever histogram the current figure owns
+	// (figures run sequentially, so a single indirection suffices).
+	var curHist *obs.Histogram
+	if *hist {
+		cfg.Latency = func(d time.Duration) {
+			if curHist != nil {
+				curHist.ObserveDuration(d)
+			}
+		}
+	}
 	if *mixed {
 		if err := runMixed(cfg); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -80,7 +113,14 @@ func main() {
 	}
 
 	for _, spec := range specs {
+		if interrupted.Load() {
+			fmt.Fprintf(os.Stderr, "dqbench: skipping figure %d and later\n", spec.Fig)
+			break
+		}
 		start := time.Now()
+		if *hist {
+			curHist = obs.NewHistogram(nil)
+		}
 		ix, err := index(spec.DualTime)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -96,7 +136,21 @@ func main() {
 		} else {
 			printFigure(spec, cells, ix.Segments, time.Since(start))
 		}
+		if *hist && curHist.Count() > 0 {
+			printHist(spec, curHist)
+		}
 	}
+}
+
+// printHist reports the figure's per-frame wall-time percentiles — the
+// tail-latency complement to the paper's mean cost counters.
+func printHist(spec bench.FigureSpec, h *obs.Histogram) {
+	toDur := func(q float64) time.Duration {
+		return time.Duration(h.Quantile(q) * float64(time.Second)).Round(100 * time.Nanosecond)
+	}
+	fmt.Printf("figure %d frame latency (n=%d): p50=%v p95=%v p99=%v mean=%v\n",
+		spec.Fig, h.Count(), toDur(0.50), toDur(0.95), toDur(0.99),
+		time.Duration(h.Sum()/float64(h.Count())*float64(time.Second)).Round(100*time.Nanosecond))
 }
 
 var csvHeaderDone bool

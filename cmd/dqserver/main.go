@@ -2,26 +2,44 @@
 // protocol. It either reopens a database file built by dqload or
 // generates the paper's synthetic workload in memory at startup.
 //
+// With -metrics it also serves an observability endpoint:
+//
+//	/metrics        Prometheus text format (per-op request counts,
+//	                latency histograms, buffer-pool hit ratio, ...)
+//	/debug/vars     the same metrics as expvar-style JSON
+//	/debug/trace    recent query spans (per-stage cost deltas) as JSONL
+//	/debug/pprof/*  the standard runtime profiles
+//
+// SIGINT/SIGTERM shut the server down gracefully, printing a final
+// cumulative cost summary; a second signal forces exit.
+//
 // Usage:
 //
-//	dqserver [-addr :7207] [-db db.dynq | -scale F -seed N [-dual]]
+//	dqserver [-addr :7207] [-metrics :7208] [-db db.dynq | -scale F -seed N [-dual]]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"dynq"
 	"dynq/internal/motion"
+	"dynq/internal/obs"
 	"dynq/netq"
 )
 
 func main() {
 	var (
 		addr    = flag.String("addr", ":7207", "listen address")
+		metrics = flag.String("metrics", "", "observability listen address (e.g. :7208); empty disables")
 		path    = flag.String("db", "", "database file to serve (from dqload)")
 		scale   = flag.Float64("scale", 0.1, "synthetic population scale when no -db is given")
 		seed    = flag.Int64("seed", 1, "synthetic workload seed")
@@ -60,10 +78,50 @@ func main() {
 		srv.WithTracker(tk)
 		fmt.Println("tracker attached (OpTrack* enabled)")
 	}
-	if err := srv.Serve(l); err != nil {
+
+	var hs *http.Server
+	if *metrics != "" {
+		hs = &http.Server{Addr: *metrics, Handler: obs.Handler(srv.Registry(), srv.Tracer())}
+		go func() {
+			fmt.Printf("observability on %s (/metrics /debug/vars /debug/trace /debug/pprof)\n", *metrics)
+			if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "metrics server:", err)
+			}
+		}()
+	}
+
+	// Graceful shutdown: the first SIGINT/SIGTERM closes the listener
+	// (unblocking Serve) and drains; a second one forces exit.
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Println("\nshutting down...")
+		l.Close()
+		srv.Close()
+		if hs != nil {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			hs.Shutdown(ctx)
+		}
+		go func() {
+			<-sig
+			fmt.Fprintln(os.Stderr, "forced exit")
+			os.Exit(130)
+		}()
+	}()
+
+	err = srv.Serve(l)
+	if err != nil && !errors.Is(err, net.ErrClosed) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	// Final summary: cumulative paper-metric counters and buffer state.
+	fmt.Printf("final cost counters: %s\n", db.CostSnapshot())
+	bs := db.BufferStats()
+	fmt.Printf("buffer pool: %d/%d frames, hits=%d misses=%d ratio=%.2f writebacks=%d\n",
+		bs.Len, bs.Capacity, bs.Hits, bs.Misses, bs.HitRatio(), bs.WriteBacks)
+	fmt.Println("bye")
 }
 
 func openDB(path string, scale float64, seed int64, dual bool) (*dynq.DB, error) {

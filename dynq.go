@@ -130,7 +130,9 @@ func Open(opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DB{tree: tree, store: store, bufferPages: opts.BufferPages}, nil
+	db := &DB{tree: tree, store: store, bufferPages: opts.BufferPages}
+	tree.SetCounters(&db.counters)
+	return db, nil
 }
 
 func (o Options) toConfig() (rtree.Config, error) {
@@ -197,6 +199,7 @@ func (db *DB) BulkLoad(segs map[ObjectID][]Segment) error {
 			return err
 		}
 	}
+	tree.SetCounters(&db.counters)
 	db.tree = tree
 	return nil
 }
@@ -258,6 +261,44 @@ type CostReport struct {
 	InternalReads int64 // of which internal-level
 	DistanceComps int64 // geometric predicate evaluations
 	Results       int64 // objects returned
+}
+
+// CostSnapshot returns the raw cumulative counter snapshot (all paper
+// metrics plus buffer hits, page writes, and pruned nodes). Two
+// snapshots bracket an operation: after.Sub(before) is its cost.
+func (db *DB) CostSnapshot() stats.Snapshot { return db.counters.Snapshot() }
+
+// BufferStats describes the server-side page buffer pool.
+type BufferStats struct {
+	Hits       int64 // page requests served from the pool
+	Misses     int64 // page requests that went to the store
+	Evictions  int64 // frames displaced by LRU replacement
+	WriteBacks int64 // dirty frames written back
+	Len        int   // currently buffered frames
+	Capacity   int   // frame capacity (0 = bufferless pass-through)
+}
+
+// HitRatio returns hits/(hits+misses), or 0 when no requests were made.
+func (b BufferStats) HitRatio() float64 {
+	total := b.Hits + b.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(b.Hits) / float64(total)
+}
+
+// BufferStats reports the buffer pool's live accounting. Safe to call
+// concurrently with queries.
+func (db *DB) BufferStats() BufferStats {
+	p := db.tree.Pool()
+	return BufferStats{
+		Hits:       p.Hits(),
+		Misses:     p.Misses(),
+		Evictions:  p.Evictions(),
+		WriteBacks: p.WriteBacks(),
+		Len:        p.Len(),
+		Capacity:   p.Capacity(),
+	}
 }
 
 // Cost returns the accumulated query cost counters.

@@ -149,6 +149,7 @@ func (nq *NPDQ) visit(id pager.PageID, q, qExact geom.Box, out *[]Result) error 
 			continue
 		}
 		if canDiscard && nq.discardable(ch.Box, q) {
+			nq.c.AddPruned(1)
 			continue
 		}
 		if err := nq.visit(ch.ID, q, qExact, out); err != nil {

@@ -200,6 +200,12 @@ func (p *PDQ) expand(item pdqItem, tStart float64) error {
 		p.c.AddDistanceComps(1)
 		set.Reset()
 		p.traj.OverlapBox(ch.Box, &set)
+		if len(set.Intervals()) == 0 {
+			// The trajectory never meets this subtree: pruned without
+			// ever being loaded.
+			p.c.AddPruned(1)
+			continue
+		}
 		for _, iv := range set.Intervals() {
 			if tStart <= iv.Hi {
 				p.pushNode(ch.ID, n.Level-1, iv)

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	got := h.BucketCounts()
+	want := []int64{2, 1, 1, 1} // ≤1: {0.5, 1}; ≤2: {1.5}; ≤4: {3}; +Inf: {100}
+	if len(got) != len(want) {
+		t.Fatalf("bucket count = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 106 {
+		t.Errorf("sum = %g, want 106", h.Sum())
+	}
+}
+
+func TestHistogramQuantileInterpolation(t *testing.T) {
+	h := NewHistogram([]float64{10, 20, 40})
+	for i := 0; i < 10; i++ {
+		h.Observe(5)  // bucket (0, 10]
+		h.Observe(15) // bucket (10, 20]
+	}
+	cases := []struct{ q, want float64 }{
+		{0.50, 10}, // rank 10 lands exactly on the first bucket's upper bound
+		{0.75, 15}, // rank 15: halfway through (10, 20]
+		{1.00, 20},
+		{0.25, 5}, // rank 5: halfway through (0, 10]
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %g, want 0", got)
+	}
+	h.Observe(50) // only the +Inf bucket
+	if got := h.Quantile(0.99); got != 2 {
+		t.Errorf("overflow quantile = %g, want clamp to last bound 2", got)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.ObserveDuration(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Errorf("count = %d, want 8000", h.Count())
+	}
+	if math.Abs(h.Sum()-8.0) > 1e-6 {
+		t.Errorf("sum = %g, want 8.0", h.Sum())
+	}
+}

@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+)
+
+// Handler serves the observability endpoints over a registry and a
+// tracer (either may be nil to disable its endpoints):
+//
+//	/metrics        Prometheus text exposition format
+//	/debug/vars     expvar-style JSON (metrics + runtime memstats)
+//	/debug/trace    recent query spans as JSON Lines
+//	/debug/pprof/*  the standard runtime profiles
+func Handler(reg *Registry, tr *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	if reg != nil {
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			reg.WritePrometheus(w)
+		})
+		mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			doc := map[string]any{
+				"metrics": reg.Export(),
+				"memstats": map[string]any{
+					"alloc":       ms.Alloc,
+					"total_alloc": ms.TotalAlloc,
+					"sys":         ms.Sys,
+					"heap_alloc":  ms.HeapAlloc,
+					"num_gc":      ms.NumGC,
+				},
+				"goroutines": runtime.NumGoroutine(),
+			}
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(doc)
+		})
+	}
+	if tr != nil {
+		mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
+			tr.WriteJSONL(w)
+		})
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("requests_total").Add(5)
+	tr := NewTracer(4)
+	tr.Record(Span{Op: "snapshot"})
+
+	hs := httptest.NewServer(Handler(reg, tr))
+	defer hs.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(hs.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != 200 || !strings.Contains(body, "requests_total 5") {
+		t.Errorf("/metrics: %d %q", code, body)
+	}
+	code, body = get("/debug/vars")
+	if code != 200 {
+		t.Fatalf("/debug/vars: %d", code)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	if _, ok := doc["metrics"]; !ok {
+		t.Error("/debug/vars missing metrics")
+	}
+	if _, ok := doc["memstats"]; !ok {
+		t.Error("/debug/vars missing memstats")
+	}
+	code, body = get("/debug/trace")
+	if code != 200 || !strings.Contains(body, `"op":"snapshot"`) {
+		t.Errorf("/debug/trace: %d %q", code, body)
+	}
+	code, _ = get("/debug/pprof/cmdline")
+	if code != 200 {
+		t.Errorf("/debug/pprof/cmdline: %d", code)
+	}
+	code, _ = get("/debug/pprof/")
+	if code != 200 {
+		t.Errorf("/debug/pprof/ index: %d", code)
+	}
+}

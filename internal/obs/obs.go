@@ -1,0 +1,12 @@
+// Package obs is a zero-dependency observability layer for the dynq
+// stack: fixed-bucket latency histograms with percentile extraction, a
+// registry of named counters/gauges/histograms that renders both
+// Prometheus text format and expvar-style JSON, and a ring-buffered
+// query tracer that records per-query spans with per-stage cost deltas
+// (the paper's disk-access and distance-computation counters from
+// internal/stats, split pager → rtree → engine).
+//
+// Everything here is built on the standard library only and is safe for
+// concurrent use: metric updates are lock-free atomics on the hot path,
+// rendering takes a read lock.
+package obs

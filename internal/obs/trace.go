@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+
+	"dynq/internal/stats"
+)
+
+// StageDelta is the portion of a query's cost attributable to one stage
+// of the stack (pager, rtree, or the query engine that drove them).
+type StageDelta struct {
+	Stage string         `json:"stage"`
+	Delta stats.Snapshot `json:"delta"`
+}
+
+// Stages decomposes a per-query stats.Snapshot delta into the pipeline's
+// stages: the pager (buffer hits, page writes), the R-tree (node reads by
+// level), and the engine that issued the traversal (distance
+// computations, pruned nodes, answers). engine names the top stage, e.g.
+// "pdq", "npdq", "snapshot", "knn".
+func Stages(delta stats.Snapshot, engine string) []StageDelta {
+	return []StageDelta{
+		{Stage: "pager", Delta: stats.Snapshot{
+			BufferHits: delta.BufferHits,
+			PageWrites: delta.PageWrites,
+		}},
+		{Stage: "rtree", Delta: stats.Snapshot{
+			InternalReads: delta.InternalReads,
+			LeafReads:     delta.LeafReads,
+		}},
+		{Stage: engine, Delta: stats.Snapshot{
+			DistanceComps: delta.DistanceComps,
+			PrunedNodes:   delta.PrunedNodes,
+			Results:       delta.Results,
+		}},
+	}
+}
+
+// Span is one traced query: the operation, its view window, the wall
+// time, and the per-stage cost deltas measured around its evaluation.
+type Span struct {
+	ID      uint64       `json:"id"`
+	Op      string       `json:"op"`
+	Start   time.Time    `json:"start"`
+	WallNS  int64        `json:"wall_ns"`
+	ViewMin []float64    `json:"view_min,omitempty"`
+	ViewMax []float64    `json:"view_max,omitempty"`
+	T0      float64      `json:"t0"`
+	T1      float64      `json:"t1"`
+	Results int          `json:"results"`
+	Err     string       `json:"err,omitempty"`
+	Stages  []StageDelta `json:"stages,omitempty"`
+}
+
+// Tracer ring-buffers the most recent query spans. Record is cheap (one
+// mutexed slot write); dump the buffer with Recent or WriteJSONL.
+type Tracer struct {
+	mu   sync.Mutex
+	ring []Span
+	next uint64 // total spans ever recorded; also the next span id
+}
+
+// NewTracer creates a tracer keeping the last capacity spans (minimum 1).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{ring: make([]Span, capacity)}
+}
+
+// Record stores a span, assigning it the next id. It returns the id.
+func (t *Tracer) Record(s Span) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s.ID = t.next
+	t.ring[t.next%uint64(len(t.ring))] = s
+	t.next++
+	return s.ID
+}
+
+// Len reports the number of spans currently buffered.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.next < uint64(len(t.ring)) {
+		return int(t.next)
+	}
+	return len(t.ring)
+}
+
+// Recent returns the buffered spans, oldest first.
+func (t *Tracer) Recent() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := uint64(len(t.ring))
+	start := uint64(0)
+	count := t.next
+	if t.next > n {
+		start = t.next - n
+		count = n
+	}
+	out := make([]Span, 0, count)
+	for i := start; i < t.next; i++ {
+		out = append(out, t.ring[i%n])
+	}
+	return out
+}
+
+// WriteJSONL dumps the buffered spans as JSON Lines, oldest first.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, s := range t.Recent() {
+		if err := enc.Encode(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}

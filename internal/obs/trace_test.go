@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"dynq/internal/stats"
+)
+
+func TestTracerRingBuffer(t *testing.T) {
+	tr := NewTracer(2)
+	tr.Record(Span{Op: "a"})
+	tr.Record(Span{Op: "b"})
+	tr.Record(Span{Op: "c"})
+	got := tr.Recent()
+	if len(got) != 2 || got[0].Op != "b" || got[1].Op != "c" {
+		t.Fatalf("recent = %+v", got)
+	}
+	if got[0].ID != 1 || got[1].ID != 2 {
+		t.Errorf("ids = %d, %d; want 1, 2", got[0].ID, got[1].ID)
+	}
+	if tr.Len() != 2 {
+		t.Errorf("len = %d", tr.Len())
+	}
+}
+
+func TestTracerWriteJSONL(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Record(Span{Op: "npdq", Results: 3, Stages: Stages(stats.Snapshot{
+		LeafReads: 4, InternalReads: 2, DistanceComps: 10, Results: 3, PrunedNodes: 1,
+	}, "npdq")})
+	var b strings.Builder
+	if err := tr.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(b.String()))
+	lines := 0
+	for sc.Scan() {
+		lines++
+		var s Span
+		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+			t.Fatalf("line %d: %v", lines, err)
+		}
+		if s.Op != "npdq" || len(s.Stages) != 3 {
+			t.Errorf("span = %+v", s)
+		}
+	}
+	if lines != 1 {
+		t.Errorf("lines = %d", lines)
+	}
+}
+
+func TestStagesDecomposition(t *testing.T) {
+	delta := stats.Snapshot{
+		InternalReads: 2, LeafReads: 5, DistanceComps: 30,
+		Results: 7, BufferHits: 3, PageWrites: 1, PrunedNodes: 4,
+	}
+	st := Stages(delta, "pdq")
+	if len(st) != 3 {
+		t.Fatalf("stages = %d", len(st))
+	}
+	if st[0].Stage != "pager" || st[0].Delta.BufferHits != 3 || st[0].Delta.PageWrites != 1 {
+		t.Errorf("pager stage = %+v", st[0])
+	}
+	if st[1].Stage != "rtree" || st[1].Delta.Reads() != 7 {
+		t.Errorf("rtree stage = %+v", st[1])
+	}
+	if st[2].Stage != "pdq" || st[2].Delta.DistanceComps != 30 || st[2].Delta.PrunedNodes != 4 || st[2].Delta.Results != 7 {
+		t.Errorf("engine stage = %+v", st[2])
+	}
+	// The stages partition the delta: summing them restores it.
+	var sum stats.Snapshot
+	for _, s := range st {
+		sum = sum.Add(s.Delta)
+	}
+	if sum != delta {
+		t.Errorf("stage sum %+v != delta %+v", sum, delta)
+	}
+}

@@ -3,6 +3,7 @@ package pager
 import (
 	"container/list"
 	"fmt"
+	"sync/atomic"
 )
 
 // BufferPool caches pages of an underlying Store with LRU replacement and
@@ -20,7 +21,10 @@ type BufferPool struct {
 	frames map[PageID]*list.Element
 	lru    *list.List // front = most recently used
 
-	hits, misses, evictions, writeBacks int64
+	// Accounting is atomic so a metrics endpoint can read live values
+	// while the owning tree holds its structural lock.
+	hits, misses, evictions, writeBacks atomic.Int64
+	size                                atomic.Int64 // buffered frame count
 }
 
 type frame struct {
@@ -45,11 +49,11 @@ func NewBufferPool(store Store, capacity int) *BufferPool {
 // immediately.
 func (bp *BufferPool) Get(id PageID) ([]byte, error) {
 	if el, ok := bp.frames[id]; ok {
-		bp.hits++
+		bp.hits.Add(1)
 		bp.lru.MoveToFront(el)
 		return el.Value.(*frame).data, nil
 	}
-	bp.misses++
+	bp.misses.Add(1)
 	buf := make([]byte, PageSize)
 	if err := bp.store.ReadPage(id, buf); err != nil {
 		return nil, err
@@ -90,6 +94,7 @@ func (bp *BufferPool) insert(f *frame) error {
 		}
 	}
 	bp.frames[f.id] = bp.lru.PushFront(f)
+	bp.size.Add(1)
 	return nil
 }
 
@@ -100,14 +105,15 @@ func (bp *BufferPool) evictOldest() error {
 	}
 	f := el.Value.(*frame)
 	if f.dirty {
-		bp.writeBacks++
+		bp.writeBacks.Add(1)
 		if err := bp.store.WritePage(f.id, f.data); err != nil {
 			return err
 		}
 	}
 	bp.lru.Remove(el)
 	delete(bp.frames, f.id)
-	bp.evictions++
+	bp.size.Add(-1)
+	bp.evictions.Add(1)
 	return nil
 }
 
@@ -120,6 +126,7 @@ func (bp *BufferPool) Free(id PageID) error {
 	if el, ok := bp.frames[id]; ok {
 		bp.lru.Remove(el)
 		delete(bp.frames, id)
+		bp.size.Add(-1)
 	}
 	return bp.store.Free(id)
 }
@@ -129,7 +136,7 @@ func (bp *BufferPool) Flush() error {
 	for el := bp.lru.Front(); el != nil; el = el.Next() {
 		f := el.Value.(*frame)
 		if f.dirty {
-			bp.writeBacks++
+			bp.writeBacks.Add(1)
 			if err := bp.store.WritePage(f.id, f.data); err != nil {
 				return err
 			}
@@ -148,28 +155,33 @@ func (bp *BufferPool) Invalidate() error {
 	}
 	bp.lru.Init()
 	clear(bp.frames)
+	bp.size.Store(0)
 	return nil
 }
 
 // ResetStats zeroes the hit/miss accounting.
 func (bp *BufferPool) ResetStats() {
-	bp.hits, bp.misses, bp.evictions, bp.writeBacks = 0, 0, 0, 0
+	bp.hits.Store(0)
+	bp.misses.Store(0)
+	bp.evictions.Store(0)
+	bp.writeBacks.Store(0)
 }
 
 // Hits reports Gets served from the buffer.
-func (bp *BufferPool) Hits() int64 { return bp.hits }
+func (bp *BufferPool) Hits() int64 { return bp.hits.Load() }
 
 // Misses reports Gets that went to the store.
-func (bp *BufferPool) Misses() int64 { return bp.misses }
+func (bp *BufferPool) Misses() int64 { return bp.misses.Load() }
 
 // Evictions reports frames displaced by LRU replacement.
-func (bp *BufferPool) Evictions() int64 { return bp.evictions }
+func (bp *BufferPool) Evictions() int64 { return bp.evictions.Load() }
 
 // WriteBacks reports dirty frames written to the store.
-func (bp *BufferPool) WriteBacks() int64 { return bp.writeBacks }
+func (bp *BufferPool) WriteBacks() int64 { return bp.writeBacks.Load() }
 
-// Len reports the number of currently buffered frames.
-func (bp *BufferPool) Len() int { return bp.lru.Len() }
+// Len reports the number of currently buffered frames. Safe to call
+// concurrently with pool operations.
+func (bp *BufferPool) Len() int { return int(bp.size.Load()) }
 
 // Capacity reports the pool's frame capacity.
 func (bp *BufferPool) Capacity() int { return bp.capacity }

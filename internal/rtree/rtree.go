@@ -254,6 +254,10 @@ type Tree struct {
 	listenerSeq uint64
 
 	scratch []byte // page-sized encode buffer
+
+	// mc, when set, is charged for index maintenance costs (page
+	// writes) that have no per-query counter to bill to. Nil-safe.
+	mc *stats.Counters
 }
 
 // New creates an empty tree over store. A nil pool option means direct
@@ -287,6 +291,14 @@ func NewBuffered(cfg Config, store pager.Store, bufferPages int) (*Tree, error) 
 
 // Config returns the tree's configuration.
 func (t *Tree) Config() Config { return t.cfg }
+
+// SetCounters attaches the counters charged for index maintenance (page
+// writes). Query-time costs keep flowing to the per-call counters.
+func (t *Tree) SetCounters(c *stats.Counters) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.mc = c
+}
 
 // Pool exposes the tree's buffer pool (for ablation accounting and cache
 // invalidation between queries).
@@ -367,6 +379,7 @@ func (t *Tree) Load(id pager.PageID, c *stats.Counters) (*Node, error) {
 }
 
 func (t *Tree) load(id pager.PageID, c *stats.Counters) (*Node, error) {
+	h0 := t.pool.Hits()
 	buf, err := t.pool.Get(id)
 	if err != nil {
 		return nil, fmt.Errorf("rtree: load page %d: %w", id, err)
@@ -374,6 +387,11 @@ func (t *Tree) load(id pager.PageID, c *stats.Counters) (*Node, error) {
 	n, err := decodeNode(t.cfg, id, buf)
 	if err != nil {
 		return nil, err
+	}
+	// The paper's I/O metric counts every node fetch; the buffer-hit
+	// counter additionally records which of those the pool absorbed.
+	if t.pool.Hits() > h0 {
+		c.AddBufferHit()
 	}
 	c.AddRead(n.Leaf())
 	return n, nil
@@ -383,6 +401,7 @@ func (t *Tree) write(n *Node) error {
 	if err := encodeNode(t.cfg, n, t.scratch); err != nil {
 		return err
 	}
+	t.mc.AddPageWrite()
 	return t.pool.Put(n.ID, t.scratch)
 }
 

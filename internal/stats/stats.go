@@ -21,6 +21,7 @@ type Counters struct {
 	results       atomic.Int64 // objects returned
 	bufferHits    atomic.Int64 // page requests served from the buffer pool
 	pageWrites    atomic.Int64 // pages written (index maintenance)
+	prunedNodes   atomic.Int64 // index nodes skipped by a pruning rule
 }
 
 // AddRead records a node fetch; leaf selects which level counter.
@@ -68,6 +69,16 @@ func (c *Counters) AddPageWrite() {
 	c.pageWrites.Add(1)
 }
 
+// AddPruned records n index nodes skipped by a pruning rule (PDQ's
+// trajectory-overlap filter, NPDQ's discardability lemma) without being
+// loaded.
+func (c *Counters) AddPruned(n int) {
+	if c == nil {
+		return
+	}
+	c.prunedNodes.Add(int64(n))
+}
+
 // Snapshot is an immutable copy of the counter values.
 type Snapshot struct {
 	InternalReads int64 // node fetches above the leaf level
@@ -76,6 +87,7 @@ type Snapshot struct {
 	Results       int64 // objects returned
 	BufferHits    int64 // page requests served from buffer
 	PageWrites    int64 // page writes
+	PrunedNodes   int64 // index nodes skipped by a pruning rule
 }
 
 // Snapshot returns the current counter values.
@@ -90,6 +102,7 @@ func (c *Counters) Snapshot() Snapshot {
 		Results:       c.results.Load(),
 		BufferHits:    c.bufferHits.Load(),
 		PageWrites:    c.pageWrites.Load(),
+		PrunedNodes:   c.prunedNodes.Load(),
 	}
 }
 
@@ -104,10 +117,21 @@ func (c *Counters) Reset() {
 	c.results.Store(0)
 	c.bufferHits.Store(0)
 	c.pageWrites.Store(0)
+	c.prunedNodes.Store(0)
 }
 
 // Reads returns the total number of disk accesses (leaf + internal).
 func (s Snapshot) Reads() int64 { return s.InternalReads + s.LeafReads }
+
+// HitRatio returns the fraction of page requests served by the buffer
+// pool: hits / (hits + reads). Zero when no pages were requested.
+func (s Snapshot) HitRatio() float64 {
+	total := s.BufferHits + s.Reads()
+	if total == 0 {
+		return 0
+	}
+	return float64(s.BufferHits) / float64(total)
+}
 
 // Sub returns the per-operation deltas between two snapshots taken before
 // and after an operation (s is "after", o is "before").
@@ -119,6 +143,7 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		Results:       s.Results - o.Results,
 		BufferHits:    s.BufferHits - o.BufferHits,
 		PageWrites:    s.PageWrites - o.PageWrites,
+		PrunedNodes:   s.PrunedNodes - o.PrunedNodes,
 	}
 }
 
@@ -131,13 +156,16 @@ func (s Snapshot) Add(o Snapshot) Snapshot {
 		Results:       s.Results + o.Results,
 		BufferHits:    s.BufferHits + o.BufferHits,
 		PageWrites:    s.PageWrites + o.PageWrites,
+		PrunedNodes:   s.PrunedNodes + o.PrunedNodes,
 	}
 }
 
-// String renders a compact human-readable summary.
+// String renders a compact human-readable summary, including the index
+// maintenance cost (page writes) and the buffer-pool hit ratio.
 func (s Snapshot) String() string {
-	return fmt.Sprintf("reads=%d (leaf=%d internal=%d) dist=%d results=%d hits=%d writes=%d",
-		s.Reads(), s.LeafReads, s.InternalReads, s.DistanceComps, s.Results, s.BufferHits, s.PageWrites)
+	return fmt.Sprintf("reads=%d (leaf=%d internal=%d) dist=%d pruned=%d results=%d writes=%d hits=%d (ratio=%.2f)",
+		s.Reads(), s.LeafReads, s.InternalReads, s.DistanceComps, s.PrunedNodes,
+		s.Results, s.PageWrites, s.BufferHits, s.HitRatio())
 }
 
 // Mean divides every component by n (for averaging over n queries);
@@ -147,6 +175,9 @@ type Mean struct {
 	LeafReads     float64
 	DistanceComps float64
 	Results       float64
+	BufferHits    float64
+	PageWrites    float64
+	PrunedNodes   float64
 }
 
 // MeanOver returns the per-query averages of a snapshot over n queries.
@@ -160,7 +191,17 @@ func (s Snapshot) MeanOver(n int) Mean {
 		LeafReads:     float64(s.LeafReads) / f,
 		DistanceComps: float64(s.DistanceComps) / f,
 		Results:       float64(s.Results) / f,
+		BufferHits:    float64(s.BufferHits) / f,
+		PageWrites:    float64(s.PageWrites) / f,
+		PrunedNodes:   float64(s.PrunedNodes) / f,
 	}
+}
+
+// String renders the per-query means, mirroring Snapshot.String.
+func (m Mean) String() string {
+	return fmt.Sprintf("reads=%.2f (leaf=%.2f internal=%.2f) dist=%.2f pruned=%.2f results=%.2f writes=%.2f hits=%.2f",
+		m.Reads(), m.LeafReads, m.InternalReads, m.DistanceComps, m.PrunedNodes,
+		m.Results, m.PageWrites, m.BufferHits)
 }
 
 // Reads returns the mean total disk accesses per query.

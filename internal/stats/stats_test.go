@@ -73,6 +73,61 @@ func TestString(t *testing.T) {
 	}
 }
 
+// TestStringFormat locks the full human-readable format, including the
+// index-maintenance cost (writes) and the buffer hit ratio.
+func TestStringFormat(t *testing.T) {
+	s := Snapshot{
+		InternalReads: 1, LeafReads: 2, DistanceComps: 4,
+		Results: 6, BufferHits: 3, PageWrites: 7, PrunedNodes: 5,
+	}
+	want := "reads=3 (leaf=2 internal=1) dist=4 pruned=5 results=6 writes=7 hits=3 (ratio=0.50)"
+	if got := s.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestMeanStringFormat(t *testing.T) {
+	s := Snapshot{
+		InternalReads: 1, LeafReads: 2, DistanceComps: 4,
+		Results: 6, BufferHits: 3, PageWrites: 7, PrunedNodes: 5,
+	}
+	m := s.MeanOver(2)
+	want := "reads=1.50 (leaf=1.00 internal=0.50) dist=2.00 pruned=2.50 results=3.00 writes=3.50 hits=1.50"
+	if got := m.String(); got != want {
+		t.Errorf("Mean.String() = %q, want %q", got, want)
+	}
+	if m.PageWrites != 3.5 || m.BufferHits != 1.5 || m.PrunedNodes != 2.5 {
+		t.Errorf("mean = %+v", m)
+	}
+}
+
+func TestHitRatio(t *testing.T) {
+	if r := (Snapshot{}).HitRatio(); r != 0 {
+		t.Errorf("empty hit ratio = %g", r)
+	}
+	s := Snapshot{BufferHits: 3, LeafReads: 2, InternalReads: 1}
+	if r := s.HitRatio(); r != 0.5 {
+		t.Errorf("hit ratio = %g, want 0.5", r)
+	}
+}
+
+func TestPrunedCounter(t *testing.T) {
+	var c Counters
+	c.AddPruned(3)
+	c.AddPruned(2)
+	if got := c.Snapshot().PrunedNodes; got != 5 {
+		t.Errorf("pruned = %d, want 5", got)
+	}
+	a := Snapshot{PrunedNodes: 5}
+	b := Snapshot{PrunedNodes: 2}
+	if d := a.Sub(b); d.PrunedNodes != 3 {
+		t.Errorf("sub pruned = %d", d.PrunedNodes)
+	}
+	if s := a.Add(b); s.PrunedNodes != 7 {
+		t.Errorf("add pruned = %d", s.PrunedNodes)
+	}
+}
+
 func TestConcurrentUse(t *testing.T) {
 	var c Counters
 	var wg sync.WaitGroup

@@ -1,0 +1,68 @@
+package netq
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Error kinds carried in Response.ErrKind so clients can reconstruct
+// typed errors across the wire (the Err string alone is ambiguous).
+const (
+	ErrKindUnknownOp = "unknown_op"
+	ErrKindNoTracker = "no_tracker"
+	ErrKindNoSession = "no_session"
+)
+
+// ErrNoTracker is returned (and matched with errors.Is on both sides of
+// the wire) when a tracker operation reaches a server that was not given
+// a tracker.
+var ErrNoTracker = errors.New("netq: server has no tracker")
+
+// ErrNoSession is returned when a session-scoped operation (pdq-fetch,
+// adaptive-frame) arrives before the corresponding start op.
+var ErrNoSession = errors.New("netq: no session started on this connection")
+
+// UnknownOpError is returned when a request names an operation the
+// server has no handler for.
+type UnknownOpError struct {
+	Op Op
+}
+
+func (e *UnknownOpError) Error() string { return fmt.Sprintf("netq: unknown op %q", e.Op) }
+
+// errKind classifies a server-side error for the wire.
+func errKind(err error) string {
+	var uo *UnknownOpError
+	switch {
+	case errors.As(err, &uo):
+		return ErrKindUnknownOp
+	case errors.Is(err, ErrNoTracker):
+		return ErrKindNoTracker
+	case errors.Is(err, ErrNoSession):
+		return ErrKindNoSession
+	}
+	return ""
+}
+
+// wireError carries the server's message while unwrapping to the typed
+// sentinel, so errors.Is works client-side.
+type wireError struct {
+	msg      string
+	sentinel error
+}
+
+func (e *wireError) Error() string { return e.msg }
+func (e *wireError) Unwrap() error { return e.sentinel }
+
+// typedError reconstructs a typed error on the client from a response.
+func typedError(req Request, resp Response) error {
+	switch resp.ErrKind {
+	case ErrKindUnknownOp:
+		return &UnknownOpError{Op: req.Op}
+	case ErrKindNoTracker:
+		return &wireError{msg: resp.Err, sentinel: ErrNoTracker}
+	case ErrKindNoSession:
+		return &wireError{msg: resp.Err, sentinel: ErrNoSession}
+	}
+	return errors.New(resp.Err)
+}

@@ -1,0 +1,125 @@
+package netq
+
+import (
+	"net"
+
+	"dynq"
+	"dynq/internal/obs"
+)
+
+// knownOps enumerates the protocol operations, in declaration order, for
+// per-op metric pre-registration (lock-free lookup on the request path).
+var knownOps = []Op{
+	OpSnapshot, OpInsert, OpKNN,
+	OpPDQStart, OpPDQFetch,
+	OpNPDQ, OpNPDQReset,
+	OpAdaptiveStart, OpAdaptiveFrame,
+	OpStats,
+	OpTrackUpdate, OpTrackAt, OpTrackDuring, OpTrackAlong,
+}
+
+// opMetrics aggregates the per-operation signals.
+type opMetrics struct {
+	requests *obs.Counter
+	errors   *obs.Counter
+	latency  *obs.Histogram
+}
+
+// serverMetrics is the server's registry-backed instrumentation: per-op
+// request counts, error counts and latency histograms, connection and
+// session gauges, byte counters, and pager/engine gauges that read the
+// database's live cost counters at render time.
+type serverMetrics struct {
+	perOp          map[Op]*opMetrics
+	activeConns    *obs.Gauge
+	activePDQ      *obs.Gauge
+	activeAdaptive *obs.Gauge
+	bytesIn        *obs.Counter
+	bytesOut       *obs.Counter
+	unknownOps     *obs.Counter
+	noTracker      *obs.Counter
+}
+
+func newServerMetrics(reg *obs.Registry, db *dynq.DB) *serverMetrics {
+	reg.SetHelp("netq_requests_total", "Requests received, by protocol op.")
+	reg.SetHelp("netq_request_errors_total", "Requests answered with an error, by protocol op.")
+	reg.SetHelp("netq_request_seconds", "Request handling latency in seconds, by protocol op.")
+	reg.SetHelp("netq_active_connections", "Currently open client connections.")
+	reg.SetHelp("netq_active_sessions", "Currently running dynamic-query sessions, by kind.")
+	reg.SetHelp("netq_bytes_in_total", "Bytes read from clients.")
+	reg.SetHelp("netq_bytes_out_total", "Bytes written to clients.")
+	reg.SetHelp("netq_unknown_ops_total", "Requests naming an operation the server has no handler for.")
+	reg.SetHelp("netq_no_tracker_errors_total", "Tracker operations rejected because no tracker is attached.")
+	reg.SetHelp("pager_buffer_hit_ratio", "Buffer pool hits / (hits + misses).")
+	reg.SetHelp("dynq_page_reads_total", "Cumulative index node fetches (the paper's disk-access metric).")
+	reg.SetHelp("dynq_distance_comps_total", "Cumulative geometric predicate evaluations (the paper's CPU metric).")
+
+	m := &serverMetrics{perOp: make(map[Op]*opMetrics, len(knownOps))}
+	for _, op := range knownOps {
+		l := obs.L("op", string(op))
+		m.perOp[op] = &opMetrics{
+			requests: reg.Counter("netq_requests_total", l),
+			errors:   reg.Counter("netq_request_errors_total", l),
+			latency:  reg.Histogram("netq_request_seconds", nil, l),
+		}
+	}
+	m.activeConns = reg.Gauge("netq_active_connections")
+	m.activePDQ = reg.Gauge("netq_active_sessions", obs.L("kind", "pdq"))
+	m.activeAdaptive = reg.Gauge("netq_active_sessions", obs.L("kind", "adaptive"))
+	m.bytesIn = reg.Counter("netq_bytes_in_total")
+	m.bytesOut = reg.Counter("netq_bytes_out_total")
+	m.unknownOps = reg.Counter("netq_unknown_ops_total")
+	m.noTracker = reg.Counter("netq_no_tracker_errors_total")
+
+	// Buffer pool and engine totals are owned by the database; expose
+	// them as render-time gauges over its live (atomic) accounting.
+	reg.GaugeFunc("pager_buffer_hit_ratio", func() float64 { return db.BufferStats().HitRatio() })
+	reg.GaugeFunc("pager_buffer_hits_total", func() float64 { return float64(db.BufferStats().Hits) })
+	reg.GaugeFunc("pager_buffer_misses_total", func() float64 { return float64(db.BufferStats().Misses) })
+	reg.GaugeFunc("pager_buffer_writebacks_total", func() float64 { return float64(db.BufferStats().WriteBacks) })
+	reg.GaugeFunc("pager_buffer_frames", func() float64 { return float64(db.BufferStats().Len) })
+	reg.GaugeFunc("dynq_page_reads_total", func() float64 { return float64(db.CostSnapshot().Reads()) })
+	reg.GaugeFunc("dynq_page_writes_total", func() float64 { return float64(db.CostSnapshot().PageWrites) })
+	reg.GaugeFunc("dynq_distance_comps_total", func() float64 { return float64(db.CostSnapshot().DistanceComps) })
+	reg.GaugeFunc("dynq_pruned_nodes_total", func() float64 { return float64(db.CostSnapshot().PrunedNodes) })
+	reg.GaugeFunc("dynq_results_total", func() float64 { return float64(db.CostSnapshot().Results) })
+	return m
+}
+
+// engineFor names the query engine behind an op, for the tracer's stage
+// decomposition. Ops that do not traverse the index report no stages.
+func engineFor(op Op) (string, bool) {
+	switch op {
+	case OpSnapshot:
+		return "snapshot", true
+	case OpKNN:
+		return "knn", true
+	case OpPDQFetch:
+		return "pdq", true
+	case OpNPDQ:
+		return "npdq", true
+	case OpAdaptiveFrame:
+		return "adaptive", true
+	case OpInsert:
+		return "insert", true
+	}
+	return "", false
+}
+
+// countingConn counts bytes flowing through a client connection.
+type countingConn struct {
+	net.Conn
+	in, out *obs.Counter
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.in.Add(int64(n))
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.out.Add(int64(n))
+	return n, err
+}

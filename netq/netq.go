@@ -16,8 +16,10 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"dynq"
+	"dynq/internal/obs"
 )
 
 // Op identifies a request type.
@@ -60,6 +62,7 @@ type Request struct {
 // Response is one server→client message.
 type Response struct {
 	Err         string
+	ErrKind     string // one of the ErrKind* constants, "" for untyped errors
 	Results     []dynq.Result
 	Neighbors   []dynq.Neighbor
 	Stats       dynq.IndexStats
@@ -67,22 +70,48 @@ type Response struct {
 	Predictive  bool // adaptive session mode after this frame
 }
 
-// Server serves a database to network clients.
+// Server serves a database to network clients. Every server carries its
+// own observability state: a metric registry (per-op request counts,
+// error counts, latency histograms, connection/session gauges, buffer
+// pool gauges) and a query tracer ring-buffering recent request spans
+// with their per-stage cost deltas. Serve them over HTTP with
+// obs.Handler(s.Registry(), s.Tracer()).
 type Server struct {
 	db *dynq.DB
 
 	trackMu sync.Mutex // Tracker is not concurrency-safe; serialize ops
 	tracker *dynq.Tracker
 
+	reg     *obs.Registry
+	tracer  *obs.Tracer
+	metrics *serverMetrics
+
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
 	done  bool
 }
 
+// TracerCapacity is the number of recent query spans a server retains.
+const TracerCapacity = 512
+
 // NewServer wraps a database.
 func NewServer(db *dynq.DB) *Server {
-	return &Server{db: db, conns: make(map[net.Conn]struct{})}
+	reg := obs.NewRegistry()
+	return &Server{
+		db:      db,
+		conns:   make(map[net.Conn]struct{}),
+		reg:     reg,
+		tracer:  obs.NewTracer(TracerCapacity),
+		metrics: newServerMetrics(reg, db),
+	}
 }
+
+// Registry exposes the server's metric registry (for the /metrics and
+// /debug/vars endpoints).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Tracer exposes the server's query tracer (for /debug/trace).
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // WithTracker attaches a current-state tracker, enabling the OpTrack*
 // operations. Call before Serve.
@@ -123,29 +152,80 @@ func (s *Server) Close() {
 }
 
 func (s *Server) handle(conn net.Conn) {
+	s.metrics.activeConns.Inc()
 	defer func() {
 		conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
+		s.metrics.activeConns.Dec()
 	}()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
+	cc := &countingConn{Conn: conn, in: s.metrics.bytesIn, out: s.metrics.bytesOut}
+	dec := gob.NewDecoder(cc)
+	enc := gob.NewEncoder(cc)
 
 	// Per-connection session state.
 	sess := &connSessions{npdq: s.db.NonPredictiveQuery(dynq.NonPredictiveOptions{})}
-	defer sess.close()
+	defer s.closeSessions(sess)
 
 	for {
 		var req Request
 		if err := dec.Decode(&req); err != nil {
 			return // disconnect (io.EOF) or protocol error
 		}
-		resp := s.dispatch(sess, req)
+		resp := s.serve(sess, req)
 		if err := enc.Encode(resp); err != nil {
 			return
 		}
 	}
+}
+
+// serve wraps dispatch with instrumentation: per-op request/error
+// counters and latency histograms, typed-error counters, and one tracer
+// span carrying the cost-counter deltas measured around the request,
+// decomposed by pipeline stage. The counters are server-wide, so under
+// concurrent connections a span's delta may include work charged by
+// overlapping requests.
+func (s *Server) serve(sess *connSessions, req Request) Response {
+	start := time.Now()
+	before := s.db.CostSnapshot()
+	resp := s.dispatch(sess, req)
+	elapsed := time.Since(start)
+	delta := s.db.CostSnapshot().Sub(before)
+
+	m := s.metrics
+	if om, known := m.perOp[req.Op]; known {
+		om.requests.Inc()
+		om.latency.Observe(elapsed.Seconds())
+		if resp.Err != "" {
+			om.errors.Inc()
+		}
+	}
+	switch resp.ErrKind {
+	case ErrKindUnknownOp:
+		m.unknownOps.Inc()
+	case ErrKindNoTracker:
+		m.noTracker.Inc()
+	}
+
+	span := obs.Span{
+		Op:      string(req.Op),
+		Start:   start,
+		WallNS:  elapsed.Nanoseconds(),
+		T0:      req.T0,
+		T1:      req.T1,
+		Results: len(resp.Results),
+		Err:     resp.Err,
+	}
+	if len(req.View.Min) > 0 {
+		span.ViewMin = req.View.Min
+		span.ViewMax = req.View.Max
+	}
+	if engine, ok := engineFor(req.Op); ok {
+		span.Stages = obs.Stages(delta, engine)
+	}
+	s.tracer.Record(span)
+	return resp
 }
 
 // connSessions is the dynamic-query state tied to one connection.
@@ -155,18 +235,20 @@ type connSessions struct {
 	adaptive *dynq.AdaptiveSession
 }
 
-func (cs *connSessions) close() {
+func (s *Server) closeSessions(cs *connSessions) {
 	if cs.pdq != nil {
 		cs.pdq.Close()
+		s.metrics.activePDQ.Dec()
 	}
 	if cs.adaptive != nil {
 		cs.adaptive.Close()
+		s.metrics.activeAdaptive.Dec()
 	}
 }
 
 func (s *Server) dispatch(sess *connSessions, req Request) Response {
 	pdq, npdq := &sess.pdq, sess.npdq
-	fail := func(err error) Response { return Response{Err: err.Error()} }
+	fail := func(err error) Response { return Response{Err: err.Error(), ErrKind: errKind(err)} }
 	switch req.Op {
 	case OpSnapshot:
 		rs, err := s.db.Snapshot(req.View, req.T0, req.T1)
@@ -188,16 +270,19 @@ func (s *Server) dispatch(sess *connSessions, req Request) Response {
 	case OpPDQStart:
 		if *pdq != nil {
 			(*pdq).Close()
+			*pdq = nil
+			s.metrics.activePDQ.Dec()
 		}
 		sess, err := s.db.PredictiveQuery(req.Waypoints, dynq.PredictiveOptions{Live: req.Live})
 		if err != nil {
 			return fail(err)
 		}
 		*pdq = sess
+		s.metrics.activePDQ.Inc()
 		return Response{}
 	case OpPDQFetch:
 		if *pdq == nil {
-			return fail(errors.New("netq: no predictive session started"))
+			return fail(fmt.Errorf("%w: predictive (start with %s)", ErrNoSession, OpPDQStart))
 		}
 		rs, err := (*pdq).Fetch(req.T0, req.T1)
 		if err != nil {
@@ -216,16 +301,19 @@ func (s *Server) dispatch(sess *connSessions, req Request) Response {
 	case OpAdaptiveStart:
 		if sess.adaptive != nil {
 			sess.adaptive.Close()
+			sess.adaptive = nil
+			s.metrics.activeAdaptive.Dec()
 		}
 		a, err := s.db.AdaptiveQuery(req.Adaptive)
 		if err != nil {
 			return fail(err)
 		}
 		sess.adaptive = a
+		s.metrics.activeAdaptive.Inc()
 		return Response{}
 	case OpAdaptiveFrame:
 		if sess.adaptive == nil {
-			return fail(errors.New("netq: no adaptive session started"))
+			return fail(fmt.Errorf("%w: adaptive (start with %s)", ErrNoSession, OpAdaptiveStart))
 		}
 		rs, err := sess.adaptive.Frame(req.View, req.T0, req.T1)
 		if err != nil {
@@ -241,14 +329,14 @@ func (s *Server) dispatch(sess *connSessions, req Request) Response {
 		}
 		return Response{Stats: st}
 	default:
-		return fail(fmt.Errorf("netq: unknown op %q", req.Op))
+		return fail(&UnknownOpError{Op: req.Op})
 	}
 }
 
 func (s *Server) dispatchTracker(req Request) Response {
-	fail := func(err error) Response { return Response{Err: err.Error()} }
+	fail := func(err error) Response { return Response{Err: err.Error(), ErrKind: errKind(err)} }
 	if s.tracker == nil {
-		return fail(errors.New("netq: server has no tracker"))
+		return fail(ErrNoTracker)
 	}
 	s.trackMu.Lock()
 	defer s.trackMu.Unlock()
@@ -317,7 +405,7 @@ func (c *Client) roundTrip(req Request) (Response, error) {
 		return Response{}, err
 	}
 	if resp.Err != "" {
-		return Response{}, errors.New(resp.Err)
+		return Response{}, typedError(req, resp)
 	}
 	return resp, nil
 }

@@ -84,5 +84,7 @@ func OpenFile(path string) (*DB, error) {
 		fs.Close()
 		return nil, err
 	}
-	return &DB{tree: tree, store: fs}, nil
+	db := &DB{tree: tree, store: fs}
+	tree.SetCounters(&db.counters)
+	return db, nil
 }
