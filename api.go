@@ -1,0 +1,156 @@
+package dynq
+
+import (
+	"context"
+	"time"
+
+	"dynq/internal/core"
+	"dynq/internal/geom"
+	"dynq/internal/rtree"
+	"dynq/internal/stats"
+)
+
+// QueryOptions carries per-query knobs for the context-aware query entry
+// points (SnapshotCtx, KNNCtx). The zero value means "no limit, no
+// deadline, no stats" and matches the plain methods exactly. New knobs
+// are added here rather than as new method parameters.
+type QueryOptions struct {
+	// Limit, when positive, caps the number of results returned. For
+	// range queries the index traversal stops early once the cap is
+	// reached; which results survive is deterministic for an unchanged
+	// index but otherwise unspecified. For KNN it caps k.
+	Limit int
+	// Deadline, when positive, bounds the query's execution time: the
+	// context is wrapped with this timeout and checked at node-visit
+	// granularity, so an expired query returns context.DeadlineExceeded
+	// within one page fetch.
+	Deadline time.Duration
+	// Stats, when non-nil, receives the query's cost-counter delta
+	// (reads, distance computations, results, ...) when it completes.
+	// Under concurrent queries on the same database the delta may include
+	// work charged by overlapping operations.
+	Stats func(stats.Snapshot)
+}
+
+// begin applies the per-query deadline and arms the stats sink against
+// the database's cumulative cost snapshot; finish must be called
+// (deferred) when the query completes.
+func (o QueryOptions) begin(ctx context.Context, snap func() stats.Snapshot) (context.Context, func()) {
+	cancel := func() {}
+	if o.Deadline > 0 {
+		ctx, cancel = context.WithTimeout(ctx, o.Deadline)
+	}
+	if o.Stats == nil {
+		return ctx, cancel
+	}
+	before := snap()
+	return ctx, func() {
+		o.Stats(snap().Sub(before))
+		cancel()
+	}
+}
+
+// SnapshotCtx is Snapshot with cooperative cancellation and per-query
+// options. The context is checked once per index node visited, so a
+// cancelled or expired query stops within one page fetch.
+func (db *DB) SnapshotCtx(ctx context.Context, view Rect, t0, t1 float64, opts QueryOptions) ([]Result, error) {
+	box, err := db.toBox(view)
+	if err != nil {
+		return nil, err
+	}
+	ctx, finish := opts.begin(ctx, db.counters.Snapshot)
+	defer finish()
+	ms, err := db.tree.RangeSearchCtx(ctx, box, geom.Interval{Lo: t0, Hi: t1},
+		rtree.SearchOptions{Limit: opts.Limit}, &db.counters)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(ms))
+	for i, m := range ms {
+		out[i] = Result{
+			ID:        ObjectID(m.ID),
+			Segment:   fromSegment(m.Seg),
+			Appear:    m.Overlap.Lo,
+			Disappear: m.Overlap.Hi,
+		}
+	}
+	return out, nil
+}
+
+// KNNCtx is KNN with cooperative cancellation and per-query options.
+func (db *DB) KNNCtx(ctx context.Context, point []float64, t float64, k int, opts QueryOptions) ([]Neighbor, error) {
+	if opts.Limit > 0 && opts.Limit < k {
+		k = opts.Limit
+	}
+	ctx, finish := opts.begin(ctx, db.counters.Snapshot)
+	defer finish()
+	nbs, err := core.KNNCtx(ctx, db.tree, geom.Point(point), t, k, &db.counters)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Neighbor, len(nbs))
+	for i, n := range nbs {
+		out[i] = Neighbor{ID: ObjectID(n.ID), Segment: fromSegment(n.Seg), Dist: n.Dist}
+	}
+	return out, nil
+}
+
+// PredictiveCursor is the predictive dynamic query session surface shared
+// by *PredictiveSession (single tree) and *ShardedPredictiveSession.
+type PredictiveCursor interface {
+	Next(t0, t1 float64) (*Result, error)
+	Fetch(t0, t1 float64) ([]Result, error)
+	Close()
+}
+
+// NonPredictiveCursor is the non-predictive session surface shared by
+// *NonPredictiveSession and *ShardedNonPredictiveSession.
+type NonPredictiveCursor interface {
+	Snapshot(view Rect, t0, t1 float64) ([]Result, error)
+	Reset()
+}
+
+// AdaptiveCursor is the adaptive session surface shared by
+// *AdaptiveSession and *ShardedAdaptiveSession.
+type AdaptiveCursor interface {
+	Frame(view Rect, t0, t1 float64) ([]Result, error)
+	Predictive() bool
+	Close()
+}
+
+// Database is the query surface shared by *DB and *ShardedDB: everything
+// a server needs to answer the protocol's operations without knowing
+// whether one tree or many stand behind it.
+type Database interface {
+	Insert(id ObjectID, seg Segment) error
+	Snapshot(view Rect, t0, t1 float64) ([]Result, error)
+	SnapshotCtx(ctx context.Context, view Rect, t0, t1 float64, opts QueryOptions) ([]Result, error)
+	KNN(point []float64, t float64, k int) ([]Neighbor, error)
+	KNNCtx(ctx context.Context, point []float64, t float64, k int, opts QueryOptions) ([]Neighbor, error)
+	Predictive(waypoints []Waypoint, opts PredictiveOptions) (PredictiveCursor, error)
+	NonPredictive(opts NonPredictiveOptions) NonPredictiveCursor
+	Adaptive(opts AdaptiveOptions) (AdaptiveCursor, error)
+	Stats() (IndexStats, error)
+	CostSnapshot() stats.Snapshot
+	BufferStats() BufferStats
+	Close() error
+}
+
+// Predictive starts a predictive dynamic query and returns it as the
+// interface form shared with ShardedDB (PredictiveQuery returns the
+// concrete session).
+func (db *DB) Predictive(waypoints []Waypoint, opts PredictiveOptions) (PredictiveCursor, error) {
+	return db.PredictiveQuery(waypoints, opts)
+}
+
+// NonPredictive starts a non-predictive session in the interface form
+// shared with ShardedDB.
+func (db *DB) NonPredictive(opts NonPredictiveOptions) NonPredictiveCursor {
+	return db.NonPredictiveQuery(opts)
+}
+
+// Adaptive starts an adaptive session in the interface form shared with
+// ShardedDB.
+func (db *DB) Adaptive(opts AdaptiveOptions) (AdaptiveCursor, error) {
+	return db.AdaptiveQuery(opts)
+}

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	dqbench [-fig N] [-scale F] [-trajectories N] [-seed N] [-csv] [-mixed] [-hist]
+//	dqbench [-fig N] [-scale F] [-trajectories N] [-seed N] [-csv] [-mixed] [-hist] [-shards N]
 //
 //	-fig 0            regenerate all figures (6-13); or a single figure
 //	-scale 0.2        object population scale (1.0 = the paper's 5000
@@ -16,6 +16,7 @@
 //	-csv              machine-readable output for plotting
 //	-mixed            also run the mixed static+mobile NPDQ experiment
 //	-hist             report per-frame wall-time percentiles per figure
+//	-shards 4         also run the 1-vs-N sharded engine comparison
 //
 // SIGINT/SIGTERM finishes the current figure and exits cleanly; a second
 // signal forces exit.
@@ -44,6 +45,8 @@ func main() {
 		mixed        = flag.Bool("mixed", false, "also run the mixed static+mobile NPDQ experiment")
 		csvOut       = flag.Bool("csv", false, "emit machine-readable CSV instead of tables")
 		hist         = flag.Bool("hist", false, "report per-frame wall-time percentiles (p50/p95/p99) per figure")
+		shards       = flag.Int("shards", 0, "also run the 1-vs-N sharded engine comparison with N shards")
+		workers      = flag.Int("workers", 0, "worker-pool bound for -shards (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -74,6 +77,15 @@ func main() {
 	}
 	if *mixed {
 		if err := runMixed(cfg); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *fig == 0 {
+			return
+		}
+	}
+	if *shards > 0 {
+		if err := runShards(cfg, *shards, *workers); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -170,6 +182,28 @@ func printCSV(spec bench.FigureSpec, cells []bench.Cell) {
 			c.First.LeafReads, c.First.InternalReads, c.First.Reads(), c.First.DistanceComps,
 			c.Subseq.LeafReads, c.Subseq.InternalReads, c.Subseq.Reads(), c.Subseq.DistanceComps)
 	}
+}
+
+// runShards prints the sharded-engine comparison: the same snapshot and
+// KNN workload on one tree vs an N-shard parallel engine. Speedup needs
+// real cores; on one CPU the table shows the fan-out overhead instead.
+func runShards(cfg bench.Config, shards, workers int) error {
+	fmt.Printf("\n=== Sharded engine: 1 tree vs %d shards (snapshot sweep + KNN) ===\n", shards)
+	cells, segments, err := bench.ShardExperiment(cfg, shards, workers)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("index: %d segments; workers=%d (0=GOMAXPROCS)\n", segments, workers)
+	fmt.Printf("%-9s | %-8s | %-12s | %-12s | %s\n", "workload", "queries", "single", "sharded", "speedup")
+	for _, c := range cells {
+		name := fmt.Sprintf("range %g", c.Range)
+		if c.Range == 0 {
+			name = "knn k=10"
+		}
+		fmt.Printf("%-9s | %8d | %12v | %12v | %6.2fx\n",
+			name, c.Queries, c.Single.Round(time.Microsecond), c.Sharded.Round(time.Microsecond), c.Speedup())
+	}
+	return nil
 }
 
 // runMixed prints the situational-awareness-mix experiment: NPDQ over a

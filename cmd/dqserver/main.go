@@ -15,7 +15,7 @@
 //
 // Usage:
 //
-//	dqserver [-addr :7207] [-metrics :7208] [-db db.dynq | -scale F -seed N [-dual]]
+//	dqserver [-addr :7207] [-metrics :7208] [-db db.dynq | -scale F -seed N [-dual] [-shards N]]
 package main
 
 import (
@@ -46,10 +46,11 @@ func main() {
 		dual    = flag.Bool("dual", false, "dual temporal axes for the synthetic index")
 		track   = flag.Bool("track", false, "attach a current-state tracker (enables OpTrack* operations)")
 		horizon = flag.Float64("horizon", 2, "tracker anticipation horizon")
+		shards  = flag.Int("shards", 1, "partition the index across N parallel shards (>1 requires a synthetic index, not -db)")
 	)
 	flag.Parse()
 
-	db, err := openDB(*path, *scale, *seed, *dual)
+	db, err := openDB(*path, *scale, *seed, *dual, *shards)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -62,6 +63,9 @@ func main() {
 	}
 	fmt.Printf("serving %d segments (height %d, %d+%d nodes) on %s\n",
 		st.Segments, st.Height, st.InternalNodes, st.LeafNodes, *addr)
+	if sdb, ok := db.(*dynq.ShardedDB); ok {
+		fmt.Printf("sharded engine: %d shards, %d workers\n", sdb.Shards(), sdb.Workers())
+	}
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -124,8 +128,14 @@ func main() {
 	fmt.Println("bye")
 }
 
-func openDB(path string, scale float64, seed int64, dual bool) (*dynq.DB, error) {
+func openDB(path string, scale float64, seed int64, dual bool, shards int) (dynq.Database, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("-shards must be >= 1, got %d", shards)
+	}
 	if path != "" {
+		if shards > 1 {
+			return nil, fmt.Errorf("-shards only applies to a synthetic index; a -db file holds one pre-built tree")
+		}
 		return dynq.OpenFile(path)
 	}
 	sim := motion.PaperConfig()
@@ -139,7 +149,15 @@ func openDB(path string, scale float64, seed int64, dual bool) (*dynq.DB, error)
 	if err != nil {
 		return nil, err
 	}
-	db, err := dynq.Open(dynq.Options{DualTimeAxes: dual})
+	var db dynq.Database
+	if shards > 1 {
+		db, err = dynq.OpenSharded(dynq.ShardOptions{
+			Options: dynq.Options{DualTimeAxes: dual},
+			Shards:  shards,
+		})
+	} else {
+		db, err = dynq.Open(dynq.Options{DualTimeAxes: dual})
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -150,10 +168,21 @@ func openDB(path string, scale float64, seed int64, dual bool) (*dynq.DB, error)
 			From: s.Seg.Start, To: s.Seg.End,
 		})
 	}
-	if err := db.BulkLoad(byObject); err != nil {
+	if err := bulkLoad(db, byObject); err != nil {
 		db.Close()
 		return nil, err
 	}
 	fmt.Printf("generated and indexed %d segments in %v\n", len(segs), time.Since(start).Round(time.Millisecond))
 	return db, nil
+}
+
+func bulkLoad(db dynq.Database, segs map[dynq.ObjectID][]dynq.Segment) error {
+	switch d := db.(type) {
+	case *dynq.DB:
+		return d.BulkLoad(segs)
+	case *dynq.ShardedDB:
+		return d.BulkLoad(segs)
+	default:
+		return fmt.Errorf("unknown database type %T", db)
+	}
 }

@@ -90,7 +90,9 @@ type Options struct {
 	// Split selects the R-tree split policy (default quadratic).
 	Split SplitPolicy
 	// Path, when non-empty, stores index pages in a file; otherwise the
-	// index lives in memory.
+	// index lives in memory. Open CREATES the file, truncating any
+	// existing contents — use OpenFile to reattach a previously written
+	// index.
 	Path string
 	// BufferPages enables a server-side LRU page buffer of the given
 	// capacity. The paper's experiments run bufferless (0): the client,
@@ -109,8 +111,8 @@ type DB struct {
 }
 
 // Open creates a database. With Options.Path set, a new page file is
-// created (truncating any existing file); use OpenFile to reattach an
-// existing one.
+// created, TRUNCATING any existing file at that path; use OpenFile to
+// reattach an existing one.
 func Open(opts Options) (*DB, error) {
 	cfg, err := opts.toConfig()
 	if err != nil {
@@ -137,6 +139,12 @@ func Open(opts Options) (*DB, error) {
 
 func (o Options) toConfig() (rtree.Config, error) {
 	cfg := rtree.DefaultConfig()
+	if o.Dims < 0 {
+		return cfg, fmt.Errorf("dynq: Options.Dims must be positive, got %d", o.Dims)
+	}
+	if o.BufferPages < 0 {
+		return cfg, fmt.Errorf("dynq: Options.BufferPages must be >= 0, got %d", o.BufferPages)
+	}
 	if o.Dims != 0 {
 		cfg.Dims = o.Dims
 	}
@@ -350,7 +358,10 @@ func (db *DB) Stats() (IndexStats, error) {
 func (db *DB) Validate() error { return db.tree.Validate() }
 
 func (db *DB) toSegment(s Segment) (geom.Segment, error) {
-	d := db.Dims()
+	return toSegmentDims(s, db.Dims())
+}
+
+func toSegmentDims(s Segment, d int) (geom.Segment, error) {
 	if len(s.From) != d || len(s.To) != d {
 		return geom.Segment{}, fmt.Errorf("dynq: segment endpoints must have %d dims", d)
 	}
@@ -374,7 +385,10 @@ func fromSegment(g geom.Segment) Segment {
 }
 
 func (db *DB) toBox(r Rect) (geom.Box, error) {
-	d := db.Dims()
+	return toBoxDims(r, db.Dims())
+}
+
+func toBoxDims(r Rect, d int) (geom.Box, error) {
 	if len(r.Min) != d || len(r.Max) != d {
 		return nil, fmt.Errorf("dynq: rect must have %d dims", d)
 	}

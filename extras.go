@@ -3,7 +3,6 @@ package dynq
 import (
 	"dynq/internal/core"
 	"dynq/internal/geom"
-	"dynq/internal/trajectory"
 )
 
 // Pair is one proximity-join answer: two objects within the join distance
@@ -120,15 +119,7 @@ func (s *AdaptiveSession) Close() { s.a.Close() }
 // time. The whole series costs one incremental traversal (the dynamic
 // query machinery), not one aggregation per sample.
 func (db *DB) CountSeries(waypoints []Waypoint, times []float64) ([]int, error) {
-	keys := make([]trajectory.Key, len(waypoints))
-	for i, w := range waypoints {
-		box, err := db.toBox(w.View)
-		if err != nil {
-			return nil, err
-		}
-		keys[i] = trajectory.Key{T: w.T, Window: box}
-	}
-	traj, err := trajectory.New(keys)
+	traj, err := buildTrajectory(waypoints, db.Dims(), nil)
 	if err != nil {
 		return nil, err
 	}

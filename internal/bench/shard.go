@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"dynq/internal/core"
+	"dynq/internal/geom"
+	"dynq/internal/motion"
+	"dynq/internal/pager"
+	"dynq/internal/rtree"
+	"dynq/internal/shard"
+	"dynq/internal/stats"
+	"dynq/internal/workload"
+)
+
+// ShardCell is one row of the sharding experiment: the same snapshot
+// workload evaluated on a single tree and on an N-shard parallel engine.
+type ShardCell struct {
+	Range   float64
+	Queries int
+	Single  time.Duration // wall time, one tree
+	Sharded time.Duration // wall time, N shards on the worker pool
+}
+
+// Speedup returns single/sharded wall time (>1 means sharding won).
+func (c ShardCell) Speedup() float64 {
+	if c.Sharded == 0 {
+		return 0
+	}
+	return float64(c.Single) / float64(c.Sharded)
+}
+
+// ShardExperiment loads the paper's population into one tree and into an
+// N-shard engine, then times an identical snapshot-query sweep (every
+// frame of Trajectories dynamic queries per range) on both, checking that
+// the answers have the same cardinality. Wall-clock speedup needs real
+// cores: on a single-CPU host the sharded engine only adds coordination
+// overhead, which this experiment then measures honestly.
+func ShardExperiment(cfg Config, shards, workers int) ([]ShardCell, int, error) {
+	sim := motion.PaperConfig()
+	sim.Objects = int(float64(sim.Objects) * cfg.Scale)
+	if sim.Objects < 1 {
+		sim.Objects = 1
+	}
+	sim.Seed = cfg.Seed
+	segs, err := motion.GenerateSegments(sim)
+	if err != nil {
+		return nil, 0, err
+	}
+	entries := make([]rtree.LeafEntry, len(segs))
+	for i, s := range segs {
+		entries[i] = rtree.LeafEntry{ID: rtree.ObjectID(s.ObjID), Seg: s.Seg}
+	}
+
+	tcfg := rtree.DefaultConfig()
+	tree, err := rtree.BulkLoad(tcfg, pager.NewMemStore(), entries)
+	if err != nil {
+		return nil, 0, err
+	}
+	engine, err := shard.New(tcfg, shard.Options{Shards: shards, Workers: workers},
+		func(int) (pager.Store, error) { return pager.NewMemStore(), nil })
+	if err != nil {
+		return nil, 0, err
+	}
+	defer engine.Close()
+	if err := engine.BulkLoad(entries); err != nil {
+		return nil, 0, err
+	}
+
+	ctx := context.Background()
+	var cells []ShardCell
+	for _, rng := range workload.Ranges {
+		q := workload.PaperQuery(0.5, rng)
+		r := rand.New(rand.NewSource(cfg.Seed*77 + int64(rng)))
+		var windows []geom.Box
+		var times []geom.Interval
+		for tr := 0; tr < cfg.Trajectories; tr++ {
+			g, err := workload.Generate(q, r)
+			if err != nil {
+				return nil, 0, err
+			}
+			windows = append(windows, g.Windows...)
+			times = append(times, g.Times...)
+		}
+
+		var c stats.Counters
+		singleCounts := make([]int, len(windows))
+		start := time.Now()
+		for i := range windows {
+			ms, err := tree.RangeSearch(windows[i], times[i], rtree.SearchOptions{}, &c)
+			if err != nil {
+				return nil, 0, err
+			}
+			singleCounts[i] = len(ms)
+		}
+		singleWall := time.Since(start)
+
+		start = time.Now()
+		for i := range windows {
+			ms, err := engine.Snapshot(ctx, windows[i], times[i], 0)
+			if err != nil {
+				return nil, 0, err
+			}
+			if len(ms) != singleCounts[i] {
+				return nil, 0, fmt.Errorf("bench: shard mismatch at range %g query %d: %d vs %d results",
+					rng, i, len(ms), singleCounts[i])
+			}
+		}
+		shardedWall := time.Since(start)
+
+		cells = append(cells, ShardCell{
+			Range:   rng,
+			Queries: len(windows),
+			Single:  singleWall,
+			Sharded: shardedWall,
+		})
+	}
+
+	// One KNN row rides along: the k-way merged best-first search against
+	// the single-tree search, same cardinality check.
+	r := rand.New(rand.NewSource(cfg.Seed * 101))
+	const knnQueries, k = 200, 10
+	var c stats.Counters
+	type knnQ struct {
+		p geom.Point
+		t float64
+	}
+	qs := make([]knnQ, knnQueries)
+	for i := range qs {
+		qs[i] = knnQ{p: geom.Point{r.Float64() * 100, r.Float64() * 100}, t: r.Float64() * 100}
+	}
+	singleCounts := make([]int, len(qs))
+	start := time.Now()
+	for i, kq := range qs {
+		nbs, err := core.KNN(tree, kq.p, kq.t, k, &c)
+		if err != nil {
+			return nil, 0, err
+		}
+		singleCounts[i] = len(nbs)
+	}
+	singleWall := time.Since(start)
+	start = time.Now()
+	for i, kq := range qs {
+		nbs, err := engine.KNN(ctx, kq.p, kq.t, k)
+		if err != nil {
+			return nil, 0, err
+		}
+		if len(nbs) != singleCounts[i] {
+			return nil, 0, fmt.Errorf("bench: shard KNN mismatch at query %d: %d vs %d neighbors",
+				i, len(nbs), singleCounts[i])
+		}
+	}
+	cells = append(cells, ShardCell{
+		Range:   0, // marks the KNN row
+		Queries: len(qs),
+		Single:  singleWall,
+		Sharded: time.Since(start),
+	})
+	return cells, len(entries), nil
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -30,6 +31,13 @@ type Neighbor struct {
 // (Section 6 (i), after [24]): MovingKNN evaluates it along a query-point
 // trajectory.
 func KNN(tree *rtree.Tree, p geom.Point, t float64, k int, c *stats.Counters) ([]Neighbor, error) {
+	return KNNCtx(context.Background(), tree, p, t, k, c)
+}
+
+// KNNCtx is KNN with cooperative cancellation: the context is checked
+// before every node fetch, so a cancelled or expired query stops within
+// one page fetch and returns the context's error.
+func KNNCtx(ctx context.Context, tree *rtree.Tree, p geom.Point, t float64, k int, c *stats.Counters) ([]Neighbor, error) {
 	d := tree.Config().Dims
 	if len(p) != d {
 		return nil, fmt.Errorf("core: query point has %d dims, index has %d", len(p), d)
@@ -54,6 +62,9 @@ func KNN(tree *rtree.Tree, p geom.Point, t float64, k int, c *stats.Counters) ([
 				break
 			}
 			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 		n, err := tree.Load(item.node, c)
 		if err != nil {

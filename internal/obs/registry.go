@@ -193,6 +193,17 @@ func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Hi
 	return m.hist
 }
 
+// AttachHistogram registers an externally owned histogram under the given
+// name and labels, so a component that observes into its own histograms
+// (e.g. the shard engine's per-shard fan-out timers) can surface them
+// through a server's registry. Re-registering the same (name, labels)
+// keeps the first histogram.
+func (r *Registry) AttachHistogram(name string, h *Histogram, labels ...Label) {
+	r.lookup(name, labels, func() *metric {
+		return &metric{kind: kindHistogram, hist: h}
+	})
+}
+
 func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }

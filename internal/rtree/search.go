@@ -1,6 +1,7 @@
 package rtree
 
 import (
+	"context"
 	"fmt"
 
 	"dynq/internal/geom"
@@ -23,6 +24,11 @@ type SearchOptions struct {
 	// segment bounding boxes instead, re-admitting the false positives the
 	// NSI leaf optimization eliminates. Ablation only.
 	BBOnlyLeaf bool
+	// Limit, when positive, stops the traversal as soon as that many
+	// matches have been collected. Which matches survive depends on the
+	// traversal order and is unspecified beyond being deterministic for an
+	// unchanged tree.
+	Limit int
 }
 
 // RangeSearch answers a snapshot query (Definition 3): all segments whose
@@ -30,6 +36,13 @@ type SearchOptions struct {
 // disk access is charged per node visited and one distance computation per
 // child entry examined, the paper's cost accounting.
 func (t *Tree) RangeSearch(spatial geom.Box, tw geom.Interval, opts SearchOptions, c *stats.Counters) ([]Match, error) {
+	return t.RangeSearchCtx(context.Background(), spatial, tw, opts, c)
+}
+
+// RangeSearchCtx is RangeSearch with cooperative cancellation: the context
+// is checked once per node visited, so a cancelled or expired query stops
+// within one page fetch and returns the context's error.
+func (t *Tree) RangeSearchCtx(ctx context.Context, spatial geom.Box, tw geom.Interval, opts SearchOptions, c *stats.Counters) ([]Match, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if len(spatial) != t.cfg.Dims {
@@ -42,7 +55,7 @@ func (t *Tree) RangeSearch(spatial geom.Box, tw geom.Interval, opts SearchOption
 	qst := geom.Box(append(geom.Box{}, spatial...))
 	qst = append(qst, tw) // spatial extents + single time extent, for the exact test
 	var out []Match
-	err := t.searchNode(t.root, q, qst, opts, c, &out)
+	err := t.searchNode(ctx, t.root, q, qst, opts, c, &out)
 	if err != nil {
 		return nil, err
 	}
@@ -50,13 +63,24 @@ func (t *Tree) RangeSearch(spatial geom.Box, tw geom.Interval, opts SearchOption
 	return out, nil
 }
 
-func (t *Tree) searchNode(id pager.PageID, q, qst geom.Box, opts SearchOptions, c *stats.Counters, out *[]Match) error {
+// full reports whether the match set has reached the search limit.
+func (opts SearchOptions) full(out []Match) bool {
+	return opts.Limit > 0 && len(out) >= opts.Limit
+}
+
+func (t *Tree) searchNode(ctx context.Context, id pager.PageID, q, qst geom.Box, opts SearchOptions, c *stats.Counters, out *[]Match) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	n, err := t.load(id, c)
 	if err != nil {
 		return err
 	}
 	if n.Leaf() {
 		for _, e := range n.Entries {
+			if opts.full(*out) {
+				return nil
+			}
 			c.AddDistanceComps(1)
 			if opts.BBOnlyLeaf {
 				if e.Box(t.cfg.Dims).Overlaps(q) {
@@ -72,9 +96,12 @@ func (t *Tree) searchNode(id pager.PageID, q, qst geom.Box, opts SearchOptions, 
 		return nil
 	}
 	for _, ch := range n.Children {
+		if opts.full(*out) {
+			return nil
+		}
 		c.AddDistanceComps(1)
 		if ch.Box.Overlaps(q) {
-			if err := t.searchNode(ch.ID, q, qst, opts, c, out); err != nil {
+			if err := t.searchNode(ctx, ch.ID, q, qst, opts, c, out); err != nil {
 				return err
 			}
 		}

@@ -1,0 +1,169 @@
+package shard
+
+import (
+	"context"
+	"sort"
+
+	"dynq/internal/core"
+	"dynq/internal/geom"
+	"dynq/internal/rtree"
+	"dynq/internal/trajectory"
+)
+
+// Snapshot answers one spatio-temporal range query by fanning the search
+// out across every shard and concatenating the per-shard answers in shard
+// order (deterministic for an unchanged engine). limit > 0 caps both the
+// per-shard traversals and the merged answer; which matches survive the
+// cap is unspecified. The context is checked at node-visit granularity
+// inside every shard.
+func (e *Engine) Snapshot(ctx context.Context, spatial geom.Box, tw geom.Interval, limit int) ([]rtree.Match, error) {
+	parts := make([][]rtree.Match, len(e.shards))
+	err := e.fanOut(func(i int, sh *Shard) error {
+		ms, err := sh.Tree.RangeSearchCtx(ctx, spatial, tw, rtree.SearchOptions{Limit: limit}, &sh.Counters)
+		parts[i] = ms
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []rtree.Match
+	for _, ms := range parts {
+		out = append(out, ms...)
+	}
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out, nil
+}
+
+// KNN finds the k nearest neighbors by running a best-first search on
+// every shard in parallel and k-way merging the per-shard answer lists
+// (each already sorted by distance, ties by id) down to the global top k.
+func (e *Engine) KNN(ctx context.Context, p geom.Point, t float64, k int) ([]core.Neighbor, error) {
+	parts := make([][]core.Neighbor, len(e.shards))
+	err := e.fanOut(func(i int, sh *Shard) error {
+		nbs, err := core.KNNCtx(ctx, sh.Tree, p, t, k, &sh.Counters)
+		parts[i] = nbs
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []core.Neighbor
+	for _, nbs := range parts {
+		out = append(out, nbs...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].ID < out[j].ID
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+// SelfJoin finds every pair of objects within delta of each other at time
+// t across the whole sharded population: the N self-joins plus the
+// N·(N-1)/2 cross-shard joins all run in parallel on the worker pool.
+// Pairs are normalized to A < B (an object pair spans at most one task,
+// so no deduplication is needed) and sorted for a deterministic answer.
+func (e *Engine) SelfJoin(delta, t float64) ([]core.JoinPair, error) {
+	n := len(e.shards)
+	var fns []func() error
+	parts := make([][]core.JoinPair, n*(n+1)/2)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			i, j := i, j
+			slot := len(fns)
+			fns = append(fns, func() error {
+				a, b := e.shards[i], e.shards[j]
+				pairs, err := core.DistanceJoin(a.Tree, b.Tree, delta, t, &a.Counters)
+				parts[slot] = pairs
+				return err
+			})
+		}
+	}
+	if err := e.run(fns); err != nil {
+		return nil, err
+	}
+	var out []core.JoinPair
+	for _, pairs := range parts {
+		for _, p := range pairs {
+			if p.A > p.B {
+				p.A, p.B = p.B, p.A
+				p.SegA, p.SegB = p.SegB, p.SegA
+			}
+			out = append(out, p)
+		}
+	}
+	sortPairs(out)
+	return out, nil
+}
+
+// CrossJoin finds every pair (a ∈ e, b ∈ other) within delta at time t:
+// one task per shard pair, merged and sorted deterministically.
+func (e *Engine) CrossJoin(other *Engine, delta, t float64) ([]core.JoinPair, error) {
+	n, m := len(e.shards), len(other.shards)
+	fns := make([]func() error, 0, n*m)
+	parts := make([][]core.JoinPair, n*m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			i, j := i, j
+			fns = append(fns, func() error {
+				a, b := e.shards[i], other.shards[j]
+				pairs, err := core.DistanceJoin(a.Tree, b.Tree, delta, t, &a.Counters)
+				parts[i*m+j] = pairs
+				return err
+			})
+		}
+	}
+	if err := e.run(fns); err != nil {
+		return nil, err
+	}
+	var out []core.JoinPair
+	for _, pairs := range parts {
+		out = append(out, pairs...)
+	}
+	sortPairs(out)
+	return out, nil
+}
+
+// CountSeries evaluates the continuous COUNT(*) of a moving view on every
+// shard in parallel and sums the per-shard series element-wise (the
+// trajectory is read-only and safely shared across tasks).
+func (e *Engine) CountSeries(traj *trajectory.Trajectory, times []float64) ([]int, error) {
+	parts := make([][]int, len(e.shards))
+	err := e.fanOut(func(i int, sh *Shard) error {
+		cs, err := core.ContinuousCount(sh.Tree, traj, times, &sh.Counters)
+		parts[i] = cs
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(times))
+	for _, cs := range parts {
+		for i, c := range cs {
+			out[i] += c
+		}
+	}
+	return out, nil
+}
+
+func sortPairs(out []core.JoinPair) {
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		if out[i].B != out[j].B {
+			return out[i].B < out[j].B
+		}
+		if out[i].SegA.T.Lo != out[j].SegA.T.Lo {
+			return out[i].SegA.T.Lo < out[j].SegA.T.Lo
+		}
+		return out[i].SegB.T.Lo < out[j].SegB.T.Lo
+	})
+}

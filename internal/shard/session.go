@@ -1,0 +1,310 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+
+	"dynq/internal/core"
+	"dynq/internal/geom"
+	"dynq/internal/trajectory"
+)
+
+// PDQ is a predictive dynamic query over a sharded engine: one core.PDQ
+// cursor per shard, all registered on the same observer trajectory, merged
+// through an appearance-time min-heap. Each per-shard stream delivers its
+// results in order of appearance within a window, so taking the earliest
+// buffered head across shards preserves the paper's "report each object
+// once, in order of appearance" contract — an object lives in exactly one
+// shard, so the merge can introduce no duplicates.
+//
+// Not safe for concurrent use by multiple goroutines; concurrent inserts
+// to the engine are safe when the session was started with LiveUpdates.
+type PDQ struct {
+	e       *Engine
+	cursors []*core.PDQ
+	heads   []*core.Result // buffered head per shard; nil = needs refill
+	done    []bool         // shard exhausted for the current window
+	t0, t1  float64
+	haveWin bool
+	closed  bool
+}
+
+// NewPDQ starts one predictive cursor per shard over the trajectory.
+func (e *Engine) NewPDQ(traj *trajectory.Trajectory, opts core.PDQOptions) (*PDQ, error) {
+	p := &PDQ{
+		e:       e,
+		cursors: make([]*core.PDQ, len(e.shards)),
+		heads:   make([]*core.Result, len(e.shards)),
+		done:    make([]bool, len(e.shards)),
+	}
+	for i, sh := range e.shards {
+		c, err := core.NewPDQ(sh.Tree, traj, opts, &sh.Counters)
+		if err != nil {
+			p.Close()
+			return nil, err
+		}
+		p.cursors[i] = c
+	}
+	return p, nil
+}
+
+// GetNext returns the next object becoming visible during [tStart, tEnd]
+// across all shards, or nil when no further object appears in that
+// window. Windows must advance monotonically, as for a single-tree PDQ.
+func (p *PDQ) GetNext(tStart, tEnd float64) (*core.Result, error) {
+	if p.closed {
+		return nil, fmt.Errorf("shard: GetNext on closed PDQ")
+	}
+	if tEnd < tStart {
+		return nil, fmt.Errorf("shard: GetNext window [%g,%g] is empty", tStart, tEnd)
+	}
+	if !p.haveWin || tStart != p.t0 || tEnd != p.t1 {
+		// New window: shards exhausted for the previous window may have
+		// more to deliver in this one.
+		for i := range p.done {
+			p.done[i] = false
+		}
+		p.t0, p.t1, p.haveWin = tStart, tEnd, true
+	}
+	if err := p.refill(); err != nil {
+		return nil, err
+	}
+	best := -1
+	for i, h := range p.heads {
+		if h == nil {
+			continue
+		}
+		if best == -1 || headLess(h, p.heads[best]) {
+			best = i
+		}
+	}
+	if best == -1 {
+		return nil, nil
+	}
+	r := p.heads[best]
+	p.heads[best] = nil
+	return r, nil
+}
+
+// refill pulls a head from every shard cursor that has none, fanning the
+// pulls out in parallel (the heavy per-window seeding touches every
+// shard; subsequent refills touch only the shard just popped). Buffered
+// heads whose visibility ended before the window are dropped and
+// re-pulled, mirroring the expiry rule of core.PDQ.GetNext.
+func (p *PDQ) refill() error {
+	var idx []int
+	for i := range p.cursors {
+		if p.heads[i] != nil && p.heads[i].Disappear < p.t0 {
+			p.heads[i] = nil // expired between windows
+		}
+		if p.heads[i] == nil && !p.done[i] {
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) == 0 {
+		return nil
+	}
+	fns := make([]func() error, len(idx))
+	for j, i := range idx {
+		i := i
+		fns[j] = func() error {
+			for {
+				r, err := p.cursors[i].GetNext(p.t0, p.t1)
+				if err != nil {
+					return err
+				}
+				if r == nil {
+					p.done[i] = true
+					return nil
+				}
+				if r.Disappear < p.t0 {
+					continue
+				}
+				p.heads[i] = r
+				return nil
+			}
+		}
+	}
+	return p.e.run(fns)
+}
+
+// headLess orders buffered heads by appearance time, ties broken by
+// object id then segment start, matching the single-tree heap's total
+// order closely enough to be deterministic.
+func headLess(a, b *core.Result) bool {
+	if a.Appear != b.Appear {
+		return a.Appear < b.Appear
+	}
+	if a.ID != b.ID {
+		return a.ID < b.ID
+	}
+	return a.Seg.T.Lo < b.Seg.T.Lo
+}
+
+// Drain pulls every remaining result visible during [tStart, tEnd].
+func (p *PDQ) Drain(tStart, tEnd float64) ([]core.Result, error) {
+	var out []core.Result
+	for {
+		r, err := p.GetNext(tStart, tEnd)
+		if err != nil {
+			return out, err
+		}
+		if r == nil {
+			return out, nil
+		}
+		out = append(out, *r)
+	}
+}
+
+// Pending sums the queued items across shard cursors (diagnostics).
+func (p *PDQ) Pending() int {
+	n := 0
+	for _, c := range p.cursors {
+		if c != nil {
+			n += c.Pending()
+		}
+	}
+	return n
+}
+
+// Close releases every per-shard cursor (and live-update subscription).
+func (p *PDQ) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	for _, c := range p.cursors {
+		if c != nil {
+			c.Close()
+		}
+	}
+}
+
+// NPDQ is a non-predictive dynamic query over a sharded engine: one
+// core.NPDQ session per shard, each remembering its own previous snapshot
+// for the discardability pruning of Lemma 1. Not safe for concurrent Next
+// calls.
+type NPDQ struct {
+	e        *Engine
+	sessions []*core.NPDQ
+}
+
+// NewNPDQ starts one non-predictive session per shard.
+func (e *Engine) NewNPDQ(opts core.NPDQOptions) *NPDQ {
+	n := &NPDQ{e: e, sessions: make([]*core.NPDQ, len(e.shards))}
+	for i, sh := range e.shards {
+		n.sessions[i] = core.NewNPDQ(sh.Tree, opts, &sh.Counters)
+	}
+	return n
+}
+
+// Next evaluates the snapshot on every shard in parallel and returns the
+// union of the per-shard incremental answers, sorted by appearance time
+// (ties by object id, then segment start) for a deterministic merge.
+func (n *NPDQ) Next(window geom.Box, tw geom.Interval) ([]core.Result, error) {
+	parts := make([][]core.Result, len(n.sessions))
+	err := n.e.fanOut(func(i int, _ *Shard) error {
+		rs, err := n.sessions[i].Next(window, tw)
+		parts[i] = rs
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mergeResults(parts), nil
+}
+
+// Reset forgets every shard's previous snapshot (observer teleported).
+func (n *NPDQ) Reset() {
+	for _, s := range n.sessions {
+		s.Reset()
+	}
+}
+
+// Adaptive is an adaptive dynamic query over a sharded engine: one
+// core.Adaptive session per shard, fed the same frames. Each shard
+// predicts and hands off independently. Not safe for concurrent use.
+type Adaptive struct {
+	e        *Engine
+	sessions []*core.Adaptive
+}
+
+// NewAdaptive starts one adaptive session per shard.
+func (e *Engine) NewAdaptive(opts core.AdaptiveOptions) (*Adaptive, error) {
+	a := &Adaptive{e: e, sessions: make([]*core.Adaptive, len(e.shards))}
+	for i, sh := range e.shards {
+		s, err := core.NewAdaptive(sh.Tree, opts, &sh.Counters)
+		if err != nil {
+			a.Close()
+			return nil, err
+		}
+		a.sessions[i] = s
+	}
+	return a, nil
+}
+
+// Frame reports the observer's view to every shard in parallel and
+// returns the union of newly visible objects, sorted by appearance.
+func (a *Adaptive) Frame(window geom.Box, tw geom.Interval) ([]core.Result, error) {
+	parts := make([][]core.Result, len(a.sessions))
+	err := a.e.fanOut(func(i int, _ *Shard) error {
+		rs, err := a.sessions[i].Frame(window, tw)
+		parts[i] = rs
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mergeResults(parts), nil
+}
+
+// Predictive reports whether every shard session is currently running on
+// a predicted trajectory.
+func (a *Adaptive) Predictive() bool {
+	for _, s := range a.sessions {
+		if s == nil || s.Mode() != core.ModePredictive {
+			return false
+		}
+	}
+	return true
+}
+
+// Switches sums the PDQ↔NPDQ hand-offs across shards.
+func (a *Adaptive) Switches() int {
+	n := 0
+	for _, s := range a.sessions {
+		if s != nil {
+			n += s.Switches()
+		}
+	}
+	return n
+}
+
+// Close releases every shard session.
+func (a *Adaptive) Close() {
+	for _, s := range a.sessions {
+		if s != nil {
+			s.Close()
+		}
+	}
+}
+
+// mergeResults flattens per-shard result batches and sorts them by
+// appearance time (ties by id, then segment start).
+func mergeResults(parts [][]core.Result) []core.Result {
+	var out []core.Result
+	for _, rs := range parts {
+		out = append(out, rs...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Appear != b.Appear {
+			return a.Appear < b.Appear
+		}
+		if a.ID != b.ID {
+			return a.ID < b.ID
+		}
+		return a.Seg.T.Lo < b.Seg.T.Lo
+	})
+	return out
+}

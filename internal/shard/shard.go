@@ -1,0 +1,299 @@
+// Package shard implements a hash-partitioned parallel query engine over
+// N independent NSI R-trees. Motion segments are partitioned by ObjectID
+// (a splitmix64 hash, so consecutive ids spread evenly), each shard owns
+// its own pager store, buffer pool and cost counters, and queries fan out
+// across a bounded worker pool shared by every operation on the engine.
+//
+// Point operations (Insert, Delete) route to one shard. Set queries
+// (Snapshot, KNN, distance joins) run per shard in parallel and merge
+// deterministically. Dynamic-query sessions (PDQ, NPDQ, adaptive) drive
+// one per-shard cursor each and merge their streams through an
+// appearance-time min-heap, preserving the paper's "each object reported
+// once, in order of appearance" contract: an object lives in exactly one
+// shard, so cross-shard duplicates are impossible, and a k-way merge of
+// per-shard appearance-ordered streams is appearance-ordered.
+//
+// The partitioning is the classic scale-out step of distributed
+// moving-object systems (Zhu & Yu's distributed continuous range queries;
+// Keller et al.'s scalable dynamic spatial database): object-hash
+// placement keeps every update a single-shard operation, at the cost of
+// every query visiting all shards — the right trade for the paper's
+// workload, where updates vastly outnumber query sessions.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"dynq/internal/obs"
+	"dynq/internal/pager"
+	"dynq/internal/rtree"
+	"dynq/internal/stats"
+)
+
+// Options configure an engine.
+type Options struct {
+	// Shards is the number of partitions (>= 1).
+	Shards int
+	// Workers bounds the number of per-shard tasks running concurrently
+	// across ALL queries on the engine (default GOMAXPROCS).
+	Workers int
+	// BufferPages gives every shard its own LRU page buffer of this
+	// capacity (0 = bufferless pass-through, the paper's setting).
+	BufferPages int
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.Shards < 1 {
+		return o, fmt.Errorf("shard: Shards must be >= 1, got %d", o.Shards)
+	}
+	if o.Workers < 0 {
+		return o, fmt.Errorf("shard: Workers must be >= 0, got %d", o.Workers)
+	}
+	if o.BufferPages < 0 {
+		return o, fmt.Errorf("shard: BufferPages must be >= 0, got %d", o.BufferPages)
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o, nil
+}
+
+// Shard is one partition: an R-tree over its own store, with its own cost
+// counters so per-shard load is observable.
+type Shard struct {
+	Tree     *rtree.Tree
+	Counters stats.Counters
+	store    pager.Store
+}
+
+// Engine is the sharded query engine. All methods are safe for concurrent
+// use except where a session type documents otherwise; Close must not
+// race with in-flight queries.
+type Engine struct {
+	cfg    rtree.Config
+	opts   Options
+	shards []*Shard
+
+	tasks   chan func()
+	workers sync.WaitGroup
+
+	// latency records per-shard fan-out task wall time (one observation
+	// per shard per fanned-out query), for the per-shard histograms the
+	// server registry exposes.
+	latency []*obs.Histogram
+}
+
+// New builds an engine of opts.Shards empty partitions. storeFor supplies
+// the page store of shard i (memory or file-backed); on error, stores
+// already created are closed.
+func New(cfg rtree.Config, opts Options, storeFor func(i int) (pager.Store, error)) (*Engine, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:     cfg,
+		opts:    opts,
+		shards:  make([]*Shard, opts.Shards),
+		latency: make([]*obs.Histogram, opts.Shards),
+		tasks:   make(chan func()),
+	}
+	for i := range e.shards {
+		store, err := storeFor(i)
+		if err != nil {
+			e.closeStores()
+			return nil, err
+		}
+		tree, err := rtree.NewBuffered(cfg, store, opts.BufferPages)
+		if err != nil {
+			store.Close()
+			e.closeStores()
+			return nil, err
+		}
+		sh := &Shard{Tree: tree, store: store}
+		tree.SetCounters(&sh.Counters)
+		e.shards[i] = sh
+		e.latency[i] = obs.NewHistogram(nil)
+	}
+	e.workers.Add(opts.Workers)
+	for w := 0; w < opts.Workers; w++ {
+		go func() {
+			defer e.workers.Done()
+			for fn := range e.tasks {
+				fn()
+			}
+		}()
+	}
+	return e, nil
+}
+
+// Config returns the shared tree configuration.
+func (e *Engine) Config() rtree.Config { return e.cfg }
+
+// Shards returns the number of partitions.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// Workers returns the worker-pool bound.
+func (e *Engine) Workers() int { return e.opts.Workers }
+
+// Shard exposes partition i (tests, metrics).
+func (e *Engine) Shard(i int) *Shard { return e.shards[i] }
+
+// mix is the splitmix64 finalizer: object ids are often sequential, and
+// a plain modulo would put entire id ranges on one shard.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// ShardFor returns the partition owning an object's segments.
+func (e *Engine) ShardFor(id rtree.ObjectID) int {
+	return int(mix(uint64(id)) % uint64(len(e.shards)))
+}
+
+// Insert routes one motion update to its owner shard.
+func (e *Engine) Insert(en rtree.LeafEntry) error {
+	sh := e.shards[e.ShardFor(en.ID)]
+	return sh.Tree.Insert(en.ID, en.Seg)
+}
+
+// Delete removes the segment of an object starting at t0 from its owner
+// shard. It returns rtree.ErrNotFound when no such segment is indexed.
+func (e *Engine) Delete(id rtree.ObjectID, t0 float64) error {
+	return e.shards[e.ShardFor(id)].Tree.Delete(id, t0)
+}
+
+// Size returns the total number of indexed segments.
+func (e *Engine) Size() int {
+	n := 0
+	for _, sh := range e.shards {
+		n += sh.Tree.Size()
+	}
+	return n
+}
+
+// BulkLoad partitions the entry set by owner shard and bulk-loads every
+// shard in parallel at the configured fill factor, replacing current
+// contents. Every shard must be empty.
+func (e *Engine) BulkLoad(entries []rtree.LeafEntry) error {
+	for _, sh := range e.shards {
+		if sh.Tree.Size() != 0 {
+			return fmt.Errorf("shard: BulkLoad requires empty shards")
+		}
+	}
+	parts := make([][]rtree.LeafEntry, len(e.shards))
+	for _, en := range entries {
+		i := e.ShardFor(en.ID)
+		parts[i] = append(parts[i], en)
+	}
+	return e.fanOut(func(i int, sh *Shard) error {
+		tree, err := rtree.BulkLoad(e.cfg, sh.store, parts[i])
+		if err != nil {
+			return err
+		}
+		if e.opts.BufferPages > 0 {
+			if err := tree.UseBuffer(e.opts.BufferPages); err != nil {
+				return err
+			}
+		}
+		tree.SetCounters(&sh.Counters)
+		sh.Tree = tree
+		return nil
+	})
+}
+
+// CostSnapshot returns the counters summed across shards.
+func (e *Engine) CostSnapshot() stats.Snapshot {
+	var sum stats.Snapshot
+	for _, sh := range e.shards {
+		sum = sum.Add(sh.Counters.Snapshot())
+	}
+	return sum
+}
+
+// ShardCost returns shard i's own counter snapshot.
+func (e *Engine) ShardCost(i int) stats.Snapshot { return e.shards[i].Counters.Snapshot() }
+
+// ResetCost zeroes every shard's counters.
+func (e *Engine) ResetCost() {
+	for _, sh := range e.shards {
+		sh.Counters.Reset()
+	}
+}
+
+// Stats walks every shard and returns the per-shard index shapes, in
+// shard order.
+func (e *Engine) Stats() ([]rtree.TreeStats, error) {
+	out := make([]rtree.TreeStats, len(e.shards))
+	err := e.fanOut(func(i int, sh *Shard) error {
+		st, err := sh.Tree.Stats()
+		out[i] = st
+		return err
+	})
+	return out, err
+}
+
+// Validate checks every shard's structural invariants.
+func (e *Engine) Validate() error {
+	return e.fanOut(func(_ int, sh *Shard) error { return sh.Tree.Validate() })
+}
+
+// Close shuts the worker pool down and closes every shard's store.
+func (e *Engine) Close() error {
+	close(e.tasks)
+	e.workers.Wait()
+	return e.closeStores()
+}
+
+func (e *Engine) closeStores() error {
+	var errs []error
+	for _, sh := range e.shards {
+		if sh != nil {
+			errs = append(errs, sh.store.Close())
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// run executes the given tasks on the bounded worker pool and blocks
+// until all finish, returning the first error in task order. It is the
+// fan-out primitive behind every parallel operation.
+func (e *Engine) run(fns []func() error) error {
+	errs := make([]error, len(fns))
+	var wg sync.WaitGroup
+	wg.Add(len(fns))
+	for i, fn := range fns {
+		e.tasks <- func() {
+			defer wg.Done()
+			errs[i] = fn()
+		}
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fanOut runs fn once per shard on the worker pool, timing each task into
+// the shard's latency histogram.
+func (e *Engine) fanOut(fn func(i int, sh *Shard) error) error {
+	fns := make([]func() error, len(e.shards))
+	for i := range e.shards {
+		i := i
+		fns[i] = func() error {
+			start := time.Now()
+			defer func() { e.latency[i].ObserveDuration(time.Since(start)) }()
+			return fn(i, e.shards[i])
+		}
+	}
+	return e.run(fns)
+}

@@ -40,7 +40,7 @@ type serverMetrics struct {
 	noTracker      *obs.Counter
 }
 
-func newServerMetrics(reg *obs.Registry, db *dynq.DB) *serverMetrics {
+func newServerMetrics(reg *obs.Registry, db dynq.Database) *serverMetrics {
 	reg.SetHelp("netq_requests_total", "Requests received, by protocol op.")
 	reg.SetHelp("netq_request_errors_total", "Requests answered with an error, by protocol op.")
 	reg.SetHelp("netq_request_seconds", "Request handling latency in seconds, by protocol op.")
@@ -83,6 +83,12 @@ func newServerMetrics(reg *obs.Registry, db *dynq.DB) *serverMetrics {
 	reg.GaugeFunc("dynq_distance_comps_total", func() float64 { return float64(db.CostSnapshot().DistanceComps) })
 	reg.GaugeFunc("dynq_pruned_nodes_total", func() float64 { return float64(db.CostSnapshot().PrunedNodes) })
 	reg.GaugeFunc("dynq_results_total", func() float64 { return float64(db.CostSnapshot().Results) })
+
+	// A sharded backend also exposes its per-shard gauges and fan-out
+	// latency histograms.
+	if sdb, ok := db.(*dynq.ShardedDB); ok {
+		sdb.RegisterMetrics(reg)
+	}
 	return m
 }
 

@@ -2,6 +2,7 @@ package netq
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"io"
@@ -87,8 +88,8 @@ func TestMetricsEndToEnd(t *testing.T) {
 	if _, err := cl.FetchPredictive(0, 5); err != nil {
 		t.Fatal(err)
 	}
-	cl.roundTrip(Request{Op: "bogus"})  // counted as unknown op
-	cl.TrackAt(view, 0)                // counted as no-tracker error
+	cl.roundTrip(context.Background(), Request{Op: "bogus"}) // counted as unknown op
+	cl.TrackAt(view, 0)                                      // counted as no-tracker error
 
 	code, body := httpGet(t, hs.URL+"/metrics")
 	if code != 200 {
@@ -188,7 +189,7 @@ func TestTypedErrorsOverTheWire(t *testing.T) {
 	defer cl.Close()
 
 	// Unknown op reconstructs as *UnknownOpError.
-	_, err = cl.roundTrip(Request{Op: "flux-capacitor"})
+	_, err = cl.roundTrip(context.Background(), Request{Op: "flux-capacitor"})
 	var uo *UnknownOpError
 	if !errors.As(err, &uo) || uo.Op != "flux-capacitor" {
 		t.Errorf("unknown op error = %#v, want UnknownOpError", err)

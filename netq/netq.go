@@ -10,6 +10,7 @@
 package netq
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -77,7 +78,7 @@ type Response struct {
 // with their per-stage cost deltas. Serve them over HTTP with
 // obs.Handler(s.Registry(), s.Tracer()).
 type Server struct {
-	db *dynq.DB
+	db dynq.Database
 
 	trackMu sync.Mutex // Tracker is not concurrency-safe; serialize ops
 	tracker *dynq.Tracker
@@ -94,8 +95,10 @@ type Server struct {
 // TracerCapacity is the number of recent query spans a server retains.
 const TracerCapacity = 512
 
-// NewServer wraps a database.
-func NewServer(db *dynq.DB) *Server {
+// NewServer wraps a database — either a single-tree *dynq.DB or a
+// *dynq.ShardedDB; the wire protocol is identical for both, and a sharded
+// backend additionally registers its per-shard metrics.
+func NewServer(db dynq.Database) *Server {
 	reg := obs.NewRegistry()
 	return &Server{
 		db:      db,
@@ -165,7 +168,7 @@ func (s *Server) handle(conn net.Conn) {
 	enc := gob.NewEncoder(cc)
 
 	// Per-connection session state.
-	sess := &connSessions{npdq: s.db.NonPredictiveQuery(dynq.NonPredictiveOptions{})}
+	sess := &connSessions{npdq: s.db.NonPredictive(dynq.NonPredictiveOptions{})}
 	defer s.closeSessions(sess)
 
 	for {
@@ -228,11 +231,13 @@ func (s *Server) serve(sess *connSessions, req Request) Response {
 	return resp
 }
 
-// connSessions is the dynamic-query state tied to one connection.
+// connSessions is the dynamic-query state tied to one connection. The
+// cursors are held as the interface forms so the server works unchanged
+// over single-tree and sharded backends.
 type connSessions struct {
-	pdq      *dynq.PredictiveSession
-	npdq     *dynq.NonPredictiveSession
-	adaptive *dynq.AdaptiveSession
+	pdq      dynq.PredictiveCursor
+	npdq     dynq.NonPredictiveCursor
+	adaptive dynq.AdaptiveCursor
 }
 
 func (s *Server) closeSessions(cs *connSessions) {
@@ -273,7 +278,7 @@ func (s *Server) dispatch(sess *connSessions, req Request) Response {
 			*pdq = nil
 			s.metrics.activePDQ.Dec()
 		}
-		sess, err := s.db.PredictiveQuery(req.Waypoints, dynq.PredictiveOptions{Live: req.Live})
+		sess, err := s.db.Predictive(req.Waypoints, dynq.PredictiveOptions{Live: req.Live})
 		if err != nil {
 			return fail(err)
 		}
@@ -304,7 +309,7 @@ func (s *Server) dispatch(sess *connSessions, req Request) Response {
 			sess.adaptive = nil
 			s.metrics.activeAdaptive.Dec()
 		}
-		a, err := s.db.AdaptiveQuery(req.Adaptive)
+		a, err := s.db.Adaptive(req.Adaptive)
 		if err != nil {
 			return fail(err)
 		}
@@ -393,16 +398,34 @@ func NewClient(conn net.Conn) *Client {
 // Close terminates the connection (and the server-side sessions).
 func (c *Client) Close() error { return c.conn.Close() }
 
-func (c *Client) roundTrip(req Request) (Response, error) {
-	if err := c.enc.Encode(req); err != nil {
+// roundTrip sends one request and awaits its response, honoring the
+// context: cancellation (or the context's deadline) interrupts blocked
+// connection I/O immediately. Because the protocol is one request/response
+// pair in flight, a call that was interrupted mid-exchange leaves the gob
+// stream desynchronized — the connection must be closed, not reused.
+func (c *Client) roundTrip(ctx context.Context, req Request) (Response, error) {
+	if err := ctx.Err(); err != nil {
 		return Response{}, err
+	}
+	if ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, func() {
+			c.conn.SetDeadline(time.Unix(1, 0)) // wake any blocked read/write
+		})
+		defer func() {
+			if stop() {
+				c.conn.SetDeadline(time.Time{})
+			}
+		}()
+	}
+	if err := c.enc.Encode(req); err != nil {
+		return Response{}, ctxError(ctx, err)
 	}
 	var resp Response
 	if err := c.dec.Decode(&resp); err != nil {
 		if errors.Is(err, io.EOF) {
 			return Response{}, fmt.Errorf("netq: server closed the connection")
 		}
-		return Response{}, err
+		return Response{}, ctxError(ctx, err)
 	}
 	if resp.Err != "" {
 		return Response{}, typedError(req, resp)
@@ -410,58 +433,112 @@ func (c *Client) roundTrip(req Request) (Response, error) {
 	return resp, nil
 }
 
+// ctxError prefers the context's error over the I/O timeout it provoked.
+func ctxError(ctx context.Context, err error) error {
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return ctxErr
+	}
+	return err
+}
+
 // Snapshot runs an independent snapshot query.
 func (c *Client) Snapshot(view dynq.Rect, t0, t1 float64) ([]dynq.Result, error) {
-	resp, err := c.roundTrip(Request{Op: OpSnapshot, View: view, T0: t0, T1: t1})
+	return c.SnapshotCtx(context.Background(), view, t0, t1)
+}
+
+// SnapshotCtx is Snapshot with cooperative cancellation.
+func (c *Client) SnapshotCtx(ctx context.Context, view dynq.Rect, t0, t1 float64) ([]dynq.Result, error) {
+	resp, err := c.roundTrip(ctx, Request{Op: OpSnapshot, View: view, T0: t0, T1: t1})
 	return resp.Results, err
 }
 
 // Insert sends a motion update.
 func (c *Client) Insert(id dynq.ObjectID, seg dynq.Segment) error {
-	_, err := c.roundTrip(Request{Op: OpInsert, ID: id, Segment: seg})
+	return c.InsertCtx(context.Background(), id, seg)
+}
+
+// InsertCtx is Insert with cooperative cancellation.
+func (c *Client) InsertCtx(ctx context.Context, id dynq.ObjectID, seg dynq.Segment) error {
+	_, err := c.roundTrip(ctx, Request{Op: OpInsert, ID: id, Segment: seg})
 	return err
 }
 
 // KNN asks for the k objects nearest to point at time t.
 func (c *Client) KNN(point []float64, t float64, k int) ([]dynq.Neighbor, error) {
-	resp, err := c.roundTrip(Request{Op: OpKNN, Point: point, T0: t, K: k})
+	return c.KNNCtx(context.Background(), point, t, k)
+}
+
+// KNNCtx is KNN with cooperative cancellation.
+func (c *Client) KNNCtx(ctx context.Context, point []float64, t float64, k int) ([]dynq.Neighbor, error) {
+	resp, err := c.roundTrip(ctx, Request{Op: OpKNN, Point: point, T0: t, K: k})
 	return resp.Neighbors, err
 }
 
 // StartPredictive registers the observer trajectory for this connection.
 func (c *Client) StartPredictive(waypoints []dynq.Waypoint, live bool) error {
-	_, err := c.roundTrip(Request{Op: OpPDQStart, Waypoints: waypoints, Live: live})
+	return c.StartPredictiveCtx(context.Background(), waypoints, live)
+}
+
+// StartPredictiveCtx is StartPredictive with cooperative cancellation.
+func (c *Client) StartPredictiveCtx(ctx context.Context, waypoints []dynq.Waypoint, live bool) error {
+	_, err := c.roundTrip(ctx, Request{Op: OpPDQStart, Waypoints: waypoints, Live: live})
 	return err
 }
 
 // FetchPredictive returns the objects becoming visible during [t0, t1].
 func (c *Client) FetchPredictive(t0, t1 float64) ([]dynq.Result, error) {
-	resp, err := c.roundTrip(Request{Op: OpPDQFetch, T0: t0, T1: t1})
+	return c.FetchPredictiveCtx(context.Background(), t0, t1)
+}
+
+// FetchPredictiveCtx is FetchPredictive with cooperative cancellation.
+func (c *Client) FetchPredictiveCtx(ctx context.Context, t0, t1 float64) ([]dynq.Result, error) {
+	resp, err := c.roundTrip(ctx, Request{Op: OpPDQFetch, T0: t0, T1: t1})
 	return resp.Results, err
 }
 
 // NonPredictive evaluates the next snapshot of this connection's
 // non-predictive dynamic query.
 func (c *Client) NonPredictive(view dynq.Rect, t0, t1 float64) ([]dynq.Result, error) {
-	resp, err := c.roundTrip(Request{Op: OpNPDQ, View: view, T0: t0, T1: t1})
+	return c.NonPredictiveCtx(context.Background(), view, t0, t1)
+}
+
+// NonPredictiveCtx is NonPredictive with cooperative cancellation.
+func (c *Client) NonPredictiveCtx(ctx context.Context, view dynq.Rect, t0, t1 float64) ([]dynq.Result, error) {
+	resp, err := c.roundTrip(ctx, Request{Op: OpNPDQ, View: view, T0: t0, T1: t1})
 	return resp.Results, err
 }
 
 // ResetNonPredictive forgets the NPDQ history (observer teleported).
 func (c *Client) ResetNonPredictive() error {
-	_, err := c.roundTrip(Request{Op: OpNPDQReset})
+	return c.ResetNonPredictiveCtx(context.Background())
+}
+
+// ResetNonPredictiveCtx is ResetNonPredictive with cooperative
+// cancellation.
+func (c *Client) ResetNonPredictiveCtx(ctx context.Context) error {
+	_, err := c.roundTrip(ctx, Request{Op: OpNPDQReset})
 	return err
 }
 
 // Stats fetches index statistics.
 func (c *Client) Stats() (dynq.IndexStats, error) {
-	resp, err := c.roundTrip(Request{Op: OpStats})
+	return c.StatsCtx(context.Background())
+}
+
+// StatsCtx is Stats with cooperative cancellation.
+func (c *Client) StatsCtx(ctx context.Context) (dynq.IndexStats, error) {
+	resp, err := c.roundTrip(ctx, Request{Op: OpStats})
 	return resp.Stats, err
 }
 
 // StartAdaptive starts this connection's adaptive dynamic query session.
 func (c *Client) StartAdaptive(opts dynq.AdaptiveOptions) error {
-	_, err := c.roundTrip(Request{Op: OpAdaptiveStart, Adaptive: opts})
+	return c.StartAdaptiveCtx(context.Background(), opts)
+}
+
+// StartAdaptiveCtx is StartAdaptive with cooperative cancellation.
+func (c *Client) StartAdaptiveCtx(ctx context.Context, opts dynq.AdaptiveOptions) error {
+	_, err := c.roundTrip(ctx, Request{Op: OpAdaptiveStart, Adaptive: opts})
 	return err
 }
 
@@ -469,32 +546,57 @@ func (c *Client) StartAdaptive(opts dynq.AdaptiveOptions) error {
 // newly visible objects and whether the server is currently predicting
 // the observer's motion.
 func (c *Client) AdaptiveFrame(view dynq.Rect, t0, t1 float64) ([]dynq.Result, bool, error) {
-	resp, err := c.roundTrip(Request{Op: OpAdaptiveFrame, View: view, T0: t0, T1: t1})
+	return c.AdaptiveFrameCtx(context.Background(), view, t0, t1)
+}
+
+// AdaptiveFrameCtx is AdaptiveFrame with cooperative cancellation.
+func (c *Client) AdaptiveFrameCtx(ctx context.Context, view dynq.Rect, t0, t1 float64) ([]dynq.Result, bool, error) {
+	resp, err := c.roundTrip(ctx, Request{Op: OpAdaptiveFrame, View: view, T0: t0, T1: t1})
 	return resp.Results, resp.Predictive, err
 }
 
 // TrackUpdate reports an object's current motion state to the server's
 // tracker.
 func (c *Client) TrackUpdate(id dynq.ObjectID, t float64, pos, vel []float64) error {
-	_, err := c.roundTrip(Request{Op: OpTrackUpdate, ID: id, T0: t, Point: pos, Vel: vel})
+	return c.TrackUpdateCtx(context.Background(), id, t, pos, vel)
+}
+
+// TrackUpdateCtx is TrackUpdate with cooperative cancellation.
+func (c *Client) TrackUpdateCtx(ctx context.Context, id dynq.ObjectID, t float64, pos, vel []float64) error {
+	_, err := c.roundTrip(ctx, Request{Op: OpTrackUpdate, ID: id, T0: t, Point: pos, Vel: vel})
 	return err
 }
 
 // TrackAt returns the objects anticipated inside the view at time t.
 func (c *Client) TrackAt(view dynq.Rect, t float64) ([]dynq.Anticipated, error) {
-	resp, err := c.roundTrip(Request{Op: OpTrackAt, View: view, T0: t})
+	return c.TrackAtCtx(context.Background(), view, t)
+}
+
+// TrackAtCtx is TrackAt with cooperative cancellation.
+func (c *Client) TrackAtCtx(ctx context.Context, view dynq.Rect, t float64) ([]dynq.Anticipated, error) {
+	resp, err := c.roundTrip(ctx, Request{Op: OpTrackAt, View: view, T0: t})
 	return resp.Anticipated, err
 }
 
 // TrackDuring returns the objects anticipated inside the view during
 // [t0, t1].
 func (c *Client) TrackDuring(view dynq.Rect, t0, t1 float64) ([]dynq.Anticipated, error) {
-	resp, err := c.roundTrip(Request{Op: OpTrackDuring, View: view, T0: t0, T1: t1})
+	return c.TrackDuringCtx(context.Background(), view, t0, t1)
+}
+
+// TrackDuringCtx is TrackDuring with cooperative cancellation.
+func (c *Client) TrackDuringCtx(ctx context.Context, view dynq.Rect, t0, t1 float64) ([]dynq.Anticipated, error) {
+	resp, err := c.roundTrip(ctx, Request{Op: OpTrackDuring, View: view, T0: t0, T1: t1})
 	return resp.Anticipated, err
 }
 
 // TrackAlong returns the objects anticipated to enter the moving view.
 func (c *Client) TrackAlong(waypoints []dynq.Waypoint) ([]dynq.Anticipated, error) {
-	resp, err := c.roundTrip(Request{Op: OpTrackAlong, Waypoints: waypoints})
+	return c.TrackAlongCtx(context.Background(), waypoints)
+}
+
+// TrackAlongCtx is TrackAlong with cooperative cancellation.
+func (c *Client) TrackAlongCtx(ctx context.Context, waypoints []dynq.Waypoint) ([]dynq.Anticipated, error) {
+	resp, err := c.roundTrip(ctx, Request{Op: OpTrackAlong, Waypoints: waypoints})
 	return resp.Anticipated, err
 }

@@ -1,6 +1,7 @@
 package netq
 
 import (
+	"context"
 	"net"
 	"sync"
 	"testing"
@@ -8,7 +9,7 @@ import (
 	"dynq"
 )
 
-func startServer(t *testing.T, db *dynq.DB) (addr string, stop func()) {
+func startServer(t *testing.T, db dynq.Database) (addr string, stop func()) {
 	t.Helper()
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -213,7 +214,7 @@ func TestServerRejectsBadRequests(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl.Close()
-	if _, err := cl.roundTrip(Request{Op: "bogus"}); err == nil {
+	if _, err := cl.roundTrip(context.Background(), Request{Op: "bogus"}); err == nil {
 		t.Error("unknown op should error")
 	}
 	if _, err := cl.Snapshot(dynq.Rect{Min: []float64{0}, Max: []float64{1}}, 0, 1); err == nil {

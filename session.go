@@ -39,12 +39,13 @@ type PredictiveSession struct {
 	pdq *core.PDQ
 }
 
-// PredictiveQuery registers an observer trajectory and starts a
-// predictive dynamic query over it.
-func (db *DB) PredictiveQuery(waypoints []Waypoint, opts PredictiveOptions) (*PredictiveSession, error) {
+// buildTrajectory converts API waypoints into the core trajectory form,
+// applying the optional slack inflation. Shared by the single-tree and
+// sharded predictive queries.
+func buildTrajectory(waypoints []Waypoint, dims int, slack func(t float64) float64) (*trajectory.Trajectory, error) {
 	keys := make([]trajectory.Key, len(waypoints))
 	for i, w := range waypoints {
-		box, err := db.toBox(w.View)
+		box, err := toBoxDims(w.View, dims)
 		if err != nil {
 			return nil, fmt.Errorf("waypoint %d: %w", i, err)
 		}
@@ -54,11 +55,18 @@ func (db *DB) PredictiveQuery(waypoints []Waypoint, opts PredictiveOptions) (*Pr
 	if err != nil {
 		return nil, err
 	}
-	if opts.Slack != nil {
-		traj, err = traj.Inflate(opts.Slack)
-		if err != nil {
-			return nil, err
-		}
+	if slack != nil {
+		return traj.Inflate(slack)
+	}
+	return traj, nil
+}
+
+// PredictiveQuery registers an observer trajectory and starts a
+// predictive dynamic query over it.
+func (db *DB) PredictiveQuery(waypoints []Waypoint, opts PredictiveOptions) (*PredictiveSession, error) {
+	traj, err := buildTrajectory(waypoints, db.Dims(), opts.Slack)
+	if err != nil {
+		return nil, err
 	}
 	pdq, err := core.NewPDQ(db.tree, traj, core.PDQOptions{
 		LiveUpdates:        opts.Live,

@@ -1,0 +1,502 @@
+package dynq
+
+import (
+	"context"
+	"fmt"
+
+	"dynq/internal/core"
+	"dynq/internal/geom"
+	"dynq/internal/obs"
+	"dynq/internal/pager"
+	"dynq/internal/rtree"
+	"dynq/internal/shard"
+	"dynq/internal/stats"
+)
+
+// ShardOptions configure a sharded database: the single-tree Options plus
+// the partitioning knobs.
+type ShardOptions struct {
+	Options
+	// Shards is the number of hash partitions (>= 1). Objects are placed
+	// by a hash of their id, so every motion update touches exactly one
+	// shard while every query fans out across all of them.
+	Shards int
+	// Workers bounds how many per-shard query tasks run concurrently
+	// across ALL queries on the database (default GOMAXPROCS).
+	Workers int
+}
+
+// ShardedDB partitions the object population across Shards independent
+// NSI R-trees and answers every query by fanning out over a bounded
+// worker pool, merging the per-shard answers deterministically. It
+// mirrors the DB API (and satisfies Database), so a server can swap one
+// for the other without protocol changes. All methods are safe for
+// concurrent use except where a session type documents otherwise.
+type ShardedDB struct {
+	engine *shard.Engine
+	dims   int
+}
+
+// OpenSharded creates a sharded database. With Options.Path set, each
+// shard stores its pages in its own file "<Path>.shard<i>", created fresh
+// (truncating any existing file); otherwise all shards live in memory.
+func OpenSharded(opts ShardOptions) (*ShardedDB, error) {
+	if opts.Shards < 1 {
+		return nil, fmt.Errorf("dynq: ShardOptions.Shards must be >= 1, got %d", opts.Shards)
+	}
+	if opts.Workers < 0 {
+		return nil, fmt.Errorf("dynq: ShardOptions.Workers must be >= 0, got %d", opts.Workers)
+	}
+	cfg, err := opts.Options.toConfig()
+	if err != nil {
+		return nil, err
+	}
+	storeFor := func(i int) (pager.Store, error) {
+		if opts.Path == "" {
+			return pager.NewMemStore(), nil
+		}
+		return pager.CreateFileStore(fmt.Sprintf("%s.shard%d", opts.Path, i))
+	}
+	engine, err := shard.New(cfg, shard.Options{
+		Shards:      opts.Shards,
+		Workers:     opts.Workers,
+		BufferPages: opts.BufferPages,
+	}, storeFor)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedDB{engine: engine, dims: cfg.Dims}, nil
+}
+
+// Close shuts the worker pool down and releases every shard's store.
+func (db *ShardedDB) Close() error { return db.engine.Close() }
+
+// Dims returns the spatial dimensionality.
+func (db *ShardedDB) Dims() int { return db.dims }
+
+// Len returns the number of indexed motion segments across all shards.
+func (db *ShardedDB) Len() int { return db.engine.Size() }
+
+// Shards returns the number of partitions.
+func (db *ShardedDB) Shards() int { return db.engine.Shards() }
+
+// Workers returns the worker-pool bound.
+func (db *ShardedDB) Workers() int { return db.engine.Workers() }
+
+// ShardFor returns the partition owning an object's motion segments.
+func (db *ShardedDB) ShardFor(id ObjectID) int {
+	return db.engine.ShardFor(rtree.ObjectID(id))
+}
+
+// Insert records one motion update for an object on its owner shard.
+func (db *ShardedDB) Insert(id ObjectID, seg Segment) error {
+	g, err := toSegmentDims(seg, db.dims)
+	if err != nil {
+		return err
+	}
+	return db.engine.Insert(rtree.LeafEntry{ID: rtree.ObjectID(id), Seg: g})
+}
+
+// BulkLoad partitions the segment set by owner shard and bulk-loads every
+// shard in parallel, replacing current contents. The db must be empty.
+func (db *ShardedDB) BulkLoad(segs map[ObjectID][]Segment) error {
+	var entries []rtree.LeafEntry
+	for id, list := range segs {
+		for _, s := range list {
+			g, err := toSegmentDims(s, db.dims)
+			if err != nil {
+				return err
+			}
+			entries = append(entries, rtree.LeafEntry{ID: rtree.ObjectID(id), Seg: g})
+		}
+	}
+	return db.engine.BulkLoad(entries)
+}
+
+// Delete removes the motion update of an object that started at t0 from
+// its owner shard. It returns ErrNotFound if no such segment is indexed.
+func (db *ShardedDB) Delete(id ObjectID, t0 float64) error {
+	err := db.engine.Delete(rtree.ObjectID(id), t0)
+	if err == rtree.ErrNotFound {
+		return ErrNotFound
+	}
+	return err
+}
+
+// Snapshot answers one spatio-temporal range query across all shards.
+func (db *ShardedDB) Snapshot(view Rect, t0, t1 float64) ([]Result, error) {
+	return db.SnapshotCtx(context.Background(), view, t0, t1, QueryOptions{})
+}
+
+// SnapshotCtx is Snapshot with cooperative cancellation and per-query
+// options; every shard's traversal checks the context at node-visit
+// granularity.
+func (db *ShardedDB) SnapshotCtx(ctx context.Context, view Rect, t0, t1 float64, opts QueryOptions) ([]Result, error) {
+	box, err := toBoxDims(view, db.dims)
+	if err != nil {
+		return nil, err
+	}
+	ctx, finish := opts.begin(ctx, db.engine.CostSnapshot)
+	defer finish()
+	ms, err := db.engine.Snapshot(ctx, box, geom.Interval{Lo: t0, Hi: t1}, opts.Limit)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(ms))
+	for i, m := range ms {
+		out[i] = Result{
+			ID:        ObjectID(m.ID),
+			Segment:   fromSegment(m.Seg),
+			Appear:    m.Overlap.Lo,
+			Disappear: m.Overlap.Hi,
+		}
+	}
+	return out, nil
+}
+
+// KNN returns the k objects nearest to point at time t, k-way merging the
+// per-shard best-first searches.
+func (db *ShardedDB) KNN(point []float64, t float64, k int) ([]Neighbor, error) {
+	return db.KNNCtx(context.Background(), point, t, k, QueryOptions{})
+}
+
+// KNNCtx is KNN with cooperative cancellation and per-query options.
+func (db *ShardedDB) KNNCtx(ctx context.Context, point []float64, t float64, k int, opts QueryOptions) ([]Neighbor, error) {
+	if opts.Limit > 0 && opts.Limit < k {
+		k = opts.Limit
+	}
+	ctx, finish := opts.begin(ctx, db.engine.CostSnapshot)
+	defer finish()
+	nbs, err := db.engine.KNN(ctx, geom.Point(point), t, k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Neighbor, len(nbs))
+	for i, n := range nbs {
+		out[i] = Neighbor{ID: ObjectID(n.ID), Segment: fromSegment(n.Seg), Dist: n.Dist}
+	}
+	return out, nil
+}
+
+// Within finds every pair of objects whose positions at time t lie within
+// delta of each other, running the per-shard self-joins and all
+// cross-shard joins in parallel. Pairs are reported once, with A < B.
+func (db *ShardedDB) Within(delta, t float64) ([]Pair, error) {
+	pairs, err := db.engine.SelfJoin(delta, t)
+	if err != nil {
+		return nil, err
+	}
+	return fromJoinPairs(pairs), nil
+}
+
+// JoinWith finds every pair (a ∈ db, b ∈ other) within delta of each
+// other at time t. Both databases must have the same dimensionality.
+func (db *ShardedDB) JoinWith(other *ShardedDB, delta, t float64) ([]Pair, error) {
+	pairs, err := db.engine.CrossJoin(other.engine, delta, t)
+	if err != nil {
+		return nil, err
+	}
+	return fromJoinPairs(pairs), nil
+}
+
+func fromJoinPairs(pairs []core.JoinPair) []Pair {
+	out := make([]Pair, len(pairs))
+	for i, p := range pairs {
+		out[i] = Pair{
+			A: ObjectID(p.A), B: ObjectID(p.B),
+			SegmentA: fromSegment(p.SegA), SegmentB: fromSegment(p.SegB),
+			Dist: p.Dist,
+		}
+	}
+	return out
+}
+
+// ShardedPredictiveSession is a predictive dynamic query over a sharded
+// database: one per-shard cursor each, merged in order of appearance.
+// Not safe for concurrent use by multiple goroutines.
+type ShardedPredictiveSession struct {
+	pdq *shard.PDQ
+}
+
+// PredictiveQuery registers an observer trajectory and starts a
+// predictive dynamic query over every shard.
+func (db *ShardedDB) PredictiveQuery(waypoints []Waypoint, opts PredictiveOptions) (*ShardedPredictiveSession, error) {
+	traj, err := buildTrajectory(waypoints, db.dims, opts.Slack)
+	if err != nil {
+		return nil, err
+	}
+	pdq, err := db.engine.NewPDQ(traj, core.PDQOptions{
+		LiveUpdates:        opts.Live,
+		RebuildOnRootSplit: opts.RebuildOnRootSplit,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedPredictiveSession{pdq: pdq}, nil
+}
+
+// Next returns the next object becoming visible during [t0, t1] across
+// all shards, or nil when no further object appears in that window.
+func (s *ShardedPredictiveSession) Next(t0, t1 float64) (*Result, error) {
+	r, err := s.pdq.GetNext(t0, t1)
+	if err != nil || r == nil {
+		return nil, err
+	}
+	out := fromResult(*r)
+	return &out, nil
+}
+
+// Fetch returns every object becoming visible during [t0, t1].
+func (s *ShardedPredictiveSession) Fetch(t0, t1 float64) ([]Result, error) {
+	rs, err := s.pdq.Drain(t0, t1)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(rs))
+	for i, r := range rs {
+		out[i] = fromResult(r)
+	}
+	return out, nil
+}
+
+// Close releases every per-shard cursor.
+func (s *ShardedPredictiveSession) Close() { s.pdq.Close() }
+
+// ShardedNonPredictiveSession is a non-predictive dynamic query over a
+// sharded database. Not safe for concurrent use by multiple goroutines.
+type ShardedNonPredictiveSession struct {
+	db   *ShardedDB
+	npdq *shard.NPDQ
+}
+
+// NonPredictiveQuery starts a non-predictive dynamic query session with
+// one per-shard sub-session.
+func (db *ShardedDB) NonPredictiveQuery(opts NonPredictiveOptions) *ShardedNonPredictiveSession {
+	return &ShardedNonPredictiveSession{
+		db: db,
+		npdq: db.engine.NewNPDQ(core.NPDQOptions{
+			TrackIDs:     opts.TrackIDs,
+			ExactAnswers: opts.ExactAnswers,
+		}),
+	}
+}
+
+// Snapshot evaluates the next snapshot of the dynamic query on every
+// shard in parallel and returns the additional answers not delivered by
+// the previous snapshot.
+func (s *ShardedNonPredictiveSession) Snapshot(view Rect, t0, t1 float64) ([]Result, error) {
+	box, err := toBoxDims(view, s.db.dims)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := s.npdq.Next(box, geom.Interval{Lo: t0, Hi: t1})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(rs))
+	for i, r := range rs {
+		out[i] = fromResult(r)
+	}
+	return out, nil
+}
+
+// Reset forgets every shard's previous snapshot (observer teleported).
+func (s *ShardedNonPredictiveSession) Reset() { s.npdq.Reset() }
+
+// ShardedAdaptiveSession is an adaptive dynamic query over a sharded
+// database; each shard predicts and hands off independently. Not safe
+// for concurrent use.
+type ShardedAdaptiveSession struct {
+	db *ShardedDB
+	a  *shard.Adaptive
+}
+
+// AdaptiveQuery starts an adaptive dynamic query session.
+func (db *ShardedDB) AdaptiveQuery(opts AdaptiveOptions) (*ShardedAdaptiveSession, error) {
+	a, err := db.engine.NewAdaptive(core.AdaptiveOptions{
+		Slack:        opts.Slack,
+		Horizon:      opts.Horizon,
+		StableFrames: opts.StableFrames,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedAdaptiveSession{db: db, a: a}, nil
+}
+
+// Frame reports the observer's actual view for one frame and returns the
+// newly visible objects, merged across shards.
+func (s *ShardedAdaptiveSession) Frame(view Rect, t0, t1 float64) ([]Result, error) {
+	box, err := toBoxDims(view, s.db.dims)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := s.a.Frame(box, geom.Interval{Lo: t0, Hi: t1})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(rs))
+	for i, r := range rs {
+		out[i] = fromResult(r)
+	}
+	return out, nil
+}
+
+// Predictive reports whether every shard session is currently running on
+// a predicted trajectory.
+func (s *ShardedAdaptiveSession) Predictive() bool { return s.a.Predictive() }
+
+// Handoffs reports the PDQ↔NPDQ switches summed across shards.
+func (s *ShardedAdaptiveSession) Handoffs() int { return s.a.Switches() }
+
+// Close releases every shard session.
+func (s *ShardedAdaptiveSession) Close() { s.a.Close() }
+
+// CountSeries evaluates the continuous COUNT(*) of a moving view, summing
+// the per-shard series evaluated in parallel.
+func (db *ShardedDB) CountSeries(waypoints []Waypoint, times []float64) ([]int, error) {
+	traj, err := buildTrajectory(waypoints, db.dims, nil)
+	if err != nil {
+		return nil, err
+	}
+	return db.engine.CountSeries(traj, times)
+}
+
+// Predictive starts a predictive dynamic query in the interface form
+// shared with DB.
+func (db *ShardedDB) Predictive(waypoints []Waypoint, opts PredictiveOptions) (PredictiveCursor, error) {
+	return db.PredictiveQuery(waypoints, opts)
+}
+
+// NonPredictive starts a non-predictive session in the interface form
+// shared with DB.
+func (db *ShardedDB) NonPredictive(opts NonPredictiveOptions) NonPredictiveCursor {
+	return db.NonPredictiveQuery(opts)
+}
+
+// Adaptive starts an adaptive session in the interface form shared with
+// DB.
+func (db *ShardedDB) Adaptive(opts AdaptiveOptions) (AdaptiveCursor, error) {
+	return db.AdaptiveQuery(opts)
+}
+
+// CostSnapshot returns the cost counters summed across shards.
+func (db *ShardedDB) CostSnapshot() stats.Snapshot { return db.engine.CostSnapshot() }
+
+// Cost returns the accumulated query cost counters summed across shards.
+func (db *ShardedDB) Cost() CostReport { return costReport(db.engine.CostSnapshot()) }
+
+// ShardCost returns shard i's own accumulated cost counters.
+func (db *ShardedDB) ShardCost(i int) CostReport { return costReport(db.engine.ShardCost(i)) }
+
+// ResetCost zeroes every shard's cost counters.
+func (db *ShardedDB) ResetCost() { db.engine.ResetCost() }
+
+func costReport(s stats.Snapshot) CostReport {
+	return CostReport{
+		DiskReads:     s.Reads(),
+		LeafReads:     s.LeafReads,
+		InternalReads: s.InternalReads,
+		DistanceComps: s.DistanceComps,
+		Results:       s.Results,
+	}
+}
+
+// BufferStats reports the buffer-pool accounting summed across shards.
+func (db *ShardedDB) BufferStats() BufferStats {
+	var out BufferStats
+	for i := 0; i < db.engine.Shards(); i++ {
+		b := db.ShardBufferStats(i)
+		out.Hits += b.Hits
+		out.Misses += b.Misses
+		out.Evictions += b.Evictions
+		out.WriteBacks += b.WriteBacks
+		out.Len += b.Len
+		out.Capacity += b.Capacity
+	}
+	return out
+}
+
+// ShardBufferStats reports shard i's own buffer-pool accounting.
+func (db *ShardedDB) ShardBufferStats(i int) BufferStats {
+	p := db.engine.Shard(i).Tree.Pool()
+	return BufferStats{
+		Hits:       p.Hits(),
+		Misses:     p.Misses(),
+		Evictions:  p.Evictions(),
+		WriteBacks: p.WriteBacks(),
+		Len:        p.Len(),
+		Capacity:   p.Capacity(),
+	}
+}
+
+// Stats walks every shard and reports the aggregate index shape: node and
+// segment counts summed, height and fanout taken as the maximum, fill
+// factors weighted by node count.
+func (db *ShardedDB) Stats() (IndexStats, error) {
+	per, err := db.StatsByShard()
+	if err != nil {
+		return IndexStats{}, err
+	}
+	var out IndexStats
+	var leafFill, intFill float64
+	for _, st := range per {
+		out.Segments += st.Segments
+		out.LeafNodes += st.LeafNodes
+		out.InternalNodes += st.InternalNodes
+		if st.Height > out.Height {
+			out.Height = st.Height
+		}
+		if st.LeafFanout > out.LeafFanout {
+			out.LeafFanout = st.LeafFanout
+		}
+		if st.IntFanout > out.IntFanout {
+			out.IntFanout = st.IntFanout
+		}
+		leafFill += st.AvgLeafFill * float64(st.LeafNodes)
+		intFill += st.AvgIntFill * float64(st.InternalNodes)
+	}
+	if out.LeafNodes > 0 {
+		out.AvgLeafFill = leafFill / float64(out.LeafNodes)
+	}
+	if out.InternalNodes > 0 {
+		out.AvgIntFill = intFill / float64(out.InternalNodes)
+	}
+	return out, nil
+}
+
+// StatsByShard walks every shard and reports the per-shard index shapes,
+// in shard order.
+func (db *ShardedDB) StatsByShard() ([]IndexStats, error) {
+	per, err := db.engine.Stats()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]IndexStats, len(per))
+	for i, st := range per {
+		out[i] = IndexStats{
+			Height:        st.Height,
+			Segments:      st.Segments,
+			LeafNodes:     st.LeafNodes,
+			InternalNodes: st.InternalNodes,
+			LeafFanout:    st.MaxLeafFan,
+			IntFanout:     st.MaxIntFan,
+			AvgLeafFill:   st.AvgLeafFill,
+			AvgIntFill:    st.AvgIntFill,
+		}
+	}
+	return out, nil
+}
+
+// Validate checks every shard's structural invariants (tests/tools).
+func (db *ShardedDB) Validate() error { return db.engine.Validate() }
+
+// RegisterMetrics exposes the per-shard gauges and fan-out latency
+// histograms through a metric registry.
+func (db *ShardedDB) RegisterMetrics(reg *obs.Registry) { db.engine.Register(reg) }
+
+// Compile-time check: both database flavors present the same surface.
+var (
+	_ Database = (*DB)(nil)
+	_ Database = (*ShardedDB)(nil)
+)
