@@ -7,6 +7,8 @@
 // Usage:
 //
 //	dqbench [-fig N] [-scale F] [-trajectories N] [-seed N] [-csv] [-mixed] [-hist] [-shards N]
+//	        [-json FILE] [-compare FILE] [-compare-threshold F] [-compare-warn]
+//	        [-log-level L] [-log-format F]
 //
 //	-fig 0            regenerate all figures (6-13); or a single figure
 //	-scale 0.2        object population scale (1.0 = the paper's 5000
@@ -17,6 +19,11 @@
 //	-mixed            also run the mixed static+mobile NPDQ experiment
 //	-hist             report per-frame wall-time percentiles per figure
 //	-shards 4         also run the 1-vs-N sharded engine comparison
+//	-json FILE        write a versioned machine-readable report (BENCH_*.json)
+//	-compare FILE     check this run against a baseline report; exits 3 on
+//	                  regression unless -compare-warn is set
+//	-log-level info   diagnostic log level: debug, info, warn, error
+//	-log-format text  diagnostic log format: text or json
 //
 // SIGINT/SIGTERM finishes the current figure and exits cleanly; a second
 // signal forces exit.
@@ -32,6 +39,7 @@ import (
 	"time"
 
 	"dynq/internal/bench"
+	"dynq/internal/bench/compare"
 	"dynq/internal/obs"
 	"dynq/internal/stats"
 )
@@ -47,8 +55,27 @@ func main() {
 		hist         = flag.Bool("hist", false, "report per-frame wall-time percentiles (p50/p95/p99) per figure")
 		shards       = flag.Int("shards", 0, "also run the 1-vs-N sharded engine comparison with N shards")
 		workers      = flag.Int("workers", 0, "worker-pool bound for -shards (0 = GOMAXPROCS)")
+
+		jsonOut          = flag.String("json", "", "write a machine-readable benchmark report (BENCH_*.json) to this file")
+		comparePath      = flag.String("compare", "", "baseline BENCH_*.json to check this run against")
+		compareThreshold = flag.Float64("compare-threshold", compare.DefaultThreshold, "relative cost increase -compare flags as a regression")
+		compareWarn      = flag.Bool("compare-warn", false, "report -compare regressions without failing the run")
+		latThreshold     = flag.Float64("compare-latency", 0, "also compare p95 frame latency at this threshold (0 = skip; needs comparable hardware)")
+
+		logLevel  = flag.String("log-level", "info", "diagnostic log level: debug, info, warn, error")
+		logFormat = flag.String("log-format", "text", "diagnostic log format: text or json")
 	)
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dqbench:", err)
+		os.Exit(2)
+	}
+	fatal := func(err error) {
+		logger.Error("dqbench failed", "err", err)
+		os.Exit(1)
+	}
 
 	// Shut down cleanly on SIGINT/SIGTERM: finish the figure in flight,
 	// skip the rest. A second signal forces exit.
@@ -57,39 +84,77 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sig
-		fmt.Fprintln(os.Stderr, "\ndqbench: interrupted, finishing current figure (^C again to force)")
+		logger.Warn("interrupted, finishing current figure (^C again to force)")
 		interrupted.Store(true)
 		<-sig
-		fmt.Fprintln(os.Stderr, "dqbench: forced exit")
+		logger.Error("forced exit")
 		os.Exit(130)
 	}()
 
 	cfg := bench.Config{Scale: *scale, Trajectories: *trajectories, Seed: *seed}
+	telemetry := *jsonOut != "" || *comparePath != ""
 	// The latency hook feeds whichever histogram the current figure owns
-	// (figures run sequentially, so a single indirection suffices).
+	// (figures run sequentially, so a single indirection suffices). The
+	// telemetry report wants per-figure percentiles too, so -json implies
+	// collection even without -hist.
 	var curHist *obs.Histogram
-	if *hist {
+	if *hist || telemetry {
 		cfg.Latency = func(d time.Duration) {
 			if curHist != nil {
 				curHist.ObserveDuration(d)
 			}
 		}
 	}
+	report := bench.NewReport(cfg)
+	// finish writes the telemetry report and runs the baseline comparison;
+	// every successful exit path goes through it so `-json`/`-compare`
+	// work with `-mixed`/`-shards`-only runs and after an interrupt.
+	finish := func() {
+		if !telemetry {
+			return
+		}
+		if *jsonOut != "" {
+			if err := report.WriteFile(*jsonOut); err != nil {
+				fatal(err)
+			}
+			logger.Info("wrote benchmark report", "path", *jsonOut,
+				"schema_version", bench.ReportSchemaVersion, "figures", len(report.Figures))
+		}
+		if *comparePath != "" {
+			baseline, err := bench.ReadReport(*comparePath)
+			if err != nil {
+				fatal(err)
+			}
+			res, err := compare.Compare(baseline, report, compare.Options{
+				Threshold:        *compareThreshold,
+				LatencyThreshold: *latThreshold,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintln(os.Stderr, res.Summary())
+			if !res.OK() && !*compareWarn {
+				logger.Error("benchmark regression against baseline",
+					"baseline", *comparePath, "regressions", len(res.Regressions))
+				os.Exit(3)
+			}
+		}
+	}
 	if *mixed {
 		if err := runMixed(cfg); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(err)
 		}
 		if *fig == 0 {
+			finish()
 			return
 		}
 	}
 	if *shards > 0 {
-		if err := runShards(cfg, *shards, *workers); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		if err := runShards(cfg, *shards, *workers, report); err != nil {
+			fatal(err)
 		}
 		if *fig == 0 {
+			finish()
 			return
 		}
 	}
@@ -126,32 +191,33 @@ func main() {
 
 	for _, spec := range specs {
 		if interrupted.Load() {
-			fmt.Fprintf(os.Stderr, "dqbench: skipping figure %d and later\n", spec.Fig)
+			logger.Warn("skipping remaining figures", "from_fig", int(spec.Fig))
 			break
 		}
 		start := time.Now()
-		if *hist {
+		if *hist || telemetry {
 			curHist = obs.NewHistogram(nil)
 		}
 		ix, err := index(spec.DualTime)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(err)
 		}
 		cells, err := bench.RunFigureOn(ix, spec)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(err)
 		}
+		elapsed := time.Since(start)
 		if *csvOut {
 			printCSV(spec, cells)
 		} else {
-			printFigure(spec, cells, ix.Segments, time.Since(start))
+			printFigure(spec, cells, ix.Segments, elapsed)
 		}
 		if *hist && curHist.Count() > 0 {
 			printHist(spec, curHist)
 		}
+		report.AddFigure(spec, cells, ix.Segments, elapsed, bench.LatencyFromHistogram(curHist))
 	}
+	finish()
 }
 
 // printHist reports the figure's per-frame wall-time percentiles — the
@@ -187,12 +253,13 @@ func printCSV(spec bench.FigureSpec, cells []bench.Cell) {
 // runShards prints the sharded-engine comparison: the same snapshot and
 // KNN workload on one tree vs an N-shard parallel engine. Speedup needs
 // real cores; on one CPU the table shows the fan-out overhead instead.
-func runShards(cfg bench.Config, shards, workers int) error {
+func runShards(cfg bench.Config, shards, workers int, report *bench.Report) error {
 	fmt.Printf("\n=== Sharded engine: 1 tree vs %d shards (snapshot sweep + KNN) ===\n", shards)
 	cells, segments, err := bench.ShardExperiment(cfg, shards, workers)
 	if err != nil {
 		return err
 	}
+	report.AddShardCells(shards, cells)
 	fmt.Printf("index: %d segments; workers=%d (0=GOMAXPROCS)\n", segments, workers)
 	fmt.Printf("%-9s | %-8s | %-12s | %-12s | %s\n", "workload", "queries", "single", "sharded", "speedup")
 	for _, c := range cells {

@@ -10,12 +10,16 @@
 //	/debug/trace    recent query spans (per-stage cost deltas) as JSONL
 //	/debug/pprof/*  the standard runtime profiles
 //
-// SIGINT/SIGTERM shut the server down gracefully, printing a final
+// SIGINT/SIGTERM shut the server down gracefully, logging a final
 // cumulative cost summary; a second signal forces exit.
+//
+// Diagnostics go to stderr through log/slog; -log-format json makes them
+// machine-parseable and request-scoped lines carry trace/span ids.
 //
 // Usage:
 //
 //	dqserver [-addr :7207] [-metrics :7208] [-db db.dynq | -scale F -seed N [-dual] [-shards N]]
+//	         [-log-level info] [-log-format text]
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -47,49 +52,77 @@ func main() {
 		track   = flag.Bool("track", false, "attach a current-state tracker (enables OpTrack* operations)")
 		horizon = flag.Float64("horizon", 2, "tracker anticipation horizon")
 		shards  = flag.Int("shards", 1, "partition the index across N parallel shards (>1 requires a synthetic index, not -db)")
+
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error (debug logs every request)")
+		logFormat = flag.String("log-format", "text", "log format: text or json")
 	)
 	flag.Parse()
 
-	db, err := openDB(*path, *scale, *seed, *dual, *shards)
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(os.Stderr, "dqserver:", err)
+		os.Exit(2)
+	}
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "err", err)
 		os.Exit(1)
+	}
+
+	db, err := openDB(*path, *scale, *seed, *dual, *shards, logger)
+	if err != nil {
+		fatal("open database", err)
 	}
 	defer db.Close()
 	st, err := db.Stats()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	fmt.Printf("serving %d segments (height %d, %d+%d nodes) on %s\n",
-		st.Segments, st.Height, st.InternalNodes, st.LeafNodes, *addr)
-	if sdb, ok := db.(*dynq.ShardedDB); ok {
-		fmt.Printf("sharded engine: %d shards, %d workers\n", sdb.Shards(), sdb.Workers())
+		fatal("read index stats", err)
 	}
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal("bind query listener", err)
 	}
+	shardCount := 1
+	args := []any{
+		"addr", l.Addr().String(),
+		"segments", st.Segments,
+		"height", st.Height,
+		"internal_nodes", st.InternalNodes,
+		"leaf_nodes", st.LeafNodes,
+	}
+	if sdb, ok := db.(*dynq.ShardedDB); ok {
+		shardCount = sdb.Shards()
+		args = append(args, "workers", sdb.Workers())
+	}
+	args = append(args, "shards", shardCount)
+	logger.Info("serving", args...)
+
 	srv := netq.NewServer(db)
+	srv.WithLogger(logger)
 	if *track {
 		tk, err := dynq.NewTracker(dynq.TrackerOptions{Horizon: *horizon})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal("attach tracker", err)
 		}
 		srv.WithTracker(tk)
-		fmt.Println("tracker attached (OpTrack* enabled)")
+		logger.Info("tracker attached (OpTrack* enabled)", "horizon", *horizon)
 	}
 
 	var hs *http.Server
 	if *metrics != "" {
-		hs = &http.Server{Addr: *metrics, Handler: obs.Handler(srv.Registry(), srv.Tracer())}
+		// Bind synchronously so a taken port is a startup failure, not a
+		// warning buried in the logs of an otherwise-healthy server.
+		ml, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			fatal("bind metrics listener", err)
+		}
+		hs = &http.Server{Handler: obs.Handler(srv.Registry(), srv.Tracer())}
+		logger.Info("observability endpoint up",
+			"addr", ml.Addr().String(),
+			"paths", "/metrics /debug/vars /debug/trace /debug/pprof")
 		go func() {
-			fmt.Printf("observability on %s (/metrics /debug/vars /debug/trace /debug/pprof)\n", *metrics)
-			if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				fmt.Fprintln(os.Stderr, "metrics server:", err)
+			if err := hs.Serve(ml); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("metrics server", "err", err)
 			}
 		}()
 	}
@@ -100,7 +133,7 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sig
-		fmt.Println("\nshutting down...")
+		logger.Info("shutting down")
 		l.Close()
 		srv.Close()
 		if hs != nil {
@@ -110,25 +143,26 @@ func main() {
 		}
 		go func() {
 			<-sig
-			fmt.Fprintln(os.Stderr, "forced exit")
+			logger.Error("forced exit")
 			os.Exit(130)
 		}()
 	}()
 
 	err = srv.Serve(l)
 	if err != nil && !errors.Is(err, net.ErrClosed) {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal("serve", err)
 	}
 	// Final summary: cumulative paper-metric counters and buffer state.
-	fmt.Printf("final cost counters: %s\n", db.CostSnapshot())
 	bs := db.BufferStats()
-	fmt.Printf("buffer pool: %d/%d frames, hits=%d misses=%d ratio=%.2f writebacks=%d\n",
-		bs.Len, bs.Capacity, bs.Hits, bs.Misses, bs.HitRatio(), bs.WriteBacks)
-	fmt.Println("bye")
+	logger.Info("final cost counters", "counters", db.CostSnapshot().String())
+	logger.Info("buffer pool",
+		"frames", bs.Len, "capacity", bs.Capacity,
+		"hits", bs.Hits, "misses", bs.Misses,
+		"hit_ratio", bs.HitRatio(), "writebacks", bs.WriteBacks)
+	logger.Info("bye")
 }
 
-func openDB(path string, scale float64, seed int64, dual bool, shards int) (dynq.Database, error) {
+func openDB(path string, scale float64, seed int64, dual bool, shards int, logger *slog.Logger) (dynq.Database, error) {
 	if shards < 1 {
 		return nil, fmt.Errorf("-shards must be >= 1, got %d", shards)
 	}
@@ -172,7 +206,9 @@ func openDB(path string, scale float64, seed int64, dual bool, shards int) (dynq
 		db.Close()
 		return nil, err
 	}
-	fmt.Printf("generated and indexed %d segments in %v\n", len(segs), time.Since(start).Round(time.Millisecond))
+	logger.Info("generated and indexed synthetic workload",
+		"segments", len(segs), "objects", sim.Objects, "seed", seed,
+		"elapsed", time.Since(start).Round(time.Millisecond))
 	return db, nil
 }
 

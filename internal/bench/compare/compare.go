@@ -1,0 +1,187 @@
+// Package compare checks a fresh benchmark report against a recorded
+// baseline and flags cost or latency regressions. The paper's cost
+// counters (disk accesses, distance computations) are deterministic for
+// a fixed seed, so cell-for-cell comparison is exact across machines;
+// wall-clock latency is noisy and is only checked when explicitly
+// enabled.
+package compare
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dynq/internal/bench"
+)
+
+// Options tunes the regression check.
+type Options struct {
+	// Threshold is the relative increase in a deterministic cost counter
+	// (reads, distance comparisons) that counts as a regression.
+	// Zero means the default of 10%.
+	Threshold float64
+	// LatencyThreshold, when positive, also compares p95 frame latency.
+	// Latency is machine- and load-dependent, so it is off by default
+	// and meant for runs pinned to comparable hardware.
+	LatencyThreshold float64
+}
+
+// DefaultThreshold is the cost-counter tolerance used when
+// Options.Threshold is zero.
+const DefaultThreshold = 0.10
+
+// minCost is the absolute floor below which relative cost changes are
+// ignored: going from 0.2 to 0.5 reads per query is noise in the mean,
+// not a regression worth failing CI over.
+const minCost = 1.0
+
+// Regression is one metric that got worse beyond the threshold.
+type Regression struct {
+	Fig      int
+	Strategy string
+	Overlap  float64
+	Range    float64
+	Phase    string // "first" | "subseq" | "latency"
+	Metric   string
+	Old      float64
+	New      float64
+}
+
+// Ratio is the relative increase (0.5 = 50% worse).
+func (r Regression) Ratio() float64 {
+	if r.Old == 0 {
+		return 0
+	}
+	return r.New/r.Old - 1
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("fig %d %s overlap=%g range=%g: %s %s %.2f -> %.2f (+%.1f%%)",
+		r.Fig, r.Strategy, r.Overlap, r.Range, r.Phase, r.Metric,
+		r.Old, r.New, 100*r.Ratio())
+}
+
+// Result summarizes one comparison.
+type Result struct {
+	Regressions []Regression
+	// CellsCompared counts baseline cells matched in the new report.
+	CellsCompared int
+	// Missing lists baseline cells the new report no longer measures —
+	// reported (not failed) so a narrowed run is visible, not silent.
+	Missing []string
+}
+
+// OK reports whether the run is free of regressions.
+func (r *Result) OK() bool { return len(r.Regressions) == 0 }
+
+// Summary renders the result for terminal output.
+func (r *Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "compared %d cells", r.CellsCompared)
+	if len(r.Missing) > 0 {
+		fmt.Fprintf(&b, " (%d baseline cells not in this run)", len(r.Missing))
+	}
+	if r.OK() {
+		b.WriteString(": no regressions")
+		return b.String()
+	}
+	fmt.Fprintf(&b, ": %d regression(s)\n", len(r.Regressions))
+	for _, reg := range r.Regressions {
+		b.WriteString("  REGRESSION " + reg.String() + "\n")
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+type cellKey struct {
+	fig          int
+	strategy     string
+	overlap, rng float64
+}
+
+func (k cellKey) String() string {
+	return fmt.Sprintf("fig %d %s overlap=%g range=%g", k.fig, k.strategy, k.overlap, k.rng)
+}
+
+// Compare checks the new report against the baseline. It errors when
+// the two runs measured different workloads (scale, seed, trajectory
+// count), because cost counters are only comparable on identical input.
+func Compare(baseline, current *bench.Report, opts Options) (*Result, error) {
+	if baseline.Scale != current.Scale {
+		return nil, fmt.Errorf("compare: scale differs (baseline %g, current %g)", baseline.Scale, current.Scale)
+	}
+	if baseline.Seed != current.Seed {
+		return nil, fmt.Errorf("compare: seed differs (baseline %d, current %d)", baseline.Seed, current.Seed)
+	}
+	if baseline.Trajectories != current.Trajectories {
+		return nil, fmt.Errorf("compare: trajectory count differs (baseline %d, current %d)", baseline.Trajectories, current.Trajectories)
+	}
+	threshold := opts.Threshold
+	if threshold == 0 {
+		threshold = DefaultThreshold
+	}
+
+	cur := make(map[cellKey]bench.CellReport)
+	for _, f := range current.Figures {
+		for _, c := range f.Cells {
+			cur[cellKey{f.Fig, c.Strategy, c.Overlap, c.Range}] = c
+		}
+	}
+
+	res := &Result{}
+	for _, f := range baseline.Figures {
+		for _, oc := range f.Cells {
+			key := cellKey{f.Fig, oc.Strategy, oc.Overlap, oc.Range}
+			nc, ok := cur[key]
+			if !ok {
+				res.Missing = append(res.Missing, key.String())
+				continue
+			}
+			res.CellsCompared++
+			checkPhase(res, key, "first", oc.First, nc.First, threshold)
+			checkPhase(res, key, "subseq", oc.Subseq, nc.Subseq, threshold)
+		}
+		if opts.LatencyThreshold > 0 {
+			checkLatency(res, current, f, opts.LatencyThreshold)
+		}
+	}
+	sort.Slice(res.Regressions, func(i, j int) bool {
+		return res.Regressions[i].Ratio() > res.Regressions[j].Ratio()
+	})
+	return res, nil
+}
+
+func checkPhase(res *Result, key cellKey, phase string, old, cur bench.CostReport, threshold float64) {
+	check := func(metric string, o, n float64) {
+		if o < minCost && n < minCost {
+			return
+		}
+		if o <= 0 {
+			o = minCost // a metric appearing from zero is judged against the floor
+		}
+		if n > o*(1+threshold) {
+			res.Regressions = append(res.Regressions, Regression{
+				Fig: key.fig, Strategy: key.strategy, Overlap: key.overlap, Range: key.rng,
+				Phase: phase, Metric: metric, Old: o, New: n,
+			})
+		}
+	}
+	check("reads", old.Reads, cur.Reads)
+	check("distance_comps", old.DistanceComps, cur.DistanceComps)
+}
+
+func checkLatency(res *Result, current *bench.Report, baseFig bench.FigureReport, threshold float64) {
+	if baseFig.Latency == nil {
+		return
+	}
+	curFig, ok := current.FigureByNumber(baseFig.Fig)
+	if !ok || curFig.Latency == nil {
+		return
+	}
+	o, n := baseFig.Latency.P95NS, curFig.Latency.P95NS
+	if o > 0 && n > o*(1+threshold) {
+		res.Regressions = append(res.Regressions, Regression{
+			Fig: baseFig.Fig, Strategy: "*", Phase: "latency", Metric: "p95_ns",
+			Old: o, New: n,
+		})
+	}
+}

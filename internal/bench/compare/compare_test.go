@@ -1,0 +1,193 @@
+package compare
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dynq/internal/bench"
+)
+
+func sampleReport() *bench.Report {
+	return &bench.Report{
+		SchemaVersion: bench.ReportSchemaVersion,
+		Scale:         0.05,
+		Trajectories:  5,
+		Seed:          42,
+		Figures: []bench.FigureReport{{
+			Fig:    6,
+			Title:  "Moving query cost",
+			Metric: "disk accesses / query",
+			Latency: &bench.LatencyReport{
+				Count: 100, MeanNS: 1e6, P50NS: 0.9e6, P95NS: 2e6, P99NS: 3e6,
+			},
+			Cells: []bench.CellReport{
+				{
+					Strategy: "naive", Overlap: 0.5, Range: 10,
+					First:  bench.CostReport{Reads: 40, DistanceComps: 120, Results: 8},
+					Subseq: bench.CostReport{Reads: 40, DistanceComps: 120, Results: 8},
+				},
+				{
+					Strategy: "incremental", Overlap: 0.5, Range: 10,
+					First:  bench.CostReport{Reads: 40, DistanceComps: 120, Results: 8},
+					Subseq: bench.CostReport{Reads: 6, DistanceComps: 30, Results: 8},
+				},
+			},
+		}},
+	}
+}
+
+func TestCompareIdenticalReportsPass(t *testing.T) {
+	res, err := Compare(sampleReport(), sampleReport(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("identical reports flagged: %s", res.Summary())
+	}
+	if res.CellsCompared != 2 {
+		t.Errorf("CellsCompared = %d, want 2", res.CellsCompared)
+	}
+}
+
+func TestCompareFlagsInjectedRegression(t *testing.T) {
+	base := sampleReport()
+	cur := sampleReport()
+	// Inject a 50% regression into the incremental strategy's
+	// subsequent-frame reads — the acceptance scenario.
+	cur.Figures[0].Cells[1].Subseq.Reads *= 1.5
+
+	res, err := Compare(base, cur, Options{Threshold: 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() {
+		t.Fatal("50% regression not flagged at a 10% threshold")
+	}
+	if len(res.Regressions) != 1 {
+		t.Fatalf("regressions = %v, want exactly the injected one", res.Regressions)
+	}
+	r := res.Regressions[0]
+	if r.Strategy != "incremental" || r.Phase != "subseq" || r.Metric != "reads" {
+		t.Errorf("flagged %+v, want incremental/subseq/reads", r)
+	}
+	if got := r.Ratio(); got < 0.49 || got > 0.51 {
+		t.Errorf("Ratio() = %v, want ~0.5", got)
+	}
+	if !strings.Contains(res.Summary(), "REGRESSION") {
+		t.Errorf("Summary() = %q", res.Summary())
+	}
+}
+
+func TestCompareWithinThresholdPasses(t *testing.T) {
+	base := sampleReport()
+	cur := sampleReport()
+	cur.Figures[0].Cells[0].First.Reads *= 1.05 // +5% under a 10% threshold
+
+	res, err := Compare(base, cur, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Errorf("5%% drift flagged at default threshold: %s", res.Summary())
+	}
+}
+
+func TestCompareIgnoresSubUnitCosts(t *testing.T) {
+	base := sampleReport()
+	cur := sampleReport()
+	base.Figures[0].Cells[1].Subseq.DistanceComps = 0.2
+	cur.Figures[0].Cells[1].Subseq.DistanceComps = 0.6 // 3x, but below the floor
+
+	res, err := Compare(base, cur, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Errorf("sub-unit mean change flagged: %s", res.Summary())
+	}
+}
+
+func TestCompareRejectsDifferentWorkloads(t *testing.T) {
+	for _, mut := range []func(*bench.Report){
+		func(r *bench.Report) { r.Scale = 0.1 },
+		func(r *bench.Report) { r.Seed = 7 },
+		func(r *bench.Report) { r.Trajectories = 50 },
+	} {
+		cur := sampleReport()
+		mut(cur)
+		if _, err := Compare(sampleReport(), cur, Options{}); err == nil {
+			t.Errorf("workload mismatch %+v not rejected", cur)
+		}
+	}
+}
+
+func TestCompareReportsMissingCells(t *testing.T) {
+	cur := sampleReport()
+	cur.Figures[0].Cells = cur.Figures[0].Cells[:1]
+
+	res, err := Compare(sampleReport(), cur, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Missing) != 1 || !strings.Contains(res.Missing[0], "incremental") {
+		t.Errorf("Missing = %v", res.Missing)
+	}
+	if !strings.Contains(res.Summary(), "not in this run") {
+		t.Errorf("Summary() = %q", res.Summary())
+	}
+}
+
+func TestCompareLatencyOptIn(t *testing.T) {
+	base := sampleReport()
+	cur := sampleReport()
+	cur.Figures[0].Latency.P95NS *= 2
+
+	// Off by default: latency doubling is not flagged.
+	res, err := Compare(base, cur, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("latency compared without opt-in: %s", res.Summary())
+	}
+
+	// Opted in: flagged as a latency regression.
+	res, err = Compare(base, cur, Options{LatencyThreshold: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() || res.Regressions[0].Phase != "latency" {
+		t.Errorf("latency regression not flagged: %s", res.Summary())
+	}
+}
+
+func TestReportRoundTripThroughFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := sampleReport().WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := bench.ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Compare(sampleReport(), back, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() || res.CellsCompared != 2 {
+		t.Errorf("round-tripped report differs from original: %s", res.Summary())
+	}
+}
+
+func TestReadReportRejectsWrongSchema(t *testing.T) {
+	r := sampleReport()
+	r.SchemaVersion = 99
+	path := filepath.Join(t.TempDir(), "BENCH_bad.json")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bench.ReadReport(path); err == nil || !strings.Contains(err.Error(), "schema version") {
+		t.Errorf("wrong schema read back without error: %v", err)
+	}
+}

@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// BuildInfo reports the Go toolchain version and the VCS revision the
+// binary was built from ("unknown" when the build carries no VCS stamp,
+// e.g. go test binaries or plain `go build` outside a checkout).
+func BuildInfo() (goVersion, revision string) {
+	goVersion = runtime.Version()
+	revision = "unknown"
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return goVersion, revision
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" && s.Value != "" {
+			revision = s.Value
+		}
+	}
+	return goVersion, revision
+}
+
+// RegisterBuildInfo adds the standard build-identity gauges to a
+// registry: dynq_build_info (constant 1, carrying the Go version and git
+// revision as labels, the Prometheus idiom for build metadata) and
+// dynq_uptime_seconds (seconds since registration).
+func RegisterBuildInfo(reg *Registry) {
+	goVersion, revision := BuildInfo()
+	start := time.Now()
+	reg.SetHelp("dynq_build_info", "Build identity: constant 1 with go_version and revision labels.")
+	reg.SetHelp("dynq_uptime_seconds", "Seconds since the process registered its metrics.")
+	reg.GaugeFunc("dynq_build_info", func() float64 { return 1 },
+		L("go_version", goVersion), L("revision", revision))
+	reg.GaugeFunc("dynq_uptime_seconds", func() float64 { return time.Since(start).Seconds() })
+}

@@ -42,7 +42,24 @@ func Handler(reg *Registry, tr *Tracer) http.Handler {
 		})
 	}
 	if tr != nil {
+		// /debug/trace               recent spans as JSON Lines
+		// /debug/trace?trace=<id>    one correlated trace as a JSON doc
+		// /debug/trace?format=json   all buffered spans grouped by trace
 		mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+			if id := r.URL.Query().Get("trace"); id != "" {
+				w.Header().Set("Content-Type", "application/json; charset=utf-8")
+				enc := json.NewEncoder(w)
+				enc.SetIndent("", "  ")
+				enc.Encode(TraceDoc{TraceID: id, Spans: tr.Trace(id)})
+				return
+			}
+			if r.URL.Query().Get("format") == "json" {
+				w.Header().Set("Content-Type", "application/json; charset=utf-8")
+				enc := json.NewEncoder(w)
+				enc.SetIndent("", "  ")
+				enc.Encode(tr.Traces())
+				return
+			}
 			w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
 			tr.WriteJSONL(w)
 		})

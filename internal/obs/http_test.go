@@ -51,6 +51,27 @@ func TestHandlerEndpoints(t *testing.T) {
 	if code != 200 || !strings.Contains(body, `"op":"snapshot"`) {
 		t.Errorf("/debug/trace: %d %q", code, body)
 	}
+	tc := NewTraceContext()
+	var traced Span
+	tc.Annotate(&traced)
+	traced.Op = "knn"
+	tr.Record(traced)
+	code, body = get("/debug/trace?trace=" + tc.TraceID.String())
+	if code != 200 {
+		t.Fatalf("/debug/trace?trace=: %d", code)
+	}
+	var td TraceDoc
+	if err := json.Unmarshal([]byte(body), &td); err != nil {
+		t.Fatalf("correlated trace not JSON: %v", err)
+	}
+	if td.TraceID != tc.TraceID.String() || len(td.Spans) != 1 || td.Spans[0].Op != "knn" {
+		t.Errorf("correlated trace = %+v", td)
+	}
+	code, body = get("/debug/trace?format=json")
+	var docs []TraceDoc
+	if code != 200 || json.Unmarshal([]byte(body), &docs) != nil || len(docs) != 2 {
+		t.Errorf("/debug/trace?format=json: %d %q", code, body)
+	}
 	code, _ = get("/debug/pprof/cmdline")
 	if code != 200 {
 		t.Errorf("/debug/pprof/cmdline: %d", code)

@@ -41,19 +41,31 @@ func Stages(delta stats.Snapshot, engine string) []StageDelta {
 
 // Span is one traced query: the operation, its view window, the wall
 // time, and the per-stage cost deltas measured around its evaluation.
+// The TraceID/SpanID/ParentID triple correlates spans of one logical
+// operation across processes and shards (see TraceContext); Shard is the
+// partition index for per-shard child spans and -1 (or absent on older
+// spans) for spans covering the whole operation.
 type Span struct {
-	ID      uint64       `json:"id"`
-	Op      string       `json:"op"`
-	Start   time.Time    `json:"start"`
-	WallNS  int64        `json:"wall_ns"`
-	ViewMin []float64    `json:"view_min,omitempty"`
-	ViewMax []float64    `json:"view_max,omitempty"`
-	T0      float64      `json:"t0"`
-	T1      float64      `json:"t1"`
-	Results int          `json:"results"`
-	Err     string       `json:"err,omitempty"`
-	Stages  []StageDelta `json:"stages,omitempty"`
+	ID       uint64       `json:"id"`
+	TraceID  string       `json:"trace_id,omitempty"`
+	SpanID   string       `json:"span_id,omitempty"`
+	ParentID string       `json:"parent_id,omitempty"`
+	Shard    int          `json:"shard"`
+	Op       string       `json:"op"`
+	Start    time.Time    `json:"start"`
+	WallNS   int64        `json:"wall_ns"`
+	ViewMin  []float64    `json:"view_min,omitempty"`
+	ViewMax  []float64    `json:"view_max,omitempty"`
+	T0       float64      `json:"t0"`
+	T1       float64      `json:"t1"`
+	Results  int          `json:"results"`
+	Err      string       `json:"err,omitempty"`
+	Stages   []StageDelta `json:"stages,omitempty"`
 }
+
+// NoShard is the Span.Shard value of a span that covers the whole
+// operation rather than one partition.
+const NoShard = -1
 
 // Tracer ring-buffers the most recent query spans. Record is cheap (one
 // mutexed slot write); dump the buffer with Recent or WriteJSONL.
@@ -107,6 +119,42 @@ func (t *Tracer) Recent() []Span {
 		out = append(out, t.ring[i%n])
 	}
 	return out
+}
+
+// Trace returns the buffered spans belonging to one trace id, oldest
+// first.
+func (t *Tracer) Trace(traceID string) []Span {
+	var out []Span
+	for _, s := range t.Recent() {
+		if s.TraceID == traceID {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// TraceDoc is the correlated-JSON export of one trace: every buffered
+// span sharing a trace id, oldest first.
+type TraceDoc struct {
+	TraceID string `json:"trace_id"`
+	Spans   []Span `json:"spans"`
+}
+
+// Traces groups the buffered spans by trace id, in order of each trace's
+// oldest span. Spans recorded without a trace id are grouped under "".
+func (t *Tracer) Traces() []TraceDoc {
+	var docs []TraceDoc
+	index := make(map[string]int)
+	for _, s := range t.Recent() {
+		i, ok := index[s.TraceID]
+		if !ok {
+			i = len(docs)
+			index[s.TraceID] = i
+			docs = append(docs, TraceDoc{TraceID: s.TraceID})
+		}
+		docs[i].Spans = append(docs[i].Spans, s)
+	}
+	return docs
 }
 
 // WriteJSONL dumps the buffered spans as JSON Lines, oldest first.

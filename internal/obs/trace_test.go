@@ -52,6 +52,53 @@ func TestTracerWriteJSONL(t *testing.T) {
 	}
 }
 
+func TestTracerTraceFilterAndGrouping(t *testing.T) {
+	tr := NewTracer(16)
+	a, b := NewTraceContext(), NewTraceContext()
+	for i, tc := range []TraceContext{a, a.Child(), b, a.Child()} {
+		var s Span
+		tc.Annotate(&s)
+		s.Op = "op"
+		s.Shard = i - 1 // exercise both NoShard and shard indexes
+		tr.Record(s)
+	}
+	tr.Record(Span{Op: "untraced", Shard: NoShard})
+
+	got := tr.Trace(a.TraceID.String())
+	if len(got) != 3 {
+		t.Fatalf("Trace(a) = %d spans, want 3", len(got))
+	}
+	for _, s := range got[1:] {
+		if s.ParentID != a.SpanID.String() {
+			t.Errorf("child parent = %q, want %s", s.ParentID, a.SpanID)
+		}
+	}
+
+	docs := tr.Traces()
+	if len(docs) != 3 { // a, b, and the untraced group ""
+		t.Fatalf("Traces() = %d groups, want 3", len(docs))
+	}
+	if docs[0].TraceID != a.TraceID.String() || len(docs[0].Spans) != 3 {
+		t.Errorf("group 0 = %s with %d spans", docs[0].TraceID, len(docs[0].Spans))
+	}
+	if docs[2].TraceID != "" || docs[2].Spans[0].Op != "untraced" {
+		t.Errorf("untraced group = %+v", docs[2])
+	}
+
+	// The correlated document round-trips through encoding/json.
+	raw, err := json.Marshal(docs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back TraceDoc
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.TraceID != docs[0].TraceID || len(back.Spans) != 3 || back.Spans[1].Shard != 0 {
+		t.Errorf("round trip = %+v", back)
+	}
+}
+
 func TestStagesDecomposition(t *testing.T) {
 	delta := stats.Snapshot{
 		InternalReads: 2, LeafReads: 5, DistanceComps: 30,

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+)
+
+// TraceID is a 128-bit trace identifier shared by every span of one
+// logical operation, across processes and shards. It renders as 32 hex
+// characters.
+type TraceID [16]byte
+
+// String renders the id as lowercase hex.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// IsZero reports whether the id is unset.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// ParseTraceID parses the 32-hex-character form produced by String.
+func ParseTraceID(s string) (TraceID, error) {
+	var t TraceID
+	if len(s) != 2*len(t) {
+		return t, fmt.Errorf("obs: trace id must be %d hex chars, got %q", 2*len(t), s)
+	}
+	if _, err := hex.Decode(t[:], []byte(s)); err != nil {
+		return TraceID{}, fmt.Errorf("obs: bad trace id %q: %w", s, err)
+	}
+	return t, nil
+}
+
+// SpanID is a 64-bit span identifier, unique within a trace. It renders
+// as 16 hex characters.
+type SpanID [8]byte
+
+// String renders the id as lowercase hex.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// IsZero reports whether the id is unset.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// ParseSpanID parses the 16-hex-character form produced by String.
+func ParseSpanID(str string) (SpanID, error) {
+	var s SpanID
+	if len(str) != 2*len(s) {
+		return s, fmt.Errorf("obs: span id must be %d hex chars, got %q", 2*len(s), str)
+	}
+	if _, err := hex.Decode(s[:], []byte(str)); err != nil {
+		return SpanID{}, fmt.Errorf("obs: bad span id %q: %w", str, err)
+	}
+	return s, nil
+}
+
+// TraceContext identifies one span's position within a trace: which trace
+// it belongs to, its own id, and the id of the span that caused it (zero
+// for a root span). It is carried through context.Context in-process and
+// serialized into the netq request header across the wire.
+type TraceContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+	Parent  SpanID
+}
+
+// NewTraceContext starts a new trace with a random trace id and a random
+// root span id.
+func NewTraceContext() TraceContext {
+	var tc TraceContext
+	// crypto/rand.Read never fails on supported platforms (it aborts the
+	// program instead), so the error is impossible to observe.
+	rand.Read(tc.TraceID[:])
+	rand.Read(tc.SpanID[:])
+	return tc
+}
+
+// Child returns a context for a new span within the same trace, parented
+// to the receiver's span.
+func (tc TraceContext) Child() TraceContext {
+	child := TraceContext{TraceID: tc.TraceID, Parent: tc.SpanID}
+	rand.Read(child.SpanID[:])
+	return child
+}
+
+// IsZero reports whether the context carries no trace.
+func (tc TraceContext) IsZero() bool { return tc.TraceID.IsZero() }
+
+// ContinueTrace rebuilds a TraceContext from the wire form (two hex
+// strings) and allocates a fresh child span id under it, so a server can
+// continue a client's trace. ok is false — and a brand-new root context
+// is returned — when traceID is absent or malformed.
+func ContinueTrace(traceID, spanID string) (tc TraceContext, ok bool) {
+	tid, err := ParseTraceID(traceID)
+	if err != nil || tid.IsZero() {
+		return NewTraceContext(), false
+	}
+	parent, err := ParseSpanID(spanID)
+	if err != nil {
+		parent = SpanID{}
+	}
+	tc = TraceContext{TraceID: tid, Parent: parent}
+	rand.Read(tc.SpanID[:])
+	return tc, true
+}
+
+type traceCtxKey struct{}
+type tracerCtxKey struct{}
+
+// ContextWithTrace attaches a trace context to ctx.
+func ContextWithTrace(ctx context.Context, tc TraceContext) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, tc)
+}
+
+// TraceFromContext extracts the trace context attached by
+// ContextWithTrace, if any.
+func TraceFromContext(ctx context.Context) (TraceContext, bool) {
+	tc, ok := ctx.Value(traceCtxKey{}).(TraceContext)
+	return tc, ok
+}
+
+// ContextWithTracer attaches a span recorder to ctx, so layers deep in
+// the query stack (e.g. the shard engine's fan-out) can record child
+// spans without holding a reference to the server's tracer.
+func ContextWithTracer(ctx context.Context, t *Tracer) context.Context {
+	return context.WithValue(ctx, tracerCtxKey{}, t)
+}
+
+// TracerFromContext extracts the tracer attached by ContextWithTracer,
+// if any.
+func TracerFromContext(ctx context.Context) (*Tracer, bool) {
+	t, ok := ctx.Value(tracerCtxKey{}).(*Tracer)
+	return t, ok
+}
+
+// Annotate stamps a span with the ids of a trace context (the span's own
+// id, its parent, and the trace).
+func (tc TraceContext) Annotate(s *Span) {
+	if tc.IsZero() {
+		return
+	}
+	s.TraceID = tc.TraceID.String()
+	s.SpanID = tc.SpanID.String()
+	if !tc.Parent.IsZero() {
+		s.ParentID = tc.Parent.String()
+	}
+}

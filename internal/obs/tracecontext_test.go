@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+func TestNewTraceContextUnique(t *testing.T) {
+	a, b := NewTraceContext(), NewTraceContext()
+	if a.TraceID.IsZero() || a.SpanID.IsZero() {
+		t.Fatalf("new context has zero ids: %+v", a)
+	}
+	if a.TraceID == b.TraceID {
+		t.Errorf("two new contexts share a trace id %s", a.TraceID)
+	}
+	if !a.Parent.IsZero() {
+		t.Errorf("root context has a parent: %s", a.Parent)
+	}
+}
+
+func TestChildKeepsTraceParentsSpan(t *testing.T) {
+	root := NewTraceContext()
+	child := root.Child()
+	if child.TraceID != root.TraceID {
+		t.Errorf("child trace id %s != root %s", child.TraceID, root.TraceID)
+	}
+	if child.Parent != root.SpanID {
+		t.Errorf("child parent %s != root span %s", child.Parent, root.SpanID)
+	}
+	if child.SpanID == root.SpanID || child.SpanID.IsZero() {
+		t.Errorf("child span id not fresh: %s", child.SpanID)
+	}
+}
+
+func TestIDParseRoundTrip(t *testing.T) {
+	tc := NewTraceContext()
+	tid, err := ParseTraceID(tc.TraceID.String())
+	if err != nil || tid != tc.TraceID {
+		t.Errorf("trace id round trip: %v %v", tid, err)
+	}
+	sid, err := ParseSpanID(tc.SpanID.String())
+	if err != nil || sid != tc.SpanID {
+		t.Errorf("span id round trip: %v %v", sid, err)
+	}
+	if _, err := ParseTraceID("xyz"); err == nil {
+		t.Error("ParseTraceID accepted garbage")
+	}
+	if _, err := ParseSpanID("0123456789abcdefff"); err == nil {
+		t.Error("ParseSpanID accepted wrong length")
+	}
+}
+
+func TestContinueTrace(t *testing.T) {
+	remote := NewTraceContext()
+	tc, ok := ContinueTrace(remote.TraceID.String(), remote.SpanID.String())
+	if !ok {
+		t.Fatal("ContinueTrace rejected a valid wire header")
+	}
+	if tc.TraceID != remote.TraceID {
+		t.Errorf("continued trace id %s != remote %s", tc.TraceID, remote.TraceID)
+	}
+	if tc.Parent != remote.SpanID {
+		t.Errorf("continued parent %s != remote span %s", tc.Parent, remote.SpanID)
+	}
+	if tc.SpanID == remote.SpanID || tc.SpanID.IsZero() {
+		t.Errorf("continued span id not fresh: %s", tc.SpanID)
+	}
+
+	// A malformed or absent header starts a fresh root trace instead.
+	fresh, ok := ContinueTrace("", "")
+	if ok {
+		t.Error("ContinueTrace accepted an empty header")
+	}
+	if fresh.IsZero() || !fresh.Parent.IsZero() {
+		t.Errorf("fallback context not a fresh root: %+v", fresh)
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	ctx := context.Background()
+	if _, ok := TraceFromContext(ctx); ok {
+		t.Error("empty context yielded a trace")
+	}
+	if _, ok := TracerFromContext(ctx); ok {
+		t.Error("empty context yielded a tracer")
+	}
+	tc := NewTraceContext()
+	tr := NewTracer(4)
+	ctx = ContextWithTracer(ContextWithTrace(ctx, tc), tr)
+	got, ok := TraceFromContext(ctx)
+	if !ok || got != tc {
+		t.Errorf("TraceFromContext = %+v, %v", got, ok)
+	}
+	gotTr, ok := TracerFromContext(ctx)
+	if !ok || gotTr != tr {
+		t.Errorf("TracerFromContext = %p, %v", gotTr, ok)
+	}
+}
+
+func TestAnnotate(t *testing.T) {
+	var s Span
+	TraceContext{}.Annotate(&s)
+	if s.TraceID != "" || s.SpanID != "" || s.ParentID != "" {
+		t.Errorf("zero context annotated a span: %+v", s)
+	}
+	root := NewTraceContext()
+	root.Annotate(&s)
+	if s.TraceID != root.TraceID.String() || s.SpanID != root.SpanID.String() {
+		t.Errorf("annotated span ids wrong: %+v", s)
+	}
+	if s.ParentID != "" {
+		t.Errorf("root span has parent %q", s.ParentID)
+	}
+	var child Span
+	root.Child().Annotate(&child)
+	if child.ParentID != root.SpanID.String() {
+		t.Errorf("child parent = %q, want %s", child.ParentID, root.SpanID)
+	}
+}

@@ -18,7 +18,7 @@ import (
 // inside every shard.
 func (e *Engine) Snapshot(ctx context.Context, spatial geom.Box, tw geom.Interval, limit int) ([]rtree.Match, error) {
 	parts := make([][]rtree.Match, len(e.shards))
-	err := e.fanOut(func(i int, sh *Shard) error {
+	err := e.fanOutTraced(ctx, "snapshot/shard", "snapshot", func(i int, sh *Shard) error {
 		ms, err := sh.Tree.RangeSearchCtx(ctx, spatial, tw, rtree.SearchOptions{Limit: limit}, &sh.Counters)
 		parts[i] = ms
 		return err
@@ -41,7 +41,7 @@ func (e *Engine) Snapshot(ctx context.Context, spatial geom.Box, tw geom.Interva
 // (each already sorted by distance, ties by id) down to the global top k.
 func (e *Engine) KNN(ctx context.Context, p geom.Point, t float64, k int) ([]core.Neighbor, error) {
 	parts := make([][]core.Neighbor, len(e.shards))
-	err := e.fanOut(func(i int, sh *Shard) error {
+	err := e.fanOutTraced(ctx, "knn/shard", "knn", func(i int, sh *Shard) error {
 		nbs, err := core.KNNCtx(ctx, sh.Tree, p, t, k, &sh.Counters)
 		parts[i] = nbs
 		return err

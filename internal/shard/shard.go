@@ -22,6 +22,7 @@
 package shard
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -293,6 +294,51 @@ func (e *Engine) fanOut(fn func(i int, sh *Shard) error) error {
 			start := time.Now()
 			defer func() { e.latency[i].ObserveDuration(time.Since(start)) }()
 			return fn(i, e.shards[i])
+		}
+	}
+	return e.run(fns)
+}
+
+// fanOutTraced is fanOut plus trace recording. When the context carries
+// both a trace context and a tracer (the netq server arms both per
+// request via obs.ContextWithTrace/ContextWithTracer), every shard task
+// records one child span — parented to the caller's span, tagged with
+// the shard index — holding the shard's per-stage (pager/rtree/engine)
+// cost deltas measured around the task. Shard counters are shared by all
+// queries on the shard, so under concurrency a span's delta may include
+// work charged by overlapping operations (same caveat as the server-wide
+// op spans). Without a trace in the context it degrades to plain fanOut.
+func (e *Engine) fanOutTraced(ctx context.Context, op, engine string, fn func(i int, sh *Shard) error) error {
+	tc, okTrace := obs.TraceFromContext(ctx)
+	tracer, okTracer := obs.TracerFromContext(ctx)
+	if !okTrace || !okTracer {
+		return e.fanOut(fn)
+	}
+	fns := make([]func() error, len(e.shards))
+	for i := range e.shards {
+		i := i
+		fns[i] = func() error {
+			sh := e.shards[i]
+			start := time.Now()
+			before := sh.Counters.Snapshot()
+			err := fn(i, sh)
+			wall := time.Since(start)
+			e.latency[i].ObserveDuration(wall)
+			delta := sh.Counters.Snapshot().Sub(before)
+			span := obs.Span{
+				Op:      op,
+				Shard:   i,
+				Start:   start,
+				WallNS:  wall.Nanoseconds(),
+				Results: int(delta.Results),
+				Stages:  obs.Stages(delta, engine),
+			}
+			if err != nil {
+				span.Err = err.Error()
+			}
+			tc.Child().Annotate(&span)
+			tracer.Record(span)
+			return err
 		}
 	}
 	return e.run(fns)

@@ -234,3 +234,70 @@ func TestRegisterMetrics(t *testing.T) {
 		}
 	}
 }
+
+func TestFanOutRecordsPerShardSpans(t *testing.T) {
+	e, err := New(rtree.DefaultConfig(), Options{Shards: 4, Workers: 2}, memStores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	for _, en := range testEntries(300) {
+		if err := e.Insert(en); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Without a trace in the context, no spans are recorded.
+	tracer := obs.NewTracer(64)
+	view := geom.Box{{Lo: 0, Hi: 80}, {Lo: 0, Hi: 80}}
+	if _, err := e.Snapshot(context.Background(), view, geom.Interval{Lo: 0, Hi: 10}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if tracer.Len() != 0 {
+		t.Fatalf("untraced query recorded %d spans", tracer.Len())
+	}
+
+	// With trace context + tracer armed, one child span per shard.
+	tc := obs.NewTraceContext()
+	ctx := obs.ContextWithTracer(obs.ContextWithTrace(context.Background(), tc), tracer)
+	if _, err := e.Snapshot(ctx, view, geom.Interval{Lo: 0, Hi: 10}, 0); err != nil {
+		t.Fatal(err)
+	}
+	spans := tracer.Trace(tc.TraceID.String())
+	if len(spans) != e.Shards() {
+		t.Fatalf("got %d spans, want %d", len(spans), e.Shards())
+	}
+	seen := make(map[int]bool)
+	for _, s := range spans {
+		if s.Op != "snapshot/shard" {
+			t.Errorf("span op = %q", s.Op)
+		}
+		if s.ParentID != tc.SpanID.String() {
+			t.Errorf("span parent = %q, want %s", s.ParentID, tc.SpanID)
+		}
+		if s.Shard < 0 || s.Shard >= e.Shards() || seen[s.Shard] {
+			t.Errorf("bad or duplicate shard index %d", s.Shard)
+		}
+		seen[s.Shard] = true
+		if len(s.Stages) != 3 || s.Stages[0].Stage != "pager" || s.Stages[1].Stage != "rtree" || s.Stages[2].Stage != "snapshot" {
+			t.Errorf("shard %d stages = %+v", s.Shard, s.Stages)
+		}
+		if s.Stages[1].Delta.Reads() == 0 {
+			t.Errorf("shard %d span shows no rtree reads", s.Shard)
+		}
+	}
+
+	// KNN spans ride the same trace mechanism.
+	if _, err := e.KNN(ctx, geom.Point{40, 40}, 5, 3); err != nil {
+		t.Fatal(err)
+	}
+	knnSpans := 0
+	for _, s := range tracer.Trace(tc.TraceID.String()) {
+		if s.Op == "knn/shard" {
+			knnSpans++
+		}
+	}
+	if knnSpans != e.Shards() {
+		t.Errorf("knn spans = %d, want %d", knnSpans, e.Shards())
+	}
+}

@@ -30,6 +30,27 @@ type UnknownOpError struct {
 
 func (e *UnknownOpError) Error() string { return fmt.Sprintf("netq: unknown op %q", e.Op) }
 
+// VersionError reports a protocol version mismatch detected during the
+// connection handshake. Remote is 0 when the peer predates the
+// handshake (protocol version 1) or is not a netq endpoint at all;
+// Detail carries the peer's own description of the failure, if any.
+type VersionError struct {
+	Local  int
+	Remote int
+	Detail string
+}
+
+func (e *VersionError) Error() string {
+	msg := fmt.Sprintf("netq: protocol version mismatch: local v%d, peer v%d", e.Local, e.Remote)
+	if e.Remote == 0 {
+		msg += " (peer predates the handshake or is not a netq server)"
+	}
+	if e.Detail != "" {
+		msg += ": " + e.Detail
+	}
+	return msg
+}
+
 // errKind classifies a server-side error for the wire.
 func errKind(err error) string {
 	var uo *UnknownOpError

@@ -30,14 +30,15 @@ type opMetrics struct {
 // session gauges, byte counters, and pager/engine gauges that read the
 // database's live cost counters at render time.
 type serverMetrics struct {
-	perOp          map[Op]*opMetrics
-	activeConns    *obs.Gauge
-	activePDQ      *obs.Gauge
-	activeAdaptive *obs.Gauge
-	bytesIn        *obs.Counter
-	bytesOut       *obs.Counter
-	unknownOps     *obs.Counter
-	noTracker      *obs.Counter
+	perOp             map[Op]*opMetrics
+	activeConns       *obs.Gauge
+	activePDQ         *obs.Gauge
+	activeAdaptive    *obs.Gauge
+	bytesIn           *obs.Counter
+	bytesOut          *obs.Counter
+	unknownOps        *obs.Counter
+	noTracker         *obs.Counter
+	versionMismatches *obs.Counter
 }
 
 func newServerMetrics(reg *obs.Registry, db dynq.Database) *serverMetrics {
@@ -50,6 +51,7 @@ func newServerMetrics(reg *obs.Registry, db dynq.Database) *serverMetrics {
 	reg.SetHelp("netq_bytes_out_total", "Bytes written to clients.")
 	reg.SetHelp("netq_unknown_ops_total", "Requests naming an operation the server has no handler for.")
 	reg.SetHelp("netq_no_tracker_errors_total", "Tracker operations rejected because no tracker is attached.")
+	reg.SetHelp("netq_version_mismatches_total", "Connections rejected by the protocol version handshake.")
 	reg.SetHelp("pager_buffer_hit_ratio", "Buffer pool hits / (hits + misses).")
 	reg.SetHelp("dynq_page_reads_total", "Cumulative index node fetches (the paper's disk-access metric).")
 	reg.SetHelp("dynq_distance_comps_total", "Cumulative geometric predicate evaluations (the paper's CPU metric).")
@@ -70,6 +72,8 @@ func newServerMetrics(reg *obs.Registry, db dynq.Database) *serverMetrics {
 	m.bytesOut = reg.Counter("netq_bytes_out_total")
 	m.unknownOps = reg.Counter("netq_unknown_ops_total")
 	m.noTracker = reg.Counter("netq_no_tracker_errors_total")
+	m.versionMismatches = reg.Counter("netq_version_mismatches_total")
+	obs.RegisterBuildInfo(reg)
 
 	// Buffer pool and engine totals are owned by the database; expose
 	// them as render-time gauges over its live (atomic) accounting.

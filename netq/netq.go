@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"sync"
 	"time"
@@ -22,6 +23,37 @@ import (
 	"dynq"
 	"dynq/internal/obs"
 )
+
+// ProtocolVersion is the netq wire protocol version. Peers exchange it
+// in a hello/ack pair immediately after connecting, before the first
+// request; a mismatch is rejected with a *VersionError so new fields
+// (like the trace-context request header) fail loudly against old
+// binaries instead of gob-decoding garbage.
+//
+// History:
+//
+//	1  original gob request/response stream, no handshake (implicit)
+//	2  hello/ack handshake; Request carries TraceID/SpanID
+const ProtocolVersion = 2
+
+// protocolMagic distinguishes a netq peer from an arbitrary TCP
+// endpoint (and from a v1 peer, whose first message decodes into a
+// zero-valued hello).
+const protocolMagic = "dynq/netq"
+
+// hello is the client's first message on a connection.
+type hello struct {
+	Magic   string
+	Version int
+}
+
+// helloAck is the server's reply: its own version, and a non-empty Err
+// when the connection is rejected.
+type helloAck struct {
+	Magic   string
+	Version int
+	Err     string
+}
 
 // Op identifies a request type.
 type Op string
@@ -45,9 +77,15 @@ const (
 	OpTrackAlong  Op = "track-along"  // anticipated occupants along a trajectory
 )
 
-// Request is one client→server message.
+// Request is one client→server message. TraceID and SpanID carry the
+// caller's trace context (obs.TraceContext wire form, version 2+): the
+// server continues that trace, so one client operation yields a single
+// correlated trace spanning the client call, the server op, and every
+// per-shard traversal.
 type Request struct {
 	Op        Op
+	TraceID   string
+	SpanID    string
 	View      dynq.Rect
 	T0, T1    float64
 	Waypoints []dynq.Waypoint
@@ -86,6 +124,7 @@ type Server struct {
 	reg     *obs.Registry
 	tracer  *obs.Tracer
 	metrics *serverMetrics
+	logger  *slog.Logger
 
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
@@ -106,7 +145,18 @@ func NewServer(db dynq.Database) *Server {
 		reg:     reg,
 		tracer:  obs.NewTracer(TracerCapacity),
 		metrics: newServerMetrics(reg, db),
+		logger:  obs.NopLogger(),
 	}
+}
+
+// WithLogger installs a structured logger for connection lifecycle and
+// request-scoped log lines (each carrying the request's trace and span
+// ids). The default discards everything. Call before Serve.
+func (s *Server) WithLogger(l *slog.Logger) *Server {
+	if l != nil {
+		s.logger = l
+	}
+	return s
 }
 
 // Registry exposes the server's metric registry (for the /metrics and
@@ -167,6 +217,38 @@ func (s *Server) handle(conn net.Conn) {
 	dec := gob.NewDecoder(cc)
 	enc := gob.NewEncoder(cc)
 
+	// Version handshake before the first request. A v1 client's first
+	// message is a Request, which fails to decode as a hello (gob finds
+	// no matching fields); it is rejected as version 0 like any other
+	// mismatch — and because helloAck's Err field lines up with
+	// Response.Err, the rejection arrives at the old client as a
+	// readable error instead of gob garbage.
+	var h hello
+	if err := dec.Decode(&h); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+			return
+		}
+		s.metrics.versionMismatches.Inc()
+		verr := &VersionError{Local: ProtocolVersion, Remote: 0}
+		s.logger.Warn("netq: rejected peer (no handshake)",
+			"remote", conn.RemoteAddr().String(), "decode_err", err.Error(), "err", verr)
+		enc.Encode(helloAck{Magic: protocolMagic, Version: ProtocolVersion, Err: verr.Error()})
+		return
+	}
+	if h.Magic != protocolMagic || h.Version != ProtocolVersion {
+		s.metrics.versionMismatches.Inc()
+		verr := &VersionError{Local: ProtocolVersion, Remote: h.Version}
+		s.logger.Warn("netq: rejected peer", "remote", conn.RemoteAddr().String(),
+			"magic", h.Magic, "peer_version", h.Version, "err", verr)
+		enc.Encode(helloAck{Magic: protocolMagic, Version: ProtocolVersion, Err: verr.Error()})
+		return
+	}
+	if err := enc.Encode(helloAck{Magic: protocolMagic, Version: ProtocolVersion}); err != nil {
+		return
+	}
+	s.logger.Debug("netq: connection open", "remote", conn.RemoteAddr().String())
+	defer s.logger.Debug("netq: connection closed", "remote", conn.RemoteAddr().String())
+
 	// Per-connection session state.
 	sess := &connSessions{npdq: s.db.NonPredictive(dynq.NonPredictiveOptions{})}
 	defer s.closeSessions(sess)
@@ -184,15 +266,24 @@ func (s *Server) handle(conn net.Conn) {
 }
 
 // serve wraps dispatch with instrumentation: per-op request/error
-// counters and latency histograms, typed-error counters, and one tracer
-// span carrying the cost-counter deltas measured around the request,
-// decomposed by pipeline stage. The counters are server-wide, so under
-// concurrent connections a span's delta may include work charged by
-// overlapping requests.
+// counters and latency histograms, typed-error counters, a structured
+// log line, and one tracer span carrying the cost-counter deltas
+// measured around the request, decomposed by pipeline stage. The
+// counters are server-wide, so under concurrent connections a span's
+// delta may include work charged by overlapping requests.
+//
+// The request's trace context (from the wire header, or a fresh root
+// when the client sent none) is continued into a child span for the
+// server-side op and threaded — together with the server's tracer —
+// through the request context, so a sharded backend's fan-out records
+// per-shard grandchild spans under the same trace.
 func (s *Server) serve(sess *connSessions, req Request) Response {
+	tc, _ := obs.ContinueTrace(req.TraceID, req.SpanID)
+	ctx := obs.ContextWithTracer(obs.ContextWithTrace(context.Background(), tc), s.tracer)
+
 	start := time.Now()
 	before := s.db.CostSnapshot()
-	resp := s.dispatch(sess, req)
+	resp := s.dispatch(ctx, sess, req)
 	elapsed := time.Since(start)
 	delta := s.db.CostSnapshot().Sub(before)
 
@@ -213,6 +304,7 @@ func (s *Server) serve(sess *connSessions, req Request) Response {
 
 	span := obs.Span{
 		Op:      string(req.Op),
+		Shard:   obs.NoShard,
 		Start:   start,
 		WallNS:  elapsed.Nanoseconds(),
 		T0:      req.T0,
@@ -220,6 +312,7 @@ func (s *Server) serve(sess *connSessions, req Request) Response {
 		Results: len(resp.Results),
 		Err:     resp.Err,
 	}
+	tc.Annotate(&span)
 	if len(req.View.Min) > 0 {
 		span.ViewMin = req.View.Min
 		span.ViewMax = req.View.Max
@@ -228,6 +321,19 @@ func (s *Server) serve(sess *connSessions, req Request) Response {
 		span.Stages = obs.Stages(delta, engine)
 	}
 	s.tracer.Record(span)
+
+	lvl := slog.LevelDebug
+	if resp.Err != "" {
+		lvl = slog.LevelWarn
+	}
+	s.logger.LogAttrs(context.Background(), lvl, "netq: request",
+		slog.String("op", string(req.Op)),
+		slog.String("trace_id", span.TraceID),
+		slog.String("span_id", span.SpanID),
+		slog.Duration("elapsed", elapsed),
+		slog.Int("results", len(resp.Results)),
+		slog.Int64("reads", delta.Reads()),
+		slog.String("err", resp.Err))
 	return resp
 }
 
@@ -251,12 +357,12 @@ func (s *Server) closeSessions(cs *connSessions) {
 	}
 }
 
-func (s *Server) dispatch(sess *connSessions, req Request) Response {
+func (s *Server) dispatch(ctx context.Context, sess *connSessions, req Request) Response {
 	pdq, npdq := &sess.pdq, sess.npdq
 	fail := func(err error) Response { return Response{Err: err.Error(), ErrKind: errKind(err)} }
 	switch req.Op {
 	case OpSnapshot:
-		rs, err := s.db.Snapshot(req.View, req.T0, req.T1)
+		rs, err := s.db.SnapshotCtx(ctx, req.View, req.T0, req.T1, dynq.QueryOptions{})
 		if err != nil {
 			return fail(err)
 		}
@@ -267,7 +373,7 @@ func (s *Server) dispatch(sess *connSessions, req Request) Response {
 		}
 		return Response{}
 	case OpKNN:
-		nbs, err := s.db.KNN(req.Point, req.T0, req.K)
+		nbs, err := s.db.KNNCtx(ctx, req.Point, req.T0, req.K, dynq.QueryOptions{})
 		if err != nil {
 			return fail(err)
 		}
@@ -375,24 +481,63 @@ func (s *Server) dispatchTracker(req Request) Response {
 // Client is a connection to a dqserver. Methods are safe for sequential
 // use only (one request in flight per connection).
 type Client struct {
-	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
+	conn   net.Conn
+	enc    *gob.Encoder
+	dec    *gob.Decoder
+	tracer *obs.Tracer
 }
 
-// Dial connects to a server.
+// Dial connects to a server and performs the protocol handshake.
 func Dial(addr string) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return NewClient(conn), nil
+	c, err := NewClient(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
 }
 
 // NewClient wraps an established connection (useful for tests with
-// in-memory pipes).
-func NewClient(conn net.Conn) *Client {
-	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+// in-memory pipes) and performs the protocol handshake, returning a
+// *VersionError if the peer speaks a different protocol version.
+func NewClient(conn net.Conn) (*Client, error) {
+	c := &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+	if err := c.enc.Encode(hello{Magic: protocolMagic, Version: ProtocolVersion}); err != nil {
+		return nil, fmt.Errorf("netq: handshake send: %w", err)
+	}
+	var ack helloAck
+	if err := c.dec.Decode(&ack); err != nil {
+		// A v1 server chokes on the hello (its Request decoder finds no
+		// matching fields) and drops the connection, surfacing here as
+		// EOF: classify that as a version mismatch, not an I/O mystery.
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+			return nil, &VersionError{Local: ProtocolVersion, Remote: 0,
+				Detail: "peer closed the connection during the handshake"}
+		}
+		return nil, fmt.Errorf("netq: handshake read: %w", err)
+	}
+	if ack.Magic != protocolMagic || ack.Version != ProtocolVersion {
+		// A v1 server decodes our hello into a zero Request and answers
+		// Response{Err: unknown op}; its Err field lands in ack.Err.
+		return nil, &VersionError{Local: ProtocolVersion, Remote: ack.Version, Detail: ack.Err}
+	}
+	if ack.Err != "" {
+		return nil, errors.New(ack.Err)
+	}
+	return c, nil
+}
+
+// WithTracer records one client-side span per call (op prefixed
+// "client/", carrying the trace id sent to the server) into t, so a
+// client process can correlate its view of latency with the server's
+// /debug/trace spans. Call before issuing requests.
+func (c *Client) WithTracer(t *obs.Tracer) *Client {
+	c.tracer = t
+	return c
 }
 
 // Close terminates the connection (and the server-side sessions).
@@ -407,6 +552,29 @@ func (c *Client) roundTrip(ctx context.Context, req Request) (Response, error) {
 	if err := ctx.Err(); err != nil {
 		return Response{}, err
 	}
+	// Propagate the caller's trace context (or start a fresh trace) in
+	// the request header, so the server's op and per-shard spans share
+	// one trace id with this call.
+	tc, ok := obs.TraceFromContext(ctx)
+	if !ok {
+		tc = obs.NewTraceContext()
+	}
+	req.TraceID = tc.TraceID.String()
+	req.SpanID = tc.SpanID.String()
+	start := time.Now()
+	defer func() {
+		if c.tracer == nil {
+			return
+		}
+		span := obs.Span{
+			Op:     "client/" + string(req.Op),
+			Shard:  obs.NoShard,
+			Start:  start,
+			WallNS: time.Since(start).Nanoseconds(),
+		}
+		tc.Annotate(&span)
+		c.tracer.Record(span)
+	}()
 	if ctx.Done() != nil {
 		stop := context.AfterFunc(ctx, func() {
 			c.conn.SetDeadline(time.Unix(1, 0)) // wake any blocked read/write

@@ -1,0 +1,98 @@
+package netq
+
+import (
+	"encoding/gob"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+)
+
+// TestOldClientRejectedLoudly simulates a pre-handshake (v1) client: its
+// first message is a Request, which the v2 server must reject with a
+// readable version-mismatch error delivered through the Response.Err
+// field old clients already decode — not by feeding garbage into their
+// gob stream.
+func TestOldClientRejectedLoudly(t *testing.T) {
+	db := testDB(t)
+	srv, addr, stop := startServerKeep(t, db)
+	defer stop()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc, dec := gob.NewEncoder(conn), gob.NewDecoder(conn)
+	// A v1 client sends a Request straight away.
+	if err := enc.Encode(Request{Op: OpSnapshot}); err != nil {
+		t.Fatal(err)
+	}
+	var resp Response
+	if err := dec.Decode(&resp); err != nil {
+		t.Fatalf("old client got a broken stream instead of an error response: %v", err)
+	}
+	if !strings.Contains(resp.Err, "version mismatch") {
+		t.Errorf("rejection message = %q, want a version mismatch", resp.Err)
+	}
+	// The rejection is visible in the server's metrics.
+	if got := srv.Registry().Export()["netq_version_mismatches_total"]; got != int64(1) {
+		t.Errorf("netq_version_mismatches_total = %v, want 1", got)
+	}
+}
+
+// TestNewClientAgainstOldServer simulates a v1 server: it tries to
+// decode the first message as a Request, chokes on the hello (gob finds
+// no matching fields) and drops the connection — exactly what the
+// pre-handshake handler did on a protocol error. NewClient must turn
+// that into a typed *VersionError instead of silently desynchronizing.
+func TestNewClientAgainstOldServer(t *testing.T) {
+	cs, ss := net.Pipe()
+	go func() {
+		defer ss.Close()
+		dec := gob.NewDecoder(ss)
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return // v1 handler: disconnect on protocol error
+		}
+		gob.NewEncoder(ss).Encode(Response{Err: `netq: unknown op ""`, ErrKind: ErrKindUnknownOp})
+	}()
+
+	_, err := NewClient(cs)
+	if err == nil {
+		cs.Close()
+		t.Fatal("handshake against a v1 server succeeded")
+	}
+	var verr *VersionError
+	if !errors.As(err, &verr) {
+		t.Fatalf("err = %v (%T), want *VersionError", err, err)
+	}
+	if verr.Local != ProtocolVersion || verr.Remote != 0 {
+		t.Errorf("VersionError = %+v, want local v%d / remote v0", verr, ProtocolVersion)
+	}
+	cs.Close()
+}
+
+// TestNonNetqPeerRejected: a peer speaking the right gob framing but the
+// wrong magic is refused.
+func TestNonNetqPeerRejected(t *testing.T) {
+	db := testDB(t)
+	_, addr, stop := startServerKeep(t, db)
+	defer stop()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc, dec := gob.NewEncoder(conn), gob.NewDecoder(conn)
+	if err := enc.Encode(hello{Magic: "some-other-protocol", Version: ProtocolVersion}); err != nil {
+		t.Fatal(err)
+	}
+	var ack helloAck
+	if err := dec.Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.Err == "" || !strings.Contains(ack.Err, "version mismatch") {
+		t.Errorf("ack = %+v, want a rejection", ack)
+	}
+}
