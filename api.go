@@ -60,6 +60,8 @@ func (db *DB) SnapshotCtx(ctx context.Context, view Rect, t0, t1 float64, opts Q
 	}
 	ctx, finish := opts.begin(ctx, db.counters.Snapshot)
 	defer finish()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	ms, err := db.tree.RangeSearchCtx(ctx, box, geom.Interval{Lo: t0, Hi: t1},
 		rtree.SearchOptions{Limit: opts.Limit}, &db.counters)
 	if err != nil {
@@ -84,6 +86,8 @@ func (db *DB) KNNCtx(ctx context.Context, point []float64, t float64, k int, opt
 	}
 	ctx, finish := opts.begin(ctx, db.counters.Snapshot)
 	defer finish()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	nbs, err := core.KNNCtx(ctx, db.tree, geom.Point(point), t, k, &db.counters)
 	if err != nil {
 		return nil, err
@@ -133,6 +137,7 @@ type Database interface {
 	Stats() (IndexStats, error)
 	CostSnapshot() stats.Snapshot
 	BufferStats() BufferStats
+	BufferSegments() []BufferSegmentStats
 	Close() error
 }
 

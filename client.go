@@ -9,7 +9,8 @@ import "dynq/internal/cache"
 // frame maintains the complete set of currently visible objects without
 // the server ever re-sending one.
 type ViewCache struct {
-	c *cache.Cache[Result]
+	c        *cache.Cache[Result]
+	episodes int
 }
 
 // NewViewCache creates an empty client cache.
@@ -17,13 +18,35 @@ func NewViewCache() *ViewCache {
 	return &ViewCache{c: cache.New[Result]()}
 }
 
-// Apply upserts a batch of query results. Re-delivered objects (e.g. an
-// object re-entering the view) refresh their disappearance deadline.
+// Apply upserts a batch of query results. A result for an object whose
+// cached visibility episode is still open (the incoming Appear is not
+// after the cached Disappear) is a re-announcement of that same episode —
+// PDQ can re-send one when a concurrent insert lands mid-frame — and is
+// merged into it: the cache keeps the earliest appearance and the latest
+// disappearance, so a stale re-send can never shrink the deadline, and
+// the episode is not counted twice. A result starting strictly after the
+// cached episode ends (or for an uncached object) opens a new episode.
 func (v *ViewCache) Apply(results []Result) {
 	for _, r := range results {
+		if cur, ok := v.c.Get(r.ID); ok && r.Appear <= cur.Disappear {
+			if cur.Appear < r.Appear {
+				r.Appear = cur.Appear
+			}
+			if cur.Disappear > r.Disappear {
+				r.Disappear = cur.Disappear
+			}
+			v.c.Put(r.ID, r, r.Disappear)
+			continue
+		}
+		v.episodes++
 		v.c.Put(r.ID, r, r.Disappear)
 	}
 }
+
+// Episodes reports how many distinct visibility episodes the cache has
+// admitted since creation: re-announcements of an open episode do not
+// count, an object re-entering the view after leaving it does.
+func (v *ViewCache) Episodes() int { return v.episodes }
 
 // Advance evicts everything that has left the view by time now,
 // returning the evicted results.

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	dqbench [-fig N] [-scale F] [-trajectories N] [-seed N] [-csv] [-mixed] [-hist] [-shards N]
-//	        [-json FILE] [-compare FILE] [-compare-threshold F] [-compare-warn]
+//	        [-concurrency N] [-json FILE] [-compare FILE] [-compare-threshold F] [-compare-warn]
 //	        [-log-level L] [-log-format F]
 //
 //	-fig 0            regenerate all figures (6-13); or a single figure
@@ -18,6 +18,7 @@
 //	-csv              machine-readable output for plotting
 //	-mixed            also run the mixed static+mobile NPDQ experiment
 //	-hist             report per-frame wall-time percentiles per figure
+//	-concurrency 8    also run the 1-vs-N concurrent netq client comparison
 //	-shards 4         also run the 1-vs-N sharded engine comparison
 //	-json FILE        write a versioned machine-readable report (BENCH_*.json)
 //	-compare FILE     check this run against a baseline report; exits 3 on
@@ -55,6 +56,7 @@ func main() {
 		hist         = flag.Bool("hist", false, "report per-frame wall-time percentiles (p50/p95/p99) per figure")
 		shards       = flag.Int("shards", 0, "also run the 1-vs-N sharded engine comparison with N shards")
 		workers      = flag.Int("workers", 0, "worker-pool bound for -shards (0 = GOMAXPROCS)")
+		concurrency  = flag.Int("concurrency", 0, "also run the 1-vs-N concurrent netq client comparison with N clients")
 
 		jsonOut          = flag.String("json", "", "write a machine-readable benchmark report (BENCH_*.json) to this file")
 		comparePath      = flag.String("compare", "", "baseline BENCH_*.json to check this run against")
@@ -140,23 +142,27 @@ func main() {
 			}
 		}
 	}
+	// Extra experiments run before the figures; with the default -fig 0
+	// they replace the figure sweep entirely.
+	extrasOnly := *fig == 0 && (*mixed || *shards > 0 || *concurrency > 0)
 	if *mixed {
 		if err := runMixed(cfg); err != nil {
 			fatal(err)
-		}
-		if *fig == 0 {
-			finish()
-			return
 		}
 	}
 	if *shards > 0 {
 		if err := runShards(cfg, *shards, *workers, report); err != nil {
 			fatal(err)
 		}
-		if *fig == 0 {
-			finish()
-			return
+	}
+	if *concurrency > 0 {
+		if err := runConcurrency(cfg, *concurrency, report); err != nil {
+			fatal(err)
 		}
+	}
+	if extrasOnly {
+		finish()
+		return
 	}
 	var specs []bench.FigureSpec
 	if *fig == 0 {
@@ -269,6 +275,37 @@ func runShards(cfg bench.Config, shards, workers int, report *bench.Report) erro
 		}
 		fmt.Printf("%-9s | %8d | %12v | %12v | %6.2fx\n",
 			name, c.Queries, c.Single.Round(time.Microsecond), c.Sharded.Round(time.Microsecond), c.Speedup())
+	}
+	return nil
+}
+
+// runConcurrency prints the concurrent-read comparison: the same
+// snapshot batch through one netq server with 1 vs N client goroutines.
+// Every concurrent answer is checked against the serial in-process
+// result, so the table is also a correctness run for the parallel read
+// path. Speedup needs real cores.
+func runConcurrency(cfg bench.Config, clients int, report *bench.Report) error {
+	fmt.Printf("\n=== Concurrent reads: 1 vs %d netq clients (snapshot sweep) ===\n", clients)
+	cells, segments, err := bench.ConcurrencyExperiment(cfg, clients)
+	if err != nil {
+		return err
+	}
+	report.AddConcurrencyCells(clients, cells)
+	fmt.Printf("index: %d segments; server read gate = GOMAXPROCS\n", segments)
+	fmt.Printf("%-8s | %-8s | %-12s | %-12s | %s\n", "clients", "queries", "wall", "qps", "speedup")
+	var base time.Duration
+	for _, c := range cells {
+		if c.Clients == 1 {
+			base = c.Wall
+		}
+	}
+	for _, c := range cells {
+		speedup := 0.0
+		if c.Wall > 0 && base > 0 {
+			speedup = float64(base) / float64(c.Wall)
+		}
+		fmt.Printf("%8d | %8d | %12v | %12.0f | %6.2fx\n",
+			c.Clients, c.Queries, c.Wall.Round(time.Microsecond), c.QPS(), speedup)
 	}
 	return nil
 }

@@ -32,6 +32,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -52,6 +53,8 @@ func main() {
 		track   = flag.Bool("track", false, "attach a current-state tracker (enables OpTrack* operations)")
 		horizon = flag.Float64("horizon", 2, "tracker anticipation horizon")
 		shards  = flag.Int("shards", 1, "partition the index across N parallel shards (>1 requires a synthetic index, not -db)")
+		maxConc = flag.Int("max-concurrent", 0, "max concurrently executing read queries (0 = GOMAXPROCS, <0 = unlimited)")
+		maxQue  = flag.Int("max-queue", 0, "max read queries waiting for a slot before rejection (0 = 4x max-concurrent)")
 
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error (debug logs every request)")
 		logFormat = flag.String("log-format", "text", "log format: text or json")
@@ -99,6 +102,15 @@ func main() {
 
 	srv := netq.NewServer(db)
 	srv.WithLogger(logger)
+	if *maxConc != 0 || *maxQue != 0 {
+		n := *maxConc
+		if n == 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		srv.WithConcurrency(n, *maxQue)
+	}
+	logger.Info("read admission control",
+		"max_concurrent", srv.MaxConcurrent(), "max_queue", srv.MaxQueue())
 	if *track {
 		tk, err := dynq.NewTracker(dynq.TrackerOptions{Horizon: *horizon})
 		if err != nil {

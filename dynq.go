@@ -28,6 +28,7 @@ package dynq
 
 import (
 	"fmt"
+	"sync"
 
 	"dynq/internal/core"
 	"dynq/internal/geom"
@@ -101,10 +102,25 @@ type Options struct {
 }
 
 // DB is a mobile-object database: an NSI R-tree plus the dynamic query
-// engines. All methods are safe for concurrent use except where a session
-// type documents otherwise.
+// engines.
+//
+// Concurrency: read-only operations (Snapshot, SnapshotCtx, KNN, KNNCtx,
+// Within, JoinWith, CountSeries, Stats, Validate, Len) hold a shared lock
+// and run in parallel with each other; mutating operations (Insert,
+// Delete, BulkLoad, Sync) hold the exclusive lock, so every query
+// observes the index either entirely before or entirely after a given
+// write. Stats accessors (Cost, CostSnapshot, BufferStats) are atomic and
+// lock-free. Session types (PredictiveQuery, NonPredictiveQuery,
+// AdaptiveQuery) are each single-goroutine but may run alongside queries
+// and writers, synchronizing at index-node granularity as the paper's
+// live-update semantics require.
 type DB struct {
+	// mu isolates whole operations: queries share it, writers own it.
+	// The index beneath has its own reader-writer lock at node-load
+	// granularity, used by dynamic query sessions.
+	mu          sync.RWMutex
 	tree        *rtree.Tree
+	cfg         rtree.Config
 	store       pager.Store
 	counters    stats.Counters
 	bufferPages int
@@ -132,7 +148,7 @@ func Open(opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	db := &DB{tree: tree, store: store, bufferPages: opts.BufferPages}
+	db := &DB{tree: tree, cfg: cfg, store: store, bufferPages: opts.BufferPages}
 	tree.SetCounters(&db.counters)
 	return db, nil
 }
@@ -166,10 +182,14 @@ func (o Options) toConfig() (rtree.Config, error) {
 func (db *DB) Close() error { return db.store.Close() }
 
 // Dims returns the spatial dimensionality.
-func (db *DB) Dims() int { return db.tree.Config().Dims }
+func (db *DB) Dims() int { return db.cfg.Dims }
 
 // Len returns the number of indexed motion segments.
-func (db *DB) Len() int { return db.tree.Size() }
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.tree.Size()
+}
 
 // Insert records one motion update for an object. Coordinates are stored
 // at float32 precision (the on-disk key format).
@@ -178,6 +198,8 @@ func (db *DB) Insert(id ObjectID, seg Segment) error {
 	if err != nil {
 		return err
 	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	return db.tree.Insert(rtree.ObjectID(id), g)
 }
 
@@ -185,6 +207,8 @@ func (db *DB) Insert(id ObjectID, seg Segment) error {
 // replacing any current contents. It is far faster than repeated Insert
 // for large historical loads. The db must be empty.
 func (db *DB) BulkLoad(segs map[ObjectID][]Segment) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if db.tree.Size() != 0 {
 		return fmt.Errorf("dynq: BulkLoad requires an empty database")
 	}
@@ -215,6 +239,8 @@ func (db *DB) BulkLoad(segs map[ObjectID][]Segment) error {
 // Delete removes the motion update of an object that started at t0.
 // It returns ErrNotFound if no such segment is indexed.
 func (db *DB) Delete(id ObjectID, t0 float64) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	err := db.tree.Delete(rtree.ObjectID(id), t0)
 	if err == rtree.ErrNotFound {
 		return ErrNotFound
@@ -232,6 +258,8 @@ func (db *DB) Snapshot(view Rect, t0, t1 float64) ([]Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	ms, err := db.tree.RangeSearch(box, geom.Interval{Lo: t0, Hi: t1}, rtree.SearchOptions{}, &db.counters)
 	if err != nil {
 		return nil, err
@@ -250,6 +278,8 @@ func (db *DB) Snapshot(view Rect, t0, t1 float64) ([]Result, error) {
 
 // KNN returns the k objects nearest to point at time t.
 func (db *DB) KNN(point []float64, t float64, k int) ([]Neighbor, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	nbs, err := core.KNN(db.tree, geom.Point(point), t, k, &db.counters)
 	if err != nil {
 		return nil, err
@@ -298,7 +328,9 @@ func (b BufferStats) HitRatio() float64 {
 // BufferStats reports the buffer pool's live accounting. Safe to call
 // concurrently with queries.
 func (db *DB) BufferStats() BufferStats {
+	db.mu.RLock()
 	p := db.tree.Pool()
+	db.mu.RUnlock()
 	return BufferStats{
 		Hits:       p.Hits(),
 		Misses:     p.Misses(),
@@ -307,6 +339,40 @@ func (db *DB) BufferStats() BufferStats {
 		Len:        p.Len(),
 		Capacity:   p.Capacity(),
 	}
+}
+
+// BufferSegmentStats is a point-in-time view of one lock segment of the
+// buffer pool, for contention observability: a cold or thrashing segment
+// shows up as a hit-ratio outlier.
+type BufferSegmentStats struct {
+	Hits     int64
+	Misses   int64
+	Len      int
+	Capacity int
+}
+
+// HitRatio returns hits/(hits+misses), or 0 when no requests were made.
+func (b BufferSegmentStats) HitRatio() float64 {
+	total := b.Hits + b.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(b.Hits) / float64(total)
+}
+
+// BufferSegments reports the buffer pool's per-segment accounting, in
+// segment order (empty for a bufferless pass-through pool). Safe to call
+// concurrently with queries.
+func (db *DB) BufferSegments() []BufferSegmentStats {
+	db.mu.RLock()
+	p := db.tree.Pool()
+	db.mu.RUnlock()
+	segs := p.SegmentStats()
+	out := make([]BufferSegmentStats, len(segs))
+	for i, s := range segs {
+		out[i] = BufferSegmentStats{Hits: s.Hits, Misses: s.Misses, Len: s.Len, Capacity: s.Capacity}
+	}
+	return out
 }
 
 // Cost returns the accumulated query cost counters.
@@ -338,6 +404,8 @@ type IndexStats struct {
 
 // Stats walks the index and reports its shape.
 func (db *DB) Stats() (IndexStats, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	st, err := db.tree.Stats()
 	if err != nil {
 		return IndexStats{}, err
@@ -355,7 +423,11 @@ func (db *DB) Stats() (IndexStats, error) {
 }
 
 // Validate checks the index's structural invariants (tests/tools).
-func (db *DB) Validate() error { return db.tree.Validate() }
+func (db *DB) Validate() error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.tree.Validate()
+}
 
 func (db *DB) toSegment(s Segment) (geom.Segment, error) {
 	return toSegmentDims(s, db.Dims())

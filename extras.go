@@ -18,6 +18,8 @@ type Pair struct {
 // delta of each other (a spatial self-join, the paper's future work (ii)).
 // Pairs are reported once, with A < B.
 func (db *DB) Within(delta, t float64) ([]Pair, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	pairs, err := core.DistanceJoin(db.tree, db.tree, delta, t, &db.counters)
 	if err != nil {
 		return nil, err
@@ -35,7 +37,11 @@ func (db *DB) Within(delta, t float64) ([]Pair, error) {
 
 // JoinWith finds every pair (a ∈ db, b ∈ other) within delta of each
 // other at time t. Both databases must have the same dimensionality.
+// Only the receiver is read-locked; concurrent writes to other
+// synchronize at its index level, so they may land mid-join.
 func (db *DB) JoinWith(other *DB, delta, t float64) ([]Pair, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	pairs, err := core.DistanceJoin(db.tree, other.tree, delta, t, &db.counters)
 	if err != nil {
 		return nil, err
@@ -75,6 +81,8 @@ type AdaptiveSession struct {
 
 // AdaptiveQuery starts an adaptive dynamic query session.
 func (db *DB) AdaptiveQuery(opts AdaptiveOptions) (*AdaptiveSession, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	a, err := core.NewAdaptive(db.tree, core.AdaptiveOptions{
 		Slack:        opts.Slack,
 		Horizon:      opts.Horizon,
@@ -123,5 +131,7 @@ func (db *DB) CountSeries(waypoints []Waypoint, times []float64) ([]int, error) 
 	if err != nil {
 		return nil, err
 	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return core.ContinuousCount(db.tree, traj, times, &db.counters)
 }

@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAddConcurrencyCells(t *testing.T) {
+	r := &Report{SchemaVersion: ReportSchemaVersion}
+	cells := []ConcurrencyCell{
+		{Clients: 1, Queries: 100, Wall: 400 * time.Millisecond},
+		{Clients: 8, Queries: 100, Wall: 100 * time.Millisecond},
+	}
+	r.AddConcurrencyCells(8, cells)
+	if r.ConcurrencyClients != 8 || len(r.ConcurrencyCells) != 2 {
+		t.Fatalf("cells = %+v", r.ConcurrencyCells)
+	}
+	got := r.ConcurrencyCells[1]
+	if got.Speedup != 4.0 {
+		t.Errorf("8-client speedup = %g, want 4", got.Speedup)
+	}
+	if qps := got.QPS; qps < 999 || qps > 1001 {
+		t.Errorf("8-client qps = %g, want ~1000", qps)
+	}
+	if r.ConcurrencyCells[0].Speedup != 1.0 {
+		t.Errorf("baseline speedup = %g, want 1", r.ConcurrencyCells[0].Speedup)
+	}
+}
+
+// TestConcurrencyExperimentSmall runs the full wire experiment at a tiny
+// scale: 1-vs-2 clients, answers cross-checked against the serial run
+// inside the experiment itself.
+func TestConcurrencyExperimentSmall(t *testing.T) {
+	cells, segments, err := ConcurrencyExperiment(Config{Scale: 0.01, Trajectories: 2, Seed: 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if segments == 0 {
+		t.Fatal("no segments generated")
+	}
+	if len(cells) != 2 || cells[0].Clients != 1 || cells[1].Clients != 2 {
+		t.Fatalf("cells = %+v", cells)
+	}
+	for _, c := range cells {
+		if c.Queries == 0 || c.Wall <= 0 {
+			t.Errorf("degenerate cell %+v", c)
+		}
+	}
+}

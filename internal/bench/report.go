@@ -40,6 +40,10 @@ type Report struct {
 	// included one (dqbench -shards).
 	Shards     int               `json:"shards,omitempty"`
 	ShardCells []ShardCellReport `json:"shard_cells,omitempty"`
+	// ConcurrencyCells holds the 1-vs-N concurrent netq client comparison
+	// when the run included one (dqbench -concurrency).
+	ConcurrencyClients int                     `json:"concurrency_clients,omitempty"`
+	ConcurrencyCells   []ConcurrencyCellReport `json:"concurrency_cells,omitempty"`
 }
 
 // FigureReport is one measured figure of the paper's evaluation.
@@ -117,6 +121,17 @@ type ShardCellReport struct {
 	Speedup   float64 `json:"speedup"`
 }
 
+// ConcurrencyCellReport is one row of the 1-vs-N concurrent client
+// comparison: the same snapshot batch through the netq server with N
+// client goroutines.
+type ConcurrencyCellReport struct {
+	Clients int     `json:"clients"`
+	Queries int     `json:"queries"`
+	WallNS  int64   `json:"wall_ns"`
+	QPS     float64 `json:"qps"`
+	Speedup float64 `json:"speedup"` // vs the 1-client row
+}
+
 // NewReport stamps a report with the environment and the run's workload
 // parameters.
 func NewReport(cfg Config) *Report {
@@ -168,6 +183,31 @@ func (r *Report) AddShardCells(shards int, cells []ShardCell) {
 			SingleNS:  c.Single.Nanoseconds(),
 			ShardedNS: c.Sharded.Nanoseconds(),
 			Speedup:   c.Speedup(),
+		})
+	}
+}
+
+// AddConcurrencyCells records the concurrent-client comparison rows,
+// deriving each row's speedup from the 1-client baseline row.
+func (r *Report) AddConcurrencyCells(clients int, cells []ConcurrencyCell) {
+	r.ConcurrencyClients = clients
+	var baseWall time.Duration
+	for _, c := range cells {
+		if c.Clients == 1 {
+			baseWall = c.Wall
+		}
+	}
+	for _, c := range cells {
+		speedup := 0.0
+		if c.Wall > 0 && baseWall > 0 {
+			speedup = float64(baseWall) / float64(c.Wall)
+		}
+		r.ConcurrencyCells = append(r.ConcurrencyCells, ConcurrencyCellReport{
+			Clients: c.Clients,
+			Queries: c.Queries,
+			WallNS:  c.Wall.Nanoseconds(),
+			QPS:     c.QPS(),
+			Speedup: speedup,
 		})
 	}
 }

@@ -56,10 +56,26 @@ func (c *Cache[V]) Get(id uint64) (V, bool) {
 	return zero, false
 }
 
-// Advance evicts every object whose disappearance time is strictly before
-// now, returning the evicted values. Objects disappearing exactly at now
-// are kept (they are visible through the instant).
+// Advance evicts every object whose disappearance time has been reached
+// (deadline <= now), returning the evicted values. The paper keys cached
+// objects on disappearance time and discards them "at that time"
+// (Section 4.1): an object disappearing exactly at now has left the view.
 func (c *Cache[V]) Advance(now float64) []V {
+	var evicted []V
+	for c.pq.Len() > 0 && c.pq[0].disappear <= now {
+		it := heap.Pop(&c.pq).(*item[V])
+		delete(c.items, it.id)
+		evicted = append(evicted, it.value)
+	}
+	return evicted
+}
+
+// AdvanceBefore evicts only objects whose disappearance time is strictly
+// before now, keeping those that disappear exactly at now. Closed-interval
+// sampling — counting the set visible AT an instant, where an episode
+// ending exactly at the sample time still overlaps it — wants this
+// variant rather than Advance's at-deadline discard.
+func (c *Cache[V]) AdvanceBefore(now float64) []V {
 	var evicted []V
 	for c.pq.Len() > 0 && c.pq[0].disappear < now {
 		it := heap.Pop(&c.pq).(*item[V])

@@ -27,12 +27,12 @@ func TestCacheBasic(t *testing.T) {
 	if d, ok := c.NextDeadline(); !ok || d != 5 {
 		t.Errorf("deadline = %g %v", d, ok)
 	}
-	// Advance to 5: nothing evicted (deadline is inclusive).
-	if ev := c.Advance(5); len(ev) != 0 {
-		t.Errorf("evicted at t=5: %v", ev)
+	// AdvanceBefore(5): nothing evicted (deadline exactly at now is kept).
+	if ev := c.AdvanceBefore(5); len(ev) != 0 {
+		t.Errorf("AdvanceBefore evicted at t=5: %v", ev)
 	}
-	// Advance past 5: b goes.
-	ev := c.Advance(5.1)
+	// Advance(5): discarded at its disappearance time — b goes.
+	ev := c.Advance(5)
 	if len(ev) != 1 || ev[0] != "b" {
 		t.Errorf("evicted = %v", ev)
 	}
@@ -46,6 +46,29 @@ func TestCacheBasic(t *testing.T) {
 	}
 	if c.Len() != 0 {
 		t.Error("cache should be empty")
+	}
+}
+
+// TestCacheAdvanceBoundary pins the paper's Section 4.1 semantics: an
+// object whose disappearance time equals the frame timestamp is
+// discarded by Advance at that frame, while AdvanceBefore (closed-
+// interval sampling) keeps it through the instant.
+func TestCacheAdvanceBoundary(t *testing.T) {
+	c := New[string]()
+	c.Put(1, "edge", 30)
+
+	if ev := c.AdvanceBefore(30); len(ev) != 0 {
+		t.Fatalf("AdvanceBefore(30) evicted %v; deadline-at-now must survive", ev)
+	}
+	if _, ok := c.Get(1); !ok {
+		t.Fatal("object gone after AdvanceBefore at its own deadline")
+	}
+	ev := c.Advance(30)
+	if len(ev) != 1 || ev[0] != "edge" {
+		t.Fatalf("Advance(30) = %v, want the object discarded at its disappearance time", ev)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("len = %d after at-deadline discard", c.Len())
 	}
 }
 
@@ -117,7 +140,7 @@ func TestCacheModelProperty(t *testing.T) {
 				// Model eviction.
 				expect := 0
 				for id, dl := range model {
-					if dl < now {
+					if dl <= now {
 						delete(model, id)
 						expect++
 					}

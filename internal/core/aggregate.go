@@ -62,7 +62,9 @@ func ContinuousCount(tree *rtree.Tree, traj *trajectory.Trajectory, times []floa
 				live.Put(key(r), struct{}{}, r.Disappear)
 			}
 		}
-		live.Advance(t)
+		// Strictly-before eviction: the count samples the visible set AT
+		// instant t, so an episode ending exactly at t still overlaps it.
+		live.AdvanceBefore(t)
 		counts[i] = live.Len()
 		prev = t
 	}

@@ -2,7 +2,9 @@ package pager
 
 import (
 	"container/list"
+	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 )
 
@@ -11,20 +13,42 @@ import (
 // experiments can compare "naive + server-side LRU buffer" against the
 // dynamic query algorithms.
 //
+// The pool is safe for concurrent use. Internally the capacity is split
+// across independently locked LRU segments keyed by PageID, so parallel
+// R-tree descents contend only when they touch pages in the same segment.
+// Small pools (fewer than 2×segmentMinFrames frames) collapse to a single
+// segment and behave exactly like a global LRU, which the deterministic
+// eviction tests and the paper's tiny-buffer ablations rely on.
+//
+// Concurrent Gets of distinct pages never block each other beyond their
+// segment lock. A Get racing a Put of the same page may observe either
+// the old or the new contents; the index layer excludes that case by
+// holding its writer lock across structural changes.
+//
 // A BufferPool with capacity 0 is a pass-through (every Get is a miss):
 // this models the paper's experimental setting, where the server keeps no
 // per-session buffer.
 type BufferPool struct {
 	store    Store
 	capacity int
-
-	frames map[PageID]*list.Element
-	lru    *list.List // front = most recently used
+	segs     []*poolSegment
 
 	// Accounting is atomic so a metrics endpoint can read live values
-	// while the owning tree holds its structural lock.
+	// while queries are in flight.
 	hits, misses, evictions, writeBacks atomic.Int64
 	size                                atomic.Int64 // buffered frame count
+}
+
+// poolSegment is one independently locked slice of the pool: its own
+// frame map, LRU list, and capacity share. Per-segment hit/miss counters
+// feed the contention observability gauges.
+type poolSegment struct {
+	mu       sync.Mutex
+	capacity int
+	frames   map[PageID]*list.Element
+	lru      *list.List // front = most recently used
+
+	hits, misses atomic.Int64
 }
 
 type frame struct {
@@ -33,73 +57,146 @@ type frame struct {
 	dirty bool
 }
 
+// Segment sizing: a pool only splits once each segment would hold a
+// useful number of frames, and never beyond maxSegments locks.
+const (
+	segmentMinFrames = 8
+	maxSegments      = 16
+)
+
+func numSegments(capacity int) int {
+	if capacity <= 0 {
+		return 0
+	}
+	n := capacity / segmentMinFrames
+	if n < 1 {
+		n = 1
+	}
+	if n > maxSegments {
+		n = maxSegments
+	}
+	return n
+}
+
 // NewBufferPool wraps store with an LRU buffer holding up to capacity
 // pages.
 func NewBufferPool(store Store, capacity int) *BufferPool {
-	return &BufferPool{
-		store:    store,
-		capacity: capacity,
-		frames:   make(map[PageID]*list.Element),
-		lru:      list.New(),
-	}
-}
-
-// Get returns the contents of a page. The returned slice is only valid
-// until the next call on the pool; callers must copy or decode
-// immediately.
-func (bp *BufferPool) Get(id PageID) ([]byte, error) {
-	if el, ok := bp.frames[id]; ok {
-		bp.hits.Add(1)
-		bp.lru.MoveToFront(el)
-		return el.Value.(*frame).data, nil
-	}
-	bp.misses.Add(1)
-	buf := make([]byte, PageSize)
-	if err := bp.store.ReadPage(id, buf); err != nil {
-		return nil, err
-	}
-	if bp.capacity > 0 {
-		if err := bp.insert(&frame{id: id, data: buf}); err != nil {
-			return nil, err
+	bp := &BufferPool{store: store, capacity: capacity}
+	n := numSegments(capacity)
+	bp.segs = make([]*poolSegment, n)
+	for i := range bp.segs {
+		segCap := capacity / n
+		if i < capacity%n {
+			segCap++
+		}
+		bp.segs[i] = &poolSegment{
+			capacity: segCap,
+			frames:   make(map[PageID]*list.Element),
+			lru:      list.New(),
 		}
 	}
-	return buf, nil
+	return bp
+}
+
+// segment maps a page to its owning segment. Sequential page IDs spread
+// round-robin, which keeps hot sibling nodes on different locks.
+func (bp *BufferPool) segment(id PageID) *poolSegment {
+	return bp.segs[int(uint32(id))%len(bp.segs)]
+}
+
+// Get returns the contents of a page. The returned slice must be treated
+// as read-only; it stays valid until the page is evicted and re-read
+// (writers install fresh buffers rather than mutating cached ones).
+func (bp *BufferPool) Get(id PageID) ([]byte, error) {
+	buf, _, err := bp.GetHit(id)
+	return buf, err
+}
+
+// GetHit is Get plus a flag reporting whether the page was served from
+// the buffer. The index layer uses the flag for its per-query cost
+// counters; the pool-global Hits/Misses totals are not usable for that
+// under concurrency.
+func (bp *BufferPool) GetHit(id PageID) ([]byte, bool, error) {
+	if bp.capacity == 0 {
+		bp.misses.Add(1)
+		buf := make([]byte, PageSize)
+		if err := bp.store.ReadPage(id, buf); err != nil {
+			return nil, false, err
+		}
+		return buf, false, nil
+	}
+	seg := bp.segment(id)
+	seg.mu.Lock()
+	if el, ok := seg.frames[id]; ok {
+		seg.lru.MoveToFront(el)
+		data := el.Value.(*frame).data
+		seg.mu.Unlock()
+		bp.hits.Add(1)
+		seg.hits.Add(1)
+		return data, true, nil
+	}
+	seg.mu.Unlock()
+	bp.misses.Add(1)
+	seg.misses.Add(1)
+	buf := make([]byte, PageSize)
+	if err := bp.store.ReadPage(id, buf); err != nil {
+		return nil, false, err
+	}
+	seg.mu.Lock()
+	defer seg.mu.Unlock()
+	if el, ok := seg.frames[id]; ok {
+		// Another goroutine cached the page while we read it; prefer the
+		// pooled copy (it may hold a buffered write).
+		seg.lru.MoveToFront(el)
+		return el.Value.(*frame).data, false, nil
+	}
+	if err := bp.insertLocked(seg, &frame{id: id, data: buf}); err != nil {
+		return nil, false, err
+	}
+	return buf, false, nil
 }
 
 // Put replaces the contents of a page. The write is buffered if the pool
-// has capacity, otherwise it goes straight to the store.
+// has capacity, otherwise it goes straight to the store. A buffered
+// frame gets a fresh backing array, so slices handed out by earlier Gets
+// keep their old contents instead of mutating under a concurrent reader.
 func (bp *BufferPool) Put(id PageID, data []byte) error {
 	if len(data) != PageSize {
 		return ErrBadPageData
-	}
-	if el, ok := bp.frames[id]; ok {
-		f := el.Value.(*frame)
-		copy(f.data, data)
-		f.dirty = true
-		bp.lru.MoveToFront(el)
-		return nil
 	}
 	if bp.capacity == 0 {
 		return bp.store.WritePage(id, data)
 	}
 	buf := make([]byte, PageSize)
 	copy(buf, data)
-	return bp.insert(&frame{id: id, data: buf, dirty: true})
+	seg := bp.segment(id)
+	seg.mu.Lock()
+	defer seg.mu.Unlock()
+	if el, ok := seg.frames[id]; ok {
+		f := el.Value.(*frame)
+		f.data = buf
+		f.dirty = true
+		seg.lru.MoveToFront(el)
+		return nil
+	}
+	return bp.insertLocked(seg, &frame{id: id, data: buf, dirty: true})
 }
 
-func (bp *BufferPool) insert(f *frame) error {
-	for bp.lru.Len() >= bp.capacity {
-		if err := bp.evictOldest(); err != nil {
+// insertLocked adds a frame to seg, evicting from seg's own LRU tail as
+// needed. Callers hold seg.mu.
+func (bp *BufferPool) insertLocked(seg *poolSegment, f *frame) error {
+	for seg.lru.Len() >= seg.capacity {
+		if err := bp.evictOldestLocked(seg); err != nil {
 			return err
 		}
 	}
-	bp.frames[f.id] = bp.lru.PushFront(f)
+	seg.frames[f.id] = seg.lru.PushFront(f)
 	bp.size.Add(1)
 	return nil
 }
 
-func (bp *BufferPool) evictOldest() error {
-	el := bp.lru.Back()
+func (bp *BufferPool) evictOldestLocked(seg *poolSegment) error {
+	el := seg.lru.Back()
 	if el == nil {
 		return fmt.Errorf("pager: buffer pool eviction with no frames")
 	}
@@ -110,8 +207,8 @@ func (bp *BufferPool) evictOldest() error {
 			return err
 		}
 	}
-	bp.lru.Remove(el)
-	delete(bp.frames, f.id)
+	seg.lru.Remove(el)
+	delete(seg.frames, f.id)
 	bp.size.Add(-1)
 	bp.evictions.Add(1)
 	return nil
@@ -123,48 +220,75 @@ func (bp *BufferPool) Alloc() (PageID, error) { return bp.store.Alloc() }
 // Free drops any buffered frame for the page and releases it in the
 // store.
 func (bp *BufferPool) Free(id PageID) error {
-	if el, ok := bp.frames[id]; ok {
-		bp.lru.Remove(el)
-		delete(bp.frames, id)
-		bp.size.Add(-1)
+	if bp.capacity > 0 {
+		seg := bp.segment(id)
+		seg.mu.Lock()
+		if el, ok := seg.frames[id]; ok {
+			seg.lru.Remove(el)
+			delete(seg.frames, id)
+			bp.size.Add(-1)
+		}
+		seg.mu.Unlock()
 	}
 	return bp.store.Free(id)
 }
 
 // Flush writes all dirty frames back to the store (frames stay cached).
+// Every dirty frame is attempted even when some writes fail; the
+// failures are aggregated with errors.Join, and a frame's dirty bit is
+// cleared only after its own write succeeds, so a partial flush never
+// strands unpersisted data behind a clean-looking frame.
 func (bp *BufferPool) Flush() error {
-	for el := bp.lru.Front(); el != nil; el = el.Next() {
-		f := el.Value.(*frame)
-		if f.dirty {
+	var errs []error
+	for _, seg := range bp.segs {
+		seg.mu.Lock()
+		for el := seg.lru.Front(); el != nil; el = el.Next() {
+			f := el.Value.(*frame)
+			if !f.dirty {
+				continue
+			}
 			bp.writeBacks.Add(1)
 			if err := bp.store.WritePage(f.id, f.data); err != nil {
-				return err
+				errs = append(errs, fmt.Errorf("page %d: %w", f.id, err))
+				continue
 			}
 			f.dirty = false
 		}
+		seg.mu.Unlock()
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // Invalidate flushes and then drops every cached frame, so subsequent
-// Gets hit the store again. The experiment harness calls this between
-// queries when modelling a bufferless server.
+// Gets hit the store again. If any write-back fails the frames are kept
+// (dirty ones still dirty) and the error is returned, so no unpersisted
+// data is dropped. The experiment harness calls this between queries
+// when modelling a bufferless server.
 func (bp *BufferPool) Invalidate() error {
 	if err := bp.Flush(); err != nil {
 		return err
 	}
-	bp.lru.Init()
-	clear(bp.frames)
+	for _, seg := range bp.segs {
+		seg.mu.Lock()
+		seg.lru.Init()
+		clear(seg.frames)
+		seg.mu.Unlock()
+	}
 	bp.size.Store(0)
 	return nil
 }
 
-// ResetStats zeroes the hit/miss accounting.
+// ResetStats zeroes the hit/miss accounting, including the per-segment
+// counters.
 func (bp *BufferPool) ResetStats() {
 	bp.hits.Store(0)
 	bp.misses.Store(0)
 	bp.evictions.Store(0)
 	bp.writeBacks.Store(0)
+	for _, seg := range bp.segs {
+		seg.hits.Store(0)
+		seg.misses.Store(0)
+	}
 }
 
 // Hits reports Gets served from the buffer.
@@ -185,3 +309,42 @@ func (bp *BufferPool) Len() int { return int(bp.size.Load()) }
 
 // Capacity reports the pool's frame capacity.
 func (bp *BufferPool) Capacity() int { return bp.capacity }
+
+// Segments reports the number of independently locked LRU segments
+// (0 for a pass-through pool).
+func (bp *BufferPool) Segments() int { return len(bp.segs) }
+
+// SegmentStats is a point-in-time view of one pool segment, for the
+// per-segment hit-ratio gauges.
+type SegmentStats struct {
+	Hits     int64
+	Misses   int64
+	Len      int
+	Capacity int
+}
+
+// HitRatio is hits / (hits + misses), or 0 with no traffic.
+func (s SegmentStats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// SegmentStats snapshots every segment's counters in index order.
+func (bp *BufferPool) SegmentStats() []SegmentStats {
+	out := make([]SegmentStats, len(bp.segs))
+	for i, seg := range bp.segs {
+		seg.mu.Lock()
+		n := seg.lru.Len()
+		seg.mu.Unlock()
+		out[i] = SegmentStats{
+			Hits:     seg.hits.Load(),
+			Misses:   seg.misses.Load(),
+			Len:      n,
+			Capacity: seg.capacity,
+		}
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+package pager
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// patternPage makes a page-sized buffer with a recognizable byte pattern.
+func patternPage(b byte) []byte {
+	buf := make([]byte, PageSize)
+	for i := range buf {
+		buf[i] = b
+	}
+	return buf
+}
+
+// TestBufferPoolFlushAttemptsEveryFrame pins the Flush failure contract:
+// a failed write-back must not stop the flush, must leave exactly the
+// failed frames dirty, and must surface every failure in the joined
+// error.
+func TestBufferPoolFlushAttemptsEveryFrame(t *testing.T) {
+	fs := NewFaultStore(NewMemStore())
+	bp := NewBufferPool(fs, 8)
+	for i := 0; i < 3; i++ {
+		if _, err := bp.Alloc(); err != nil {
+			t.Fatal(err)
+		}
+		if err := bp.Put(PageID(i), patternPage(byte('a'+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// First write succeeds, the remaining two fail.
+	fs.ArmWrites(2)
+	err := bp.Flush()
+	if err == nil {
+		t.Fatal("Flush with injected write faults returned nil")
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("Flush error %v does not wrap ErrInjected", err)
+	}
+	if got := bp.WriteBacks(); got != 3 {
+		t.Fatalf("Flush attempted %d write-backs, want 3 (every dirty frame)", got)
+	}
+
+	// Only the two failed frames stayed dirty: a second flush writes
+	// exactly those, and the store ends up fully consistent.
+	fs.Disarm()
+	if err := bp.Flush(); err != nil {
+		t.Fatalf("Flush after disarm: %v", err)
+	}
+	if got := bp.WriteBacks(); got != 5 {
+		t.Fatalf("second Flush wrote %d frames cumulatively, want 5 (3 attempts + 2 retries)", got)
+	}
+	for i := 0; i < 3; i++ {
+		buf := make([]byte, PageSize)
+		if err := fs.Inner.ReadPage(PageID(i), buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, patternPage(byte('a'+i))) {
+			t.Fatalf("page %d not persisted correctly after retried flush", i)
+		}
+	}
+}
+
+// TestBufferPoolInvalidateKeepsUnpersistedFrames verifies that a failed
+// flush aborts Invalidate before any frame is dropped, so dirty data is
+// never silently discarded.
+func TestBufferPoolInvalidateKeepsUnpersistedFrames(t *testing.T) {
+	fs := NewFaultStore(NewMemStore())
+	bp := NewBufferPool(fs, 8)
+	if _, err := bp.Alloc(); err != nil {
+		t.Fatal(err)
+	}
+	if err := bp.Put(0, patternPage('x')); err != nil {
+		t.Fatal(err)
+	}
+
+	fs.ArmWrites(1)
+	if err := bp.Invalidate(); err == nil {
+		t.Fatal("Invalidate with failing write-back returned nil")
+	}
+	if bp.Len() != 1 {
+		t.Fatalf("failed Invalidate dropped frames: len=%d, want 1", bp.Len())
+	}
+
+	fs.Disarm()
+	if err := bp.Invalidate(); err != nil {
+		t.Fatalf("Invalidate after disarm: %v", err)
+	}
+	if bp.Len() != 0 {
+		t.Fatalf("Invalidate left %d frames", bp.Len())
+	}
+	buf := make([]byte, PageSize)
+	if err := fs.Inner.ReadPage(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, patternPage('x')) {
+		t.Fatal("dirty frame lost across failed-then-retried Invalidate")
+	}
+}
+
+// TestBufferPoolGetHit checks the per-call hit flag that the index layer
+// uses for cost accounting (pool-global counter deltas are not usable
+// under concurrency).
+func TestBufferPoolGetHit(t *testing.T) {
+	ms := NewMemStore()
+	bp := NewBufferPool(ms, 4)
+	id, err := bp.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, hit, err := bp.GetHit(id); err != nil || hit {
+		t.Fatalf("first Get: hit=%v err=%v, want miss", hit, err)
+	}
+	if _, hit, err := bp.GetHit(id); err != nil || !hit {
+		t.Fatalf("second Get: hit=%v err=%v, want hit", hit, err)
+	}
+
+	// Pass-through pools never report hits.
+	pass := NewBufferPool(ms, 0)
+	if _, hit, err := pass.GetHit(id); err != nil || hit {
+		t.Fatalf("pass-through Get: hit=%v err=%v, want miss", hit, err)
+	}
+}
+
+// TestBufferPoolSegmentation checks the capacity-to-segment mapping:
+// small pools stay single-segment (global LRU semantics), larger pools
+// split, capacity is conserved, and per-segment stats add up.
+func TestBufferPoolSegmentation(t *testing.T) {
+	ms := NewMemStore()
+	cases := []struct{ capacity, wantSegs int }{
+		{0, 0}, {1, 1}, {7, 1}, {8, 1}, {16, 2}, {64, 8}, {128, 16}, {1024, 16},
+	}
+	for _, c := range cases {
+		bp := NewBufferPool(ms, c.capacity)
+		if got := bp.Segments(); got != c.wantSegs {
+			t.Errorf("capacity %d: %d segments, want %d", c.capacity, got, c.wantSegs)
+		}
+		total := 0
+		for _, s := range bp.SegmentStats() {
+			total += s.Capacity
+		}
+		if total != c.capacity {
+			t.Errorf("capacity %d: segment capacities sum to %d", c.capacity, total)
+		}
+	}
+}
+
+// TestBufferPoolConcurrentGets hammers one pool from many goroutines and
+// checks every returned page's contents. Run under -race this is the
+// lock-sharding safety test.
+func TestBufferPoolConcurrentGets(t *testing.T) {
+	ms := NewMemStore()
+	const pages = 64
+	for i := 0; i < pages; i++ {
+		if _, err := ms.Alloc(); err != nil {
+			t.Fatal(err)
+		}
+		if err := ms.WritePage(PageID(i), patternPage(byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Capacity below the working set forces concurrent eviction too.
+	bp := NewBufferPool(ms, 32)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				id := PageID((i*7 + g*13) % pages)
+				buf, err := bp.Get(id)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if buf[0] != byte(id) || buf[PageSize-1] != byte(id) {
+					errs <- errors.New("page contents corrupted under concurrent access")
+					return
+				}
+			}
+		}(g)
+	}
+	// Concurrent stats readers must not race with the LRU churn.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			bp.SegmentStats()
+			_ = bp.Len()
+			_ = bp.Hits()
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if bp.Hits()+bp.Misses() != 8*2000 {
+		t.Fatalf("hits+misses = %d, want %d", bp.Hits()+bp.Misses(), 8*2000)
+	}
+}

@@ -33,9 +33,11 @@ var (
 	ErrClosed         = errors.New("pager: store is closed")
 )
 
-// Store is a flat array of fixed-size pages with allocation. Stores are
-// not required to be safe for concurrent use; the index layer serializes
-// access.
+// Store is a flat array of fixed-size pages with allocation. Stores must
+// support concurrent ReadPage calls when no write (WritePage/Alloc/Free)
+// is in flight; the index layer's reader–writer locking guarantees that
+// writes run with exclusive access, so stores need no locking of their
+// own.
 type Store interface {
 	// ReadPage copies the page's contents into buf (len PageSize).
 	ReadPage(id PageID, buf []byte) error

@@ -237,10 +237,12 @@ type Update struct {
 }
 
 // Tree is a disk-based R-tree. All exported methods are safe for
-// concurrent use; structural operations and node loads are serialized by
-// an internal mutex, modelling a single-disk server.
+// concurrent use: read operations (searches, node loads, accessors) hold
+// a shared lock and run in parallel against the lock-sharded buffer
+// pool, while structural operations (Insert, Delete, bulk load) hold the
+// exclusive lock.
 type Tree struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	cfg      Config
 	pool     *pager.BufferPool
 	storeRef pager.Store
@@ -320,15 +322,15 @@ func (t *Tree) UseBuffer(pages int) error {
 
 // Size returns the number of indexed segments.
 func (t *Tree) Size() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return t.size
 }
 
 // Height returns the number of levels (0 when empty, 1 for a single leaf).
 func (t *Tree) Height() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return t.height
 }
 
@@ -336,16 +338,16 @@ func (t *Tree) Height() int {
 // it to later decide whether a node changed since they last ran (NPDQ
 // update management).
 func (t *Tree) ModSeq() uint64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return t.modSeq
 }
 
 // Root returns the root page and its level; ok is false for an empty
 // tree.
 func (t *Tree) Root() (id pager.PageID, level int, ok bool) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	if t.root == pager.InvalidPage {
 		return pager.InvalidPage, 0, false
 	}
@@ -373,14 +375,13 @@ func (t *Tree) OnUpdate(fn func(Update)) (unsubscribe func()) {
 // Load reads and decodes a node, charging one disk access to c (split by
 // leaf/internal level, the paper's I/O metric).
 func (t *Tree) Load(id pager.PageID, c *stats.Counters) (*Node, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return t.load(id, c)
 }
 
 func (t *Tree) load(id pager.PageID, c *stats.Counters) (*Node, error) {
-	h0 := t.pool.Hits()
-	buf, err := t.pool.Get(id)
+	buf, hit, err := t.pool.GetHit(id)
 	if err != nil {
 		return nil, fmt.Errorf("rtree: load page %d: %w", id, err)
 	}
@@ -389,8 +390,10 @@ func (t *Tree) load(id pager.PageID, c *stats.Counters) (*Node, error) {
 		return nil, err
 	}
 	// The paper's I/O metric counts every node fetch; the buffer-hit
-	// counter additionally records which of those the pool absorbed.
-	if t.pool.Hits() > h0 {
+	// counter additionally records which of those the pool absorbed. The
+	// pool reports the hit per call, since global counter deltas are
+	// meaningless with concurrent readers.
+	if hit {
 		c.AddBufferHit()
 	}
 	c.AddRead(n.Leaf())

@@ -43,8 +43,8 @@ func (t *Tree) RangeSearch(spatial geom.Box, tw geom.Interval, opts SearchOption
 // is checked once per node visited, so a cancelled or expired query stops
 // within one page fetch and returns the context's error.
 func (t *Tree) RangeSearchCtx(ctx context.Context, spatial geom.Box, tw geom.Interval, opts SearchOptions, c *stats.Counters) ([]Match, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	if len(spatial) != t.cfg.Dims {
 		return nil, fmt.Errorf("rtree: query has %d dims, tree has %d", len(spatial), t.cfg.Dims)
 	}
@@ -125,8 +125,8 @@ type TreeStats struct {
 
 // Stats walks the whole tree (not counted against any query counters).
 func (t *Tree) Stats() (TreeStats, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	st := TreeStats{
 		Height:     t.height,
 		Segments:   t.size,
@@ -175,8 +175,8 @@ func (t *Tree) Stats() (TreeStats, error) {
 // counts respect the fanout, and the recorded size matches the number of
 // stored segments. Intended for tests and the loader tool.
 func (t *Tree) Validate() error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	if t.root == pager.InvalidPage {
 		if t.size != 0 || t.height != 0 {
 			return fmt.Errorf("rtree: empty tree with size=%d height=%d", t.size, t.height)

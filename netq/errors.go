@@ -8,9 +8,10 @@ import (
 // Error kinds carried in Response.ErrKind so clients can reconstruct
 // typed errors across the wire (the Err string alone is ambiguous).
 const (
-	ErrKindUnknownOp = "unknown_op"
-	ErrKindNoTracker = "no_tracker"
-	ErrKindNoSession = "no_session"
+	ErrKindUnknownOp  = "unknown_op"
+	ErrKindNoTracker  = "no_tracker"
+	ErrKindNoSession  = "no_session"
+	ErrKindOverloaded = "overloaded"
 )
 
 // ErrNoTracker is returned (and matched with errors.Is on both sides of
@@ -21,6 +22,12 @@ var ErrNoTracker = errors.New("netq: server has no tracker")
 // ErrNoSession is returned when a session-scoped operation (pdq-fetch,
 // adaptive-frame) arrives before the corresponding start op.
 var ErrNoSession = errors.New("netq: no session started on this connection")
+
+// ErrOverloaded is returned (and matched with errors.Is on both sides of
+// the wire) when a read operation is rejected by admission control: the
+// configured number of reads are already executing and the wait queue is
+// full. Clients should back off and retry.
+var ErrOverloaded = errors.New("netq: server overloaded, read rejected by admission control")
 
 // UnknownOpError is returned when a request names an operation the
 // server has no handler for.
@@ -61,6 +68,8 @@ func errKind(err error) string {
 		return ErrKindNoTracker
 	case errors.Is(err, ErrNoSession):
 		return ErrKindNoSession
+	case errors.Is(err, ErrOverloaded):
+		return ErrKindOverloaded
 	}
 	return ""
 }
@@ -84,6 +93,8 @@ func typedError(req Request, resp Response) error {
 		return &wireError{msg: resp.Err, sentinel: ErrNoTracker}
 	case ErrKindNoSession:
 		return &wireError{msg: resp.Err, sentinel: ErrNoSession}
+	case ErrKindOverloaded:
+		return &wireError{msg: resp.Err, sentinel: ErrOverloaded}
 	}
 	return errors.New(resp.Err)
 }

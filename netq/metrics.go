@@ -2,6 +2,7 @@ package netq
 
 import (
 	"net"
+	"strconv"
 
 	"dynq"
 	"dynq/internal/obs"
@@ -39,6 +40,12 @@ type serverMetrics struct {
 	unknownOps        *obs.Counter
 	noTracker         *obs.Counter
 	versionMismatches *obs.Counter
+
+	// Contention observability for the concurrent read path.
+	inflightOps    *obs.Gauge     // ops currently executing (all kinds)
+	readQueueDepth *obs.Gauge     // read ops waiting for an execution slot
+	admissionWait  *obs.Histogram // seconds a read spent waiting to start
+	overloads      *obs.Counter   // reads rejected by admission control
 }
 
 func newServerMetrics(reg *obs.Registry, db dynq.Database) *serverMetrics {
@@ -52,6 +59,11 @@ func newServerMetrics(reg *obs.Registry, db dynq.Database) *serverMetrics {
 	reg.SetHelp("netq_unknown_ops_total", "Requests naming an operation the server has no handler for.")
 	reg.SetHelp("netq_no_tracker_errors_total", "Tracker operations rejected because no tracker is attached.")
 	reg.SetHelp("netq_version_mismatches_total", "Connections rejected by the protocol version handshake.")
+	reg.SetHelp("netq_inflight_ops", "Operations currently executing.")
+	reg.SetHelp("netq_read_queue_depth", "Read operations waiting for an execution slot.")
+	reg.SetHelp("netq_read_admission_wait_seconds", "Time read operations spent waiting for an execution slot.")
+	reg.SetHelp("netq_overload_rejections_total", "Read operations rejected because the wait queue was full.")
+	reg.SetHelp("pager_buffer_segment_hit_ratio", "Per-lock-segment buffer pool hits / (hits + misses).")
 	reg.SetHelp("pager_buffer_hit_ratio", "Buffer pool hits / (hits + misses).")
 	reg.SetHelp("dynq_page_reads_total", "Cumulative index node fetches (the paper's disk-access metric).")
 	reg.SetHelp("dynq_distance_comps_total", "Cumulative geometric predicate evaluations (the paper's CPU metric).")
@@ -73,6 +85,10 @@ func newServerMetrics(reg *obs.Registry, db dynq.Database) *serverMetrics {
 	m.unknownOps = reg.Counter("netq_unknown_ops_total")
 	m.noTracker = reg.Counter("netq_no_tracker_errors_total")
 	m.versionMismatches = reg.Counter("netq_version_mismatches_total")
+	m.inflightOps = reg.Gauge("netq_inflight_ops")
+	m.readQueueDepth = reg.Gauge("netq_read_queue_depth")
+	m.admissionWait = reg.Histogram("netq_read_admission_wait_seconds", nil)
+	m.overloads = reg.Counter("netq_overload_rejections_total")
 	obs.RegisterBuildInfo(reg)
 
 	// Buffer pool and engine totals are owned by the database; expose
@@ -87,6 +103,20 @@ func newServerMetrics(reg *obs.Registry, db dynq.Database) *serverMetrics {
 	reg.GaugeFunc("dynq_distance_comps_total", func() float64 { return float64(db.CostSnapshot().DistanceComps) })
 	reg.GaugeFunc("dynq_pruned_nodes_total", func() float64 { return float64(db.CostSnapshot().PrunedNodes) })
 	reg.GaugeFunc("dynq_results_total", func() float64 { return float64(db.CostSnapshot().Results) })
+
+	// One hit-ratio gauge per buffer pool lock segment: a cold or
+	// thrashing segment shows up as an outlier. The segment count is
+	// fixed by the pool's capacity, so registration at startup is safe.
+	for i := range db.BufferSegments() {
+		idx := i
+		reg.GaugeFunc("pager_buffer_segment_hit_ratio", func() float64 {
+			segs := db.BufferSegments()
+			if idx >= len(segs) {
+				return 0
+			}
+			return segs[idx].HitRatio()
+		}, obs.L("segment", strconv.Itoa(i)))
+	}
 
 	// A sharded backend also exposes its per-shard gauges and fan-out
 	// latency histograms.

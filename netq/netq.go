@@ -6,7 +6,11 @@
 // the client keeps results in a ViewCache keyed on disappearance time.
 //
 // The wire protocol is gob-encoded request/response pairs, one in flight
-// per connection.
+// per connection. Across connections, read-only operations (snapshot,
+// knn, stats, tracker queries) execute concurrently under a bounded
+// admission-control gate (see Server.WithConcurrency); writes are
+// serialized by the database's writer lock, and dynamic-query session
+// state stays serialized per connection.
 package netq
 
 import (
@@ -17,7 +21,9 @@ import (
 	"io"
 	"log/slog"
 	"net"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dynq"
@@ -116,10 +122,20 @@ type Response struct {
 // with their per-stage cost deltas. Serve them over HTTP with
 // obs.Handler(s.Registry(), s.Tracer()).
 type Server struct {
-	db dynq.Database
-
-	trackMu sync.Mutex // Tracker is not concurrency-safe; serialize ops
+	db      dynq.Database
 	tracker *dynq.Tracker
+
+	// Read admission control: read-only ops across all connections run
+	// concurrently, bounded by readSem; past the bound they queue up to
+	// maxQueue deep, and past that they are rejected with ErrOverloaded.
+	// A nil readSem means unlimited read concurrency. Write ops bypass
+	// the gate (the database's writer lock serializes them), and session
+	// ops are serialized per connection by the one-request-in-flight
+	// protocol.
+	readSem       chan struct{}
+	maxConcurrent int
+	maxQueue      int
+	queued        atomic.Int64
 
 	reg     *obs.Registry
 	tracer  *obs.Tracer
@@ -139,7 +155,7 @@ const TracerCapacity = 512
 // backend additionally registers its per-shard metrics.
 func NewServer(db dynq.Database) *Server {
 	reg := obs.NewRegistry()
-	return &Server{
+	s := &Server{
 		db:      db,
 		conns:   make(map[net.Conn]struct{}),
 		reg:     reg,
@@ -147,6 +163,85 @@ func NewServer(db dynq.Database) *Server {
 		metrics: newServerMetrics(reg, db),
 		logger:  obs.NopLogger(),
 	}
+	s.WithConcurrency(runtime.GOMAXPROCS(0), 0)
+	return s
+}
+
+// WithConcurrency configures read admission control: up to maxConcurrent
+// read-only operations execute at once, up to maxQueue more wait for a
+// slot, and anything beyond that is rejected with ErrOverloaded.
+// maxConcurrent <= 0 removes the bound entirely; maxQueue <= 0 defaults
+// to 4x maxConcurrent. The default (set by NewServer) is GOMAXPROCS
+// concurrent reads. Call before Serve.
+func (s *Server) WithConcurrency(maxConcurrent, maxQueue int) *Server {
+	if maxConcurrent <= 0 {
+		s.readSem = nil
+		s.maxConcurrent = 0
+		s.maxQueue = 0
+		return s
+	}
+	if maxQueue <= 0 {
+		maxQueue = 4 * maxConcurrent
+	}
+	s.readSem = make(chan struct{}, maxConcurrent)
+	s.maxConcurrent = maxConcurrent
+	s.maxQueue = maxQueue
+	return s
+}
+
+// MaxConcurrent reports the read admission-control execution bound
+// (0 = unlimited).
+func (s *Server) MaxConcurrent() int { return s.maxConcurrent }
+
+// MaxQueue reports the read admission-control queue bound.
+func (s *Server) MaxQueue() int { return s.maxQueue }
+
+// isReadOp classifies the ops that are safe to run concurrently: pure
+// queries against the database's shared-lock read path or the tracker's.
+// Everything else either writes (insert, track-update) or touches
+// per-connection session state.
+func isReadOp(op Op) bool {
+	switch op {
+	case OpSnapshot, OpKNN, OpStats, OpTrackAt, OpTrackDuring, OpTrackAlong:
+		return true
+	}
+	return false
+}
+
+// admitReadOp gates read ops through admission control; other ops pass
+// straight through.
+func (s *Server) admitReadOp(op Op) (func(), error) {
+	if !isReadOp(op) {
+		return func() {}, nil
+	}
+	return s.admitRead()
+}
+
+// admitRead acquires a read execution slot, waiting in the bounded queue
+// if necessary. It returns a release func, or ErrOverloaded when the
+// queue is full.
+func (s *Server) admitRead() (func(), error) {
+	if s.readSem == nil {
+		return func() {}, nil
+	}
+	release := func() { <-s.readSem }
+	start := time.Now()
+	select {
+	case s.readSem <- struct{}{}:
+		s.metrics.admissionWait.Observe(time.Since(start).Seconds())
+		return release, nil
+	default:
+	}
+	if q := s.queued.Add(1); q > int64(s.maxQueue) {
+		s.queued.Add(-1)
+		return nil, fmt.Errorf("%w (%d executing, %d queued)", ErrOverloaded, s.maxConcurrent, s.maxQueue)
+	}
+	s.metrics.readQueueDepth.Inc()
+	s.readSem <- struct{}{}
+	s.queued.Add(-1)
+	s.metrics.readQueueDepth.Dec()
+	s.metrics.admissionWait.Observe(time.Since(start).Seconds())
+	return release, nil
 }
 
 // WithLogger installs a structured logger for connection lifecycle and
@@ -283,7 +378,15 @@ func (s *Server) serve(sess *connSessions, req Request) Response {
 
 	start := time.Now()
 	before := s.db.CostSnapshot()
-	resp := s.dispatch(ctx, sess, req)
+	var resp Response
+	if release, aerr := s.admitReadOp(req.Op); aerr != nil {
+		resp = Response{Err: aerr.Error(), ErrKind: errKind(aerr)}
+	} else {
+		s.metrics.inflightOps.Inc()
+		resp = s.dispatch(ctx, sess, req)
+		s.metrics.inflightOps.Dec()
+		release()
+	}
 	elapsed := time.Since(start)
 	delta := s.db.CostSnapshot().Sub(before)
 
@@ -300,6 +403,8 @@ func (s *Server) serve(sess *connSessions, req Request) Response {
 		m.unknownOps.Inc()
 	case ErrKindNoTracker:
 		m.noTracker.Inc()
+	case ErrKindOverloaded:
+		m.overloads.Inc()
 	}
 
 	span := obs.Span{
@@ -449,8 +554,8 @@ func (s *Server) dispatchTracker(req Request) Response {
 	if s.tracker == nil {
 		return fail(ErrNoTracker)
 	}
-	s.trackMu.Lock()
-	defer s.trackMu.Unlock()
+	// The tracker is internally locked: queries share its read lock,
+	// updates take its write lock. No server-side serialization needed.
 	switch req.Op {
 	case OpTrackUpdate:
 		if err := s.tracker.Update(req.ID, req.T0, req.Point, req.Vel); err != nil {

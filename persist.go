@@ -56,6 +56,8 @@ func decodeMeta(buf []byte) (rtree.Meta, error) {
 // Sync persists index metadata and flushes pages. For a memory-backed
 // database it is a no-op.
 func (db *DB) Sync() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if err := db.tree.Pool().Flush(); err != nil {
 		return err
 	}
@@ -84,7 +86,7 @@ func OpenFile(path string) (*DB, error) {
 		fs.Close()
 		return nil, err
 	}
-	db := &DB{tree: tree, store: fs}
+	db := &DB{tree: tree, cfg: m.Config, store: fs}
 	tree.SetCounters(&db.counters)
 	return db, nil
 }

@@ -68,6 +68,8 @@ func (db *DB) PredictiveQuery(waypoints []Waypoint, opts PredictiveOptions) (*Pr
 	if err != nil {
 		return nil, err
 	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	pdq, err := core.NewPDQ(db.tree, traj, core.PDQOptions{
 		LiveUpdates:        opts.Live,
 		RebuildOnRootSplit: opts.RebuildOnRootSplit,
@@ -129,6 +131,8 @@ type NonPredictiveSession struct {
 
 // NonPredictiveQuery starts a non-predictive dynamic query session.
 func (db *DB) NonPredictiveQuery(opts NonPredictiveOptions) *NonPredictiveSession {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return &NonPredictiveSession{
 		db: db,
 		npdq: core.NewNPDQ(db.tree, core.NPDQOptions{

@@ -3,6 +3,7 @@ package dynq
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"dynq/internal/core"
 	"dynq/internal/geom"
@@ -30,9 +31,14 @@ type ShardOptions struct {
 // NSI R-trees and answers every query by fanning out over a bounded
 // worker pool, merging the per-shard answers deterministically. It
 // mirrors the DB API (and satisfies Database), so a server can swap one
-// for the other without protocol changes. All methods are safe for
-// concurrent use except where a session type documents otherwise.
+// for the other without protocol changes.
+//
+// Concurrency: the same reader-writer discipline as DB — queries hold a
+// shared lock (their per-shard tasks additionally share the engine's
+// bounded worker pool), mutations hold the exclusive lock, stats
+// accessors are atomic, and session types are single-goroutine.
 type ShardedDB struct {
+	mu     sync.RWMutex
 	engine *shard.Engine
 	dims   int
 }
@@ -75,7 +81,11 @@ func (db *ShardedDB) Close() error { return db.engine.Close() }
 func (db *ShardedDB) Dims() int { return db.dims }
 
 // Len returns the number of indexed motion segments across all shards.
-func (db *ShardedDB) Len() int { return db.engine.Size() }
+func (db *ShardedDB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.engine.Size()
+}
 
 // Shards returns the number of partitions.
 func (db *ShardedDB) Shards() int { return db.engine.Shards() }
@@ -94,6 +104,8 @@ func (db *ShardedDB) Insert(id ObjectID, seg Segment) error {
 	if err != nil {
 		return err
 	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	return db.engine.Insert(rtree.LeafEntry{ID: rtree.ObjectID(id), Seg: g})
 }
 
@@ -110,12 +122,16 @@ func (db *ShardedDB) BulkLoad(segs map[ObjectID][]Segment) error {
 			entries = append(entries, rtree.LeafEntry{ID: rtree.ObjectID(id), Seg: g})
 		}
 	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	return db.engine.BulkLoad(entries)
 }
 
 // Delete removes the motion update of an object that started at t0 from
 // its owner shard. It returns ErrNotFound if no such segment is indexed.
 func (db *ShardedDB) Delete(id ObjectID, t0 float64) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	err := db.engine.Delete(rtree.ObjectID(id), t0)
 	if err == rtree.ErrNotFound {
 		return ErrNotFound
@@ -138,6 +154,8 @@ func (db *ShardedDB) SnapshotCtx(ctx context.Context, view Rect, t0, t1 float64,
 	}
 	ctx, finish := opts.begin(ctx, db.engine.CostSnapshot)
 	defer finish()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	ms, err := db.engine.Snapshot(ctx, box, geom.Interval{Lo: t0, Hi: t1}, opts.Limit)
 	if err != nil {
 		return nil, err
@@ -167,6 +185,8 @@ func (db *ShardedDB) KNNCtx(ctx context.Context, point []float64, t float64, k i
 	}
 	ctx, finish := opts.begin(ctx, db.engine.CostSnapshot)
 	defer finish()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	nbs, err := db.engine.KNN(ctx, geom.Point(point), t, k)
 	if err != nil {
 		return nil, err
@@ -182,6 +202,8 @@ func (db *ShardedDB) KNNCtx(ctx context.Context, point []float64, t float64, k i
 // delta of each other, running the per-shard self-joins and all
 // cross-shard joins in parallel. Pairs are reported once, with A < B.
 func (db *ShardedDB) Within(delta, t float64) ([]Pair, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	pairs, err := db.engine.SelfJoin(delta, t)
 	if err != nil {
 		return nil, err
@@ -191,7 +213,11 @@ func (db *ShardedDB) Within(delta, t float64) ([]Pair, error) {
 
 // JoinWith finds every pair (a ∈ db, b ∈ other) within delta of each
 // other at time t. Both databases must have the same dimensionality.
+// Only the receiver is read-locked; concurrent writes to other
+// synchronize at its index level, so they may land mid-join.
 func (db *ShardedDB) JoinWith(other *ShardedDB, delta, t float64) ([]Pair, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	pairs, err := db.engine.CrossJoin(other.engine, delta, t)
 	if err != nil {
 		return nil, err
@@ -225,6 +251,8 @@ func (db *ShardedDB) PredictiveQuery(waypoints []Waypoint, opts PredictiveOption
 	if err != nil {
 		return nil, err
 	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	pdq, err := db.engine.NewPDQ(traj, core.PDQOptions{
 		LiveUpdates:        opts.Live,
 		RebuildOnRootSplit: opts.RebuildOnRootSplit,
@@ -272,6 +300,8 @@ type ShardedNonPredictiveSession struct {
 // NonPredictiveQuery starts a non-predictive dynamic query session with
 // one per-shard sub-session.
 func (db *ShardedDB) NonPredictiveQuery(opts NonPredictiveOptions) *ShardedNonPredictiveSession {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return &ShardedNonPredictiveSession{
 		db: db,
 		npdq: db.engine.NewNPDQ(core.NPDQOptions{
@@ -313,6 +343,8 @@ type ShardedAdaptiveSession struct {
 
 // AdaptiveQuery starts an adaptive dynamic query session.
 func (db *ShardedDB) AdaptiveQuery(opts AdaptiveOptions) (*ShardedAdaptiveSession, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	a, err := db.engine.NewAdaptive(core.AdaptiveOptions{
 		Slack:        opts.Slack,
 		Horizon:      opts.Horizon,
@@ -359,6 +391,8 @@ func (db *ShardedDB) CountSeries(waypoints []Waypoint, times []float64) ([]int, 
 	if err != nil {
 		return nil, err
 	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return db.engine.CountSeries(traj, times)
 }
 
@@ -404,9 +438,11 @@ func costReport(s stats.Snapshot) CostReport {
 
 // BufferStats reports the buffer-pool accounting summed across shards.
 func (db *ShardedDB) BufferStats() BufferStats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	var out BufferStats
 	for i := 0; i < db.engine.Shards(); i++ {
-		b := db.ShardBufferStats(i)
+		b := db.shardBufferStats(i)
 		out.Hits += b.Hits
 		out.Misses += b.Misses
 		out.Evictions += b.Evictions
@@ -419,6 +455,12 @@ func (db *ShardedDB) BufferStats() BufferStats {
 
 // ShardBufferStats reports shard i's own buffer-pool accounting.
 func (db *ShardedDB) ShardBufferStats(i int) BufferStats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.shardBufferStats(i)
+}
+
+func (db *ShardedDB) shardBufferStats(i int) BufferStats {
 	p := db.engine.Shard(i).Tree.Pool()
 	return BufferStats{
 		Hits:       p.Hits(),
@@ -428,6 +470,31 @@ func (db *ShardedDB) ShardBufferStats(i int) BufferStats {
 		Len:        p.Len(),
 		Capacity:   p.Capacity(),
 	}
+}
+
+// BufferSegments reports per-segment buffer-pool accounting summed
+// across shards by segment index (every shard's pool has the same
+// segment layout).
+func (db *ShardedDB) BufferSegments() []BufferSegmentStats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []BufferSegmentStats
+	for i := 0; i < db.engine.Shards(); i++ {
+		segs := db.engine.Shard(i).Tree.Pool().SegmentStats()
+		if out == nil {
+			out = make([]BufferSegmentStats, len(segs))
+		}
+		for j, s := range segs {
+			if j >= len(out) {
+				break
+			}
+			out[j].Hits += s.Hits
+			out[j].Misses += s.Misses
+			out[j].Len += s.Len
+			out[j].Capacity += s.Capacity
+		}
+	}
+	return out
 }
 
 // Stats walks every shard and reports the aggregate index shape: node and
@@ -468,6 +535,8 @@ func (db *ShardedDB) Stats() (IndexStats, error) {
 // StatsByShard walks every shard and reports the per-shard index shapes,
 // in shard order.
 func (db *ShardedDB) StatsByShard() ([]IndexStats, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	per, err := db.engine.Stats()
 	if err != nil {
 		return nil, err
@@ -489,7 +558,11 @@ func (db *ShardedDB) StatsByShard() ([]IndexStats, error) {
 }
 
 // Validate checks every shard's structural invariants (tests/tools).
-func (db *ShardedDB) Validate() error { return db.engine.Validate() }
+func (db *ShardedDB) Validate() error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.engine.Validate()
+}
 
 // RegisterMetrics exposes the per-shard gauges and fan-out latency
 // histograms through a metric registry.

@@ -1,0 +1,227 @@
+package dynq
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// stressSegment places a static object at a deterministic position
+// derived from its id, visible over the whole test horizon.
+func stressSegment(id ObjectID) Segment {
+	x := float64(id%97) + 1
+	y := float64(id%89) + 1
+	return Segment{T0: 0, T1: 100, From: []float64{x, y}, To: []float64{x, y}}
+}
+
+// runMixedStress hammers one database with concurrent Snapshot/KNN
+// readers and Insert writers, checking every intermediate answer for
+// atomicity (only complete objects, never torn state) and the final
+// state for equivalence with a serialized replay of the same inserts.
+// Run under -race this doubles as the concurrency suite's memory-safety
+// check for the whole read path.
+func runMixedStress(t *testing.T, db, replay Database) {
+	t.Helper()
+	const (
+		baseObjects = 100
+		writers     = 4
+		perWriter   = 50
+		readers     = 4
+		reads       = 40
+	)
+	view := Rect{Min: []float64{0, 0}, Max: []float64{100, 100}}
+
+	for i := 0; i < baseObjects; i++ {
+		if err := db.Insert(ObjectID(i), stressSegment(ObjectID(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Writer w inserts ids 10000+w*1000+j; anything else in a snapshot is
+	// a corruption.
+	expected := func(id ObjectID) bool {
+		return id < baseObjects || (id >= 10000 && id < 10000+writers*1000)
+	}
+
+	errCh := make(chan error, writers+readers)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j := 0; j < perWriter; j++ {
+				id := ObjectID(10000 + w*1000 + j)
+				if err := db.Insert(id, stressSegment(id)); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < reads; i++ {
+				rs, err := db.Snapshot(view, 0, 100)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if len(rs) < baseObjects {
+					errCh <- fmt.Errorf("snapshot lost base objects: %d < %d", len(rs), baseObjects)
+					return
+				}
+				for _, res := range rs {
+					if !expected(res.ID) {
+						errCh <- fmt.Errorf("snapshot returned unknown object %d", res.ID)
+						return
+					}
+				}
+				nbs, err := db.KNN([]float64{50, 50}, 50, 5)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if len(nbs) != 5 {
+					errCh <- fmt.Errorf("KNN returned %d neighbors, want 5", len(nbs))
+					return
+				}
+				for _, n := range nbs {
+					if !expected(n.ID) {
+						errCh <- fmt.Errorf("KNN returned unknown object %d", n.ID)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	// Serialized replay: the same population inserted one-by-one must
+	// yield the identical final answer set.
+	for i := 0; i < baseObjects; i++ {
+		if err := replay.Insert(ObjectID(i), stressSegment(ObjectID(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for w := 0; w < writers; w++ {
+		for j := 0; j < perWriter; j++ {
+			id := ObjectID(10000 + w*1000 + j)
+			if err := replay.Insert(id, stressSegment(id)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	got, err := db.Snapshot(view, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := replay.Snapshot(view, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := func(rs []Result) []ObjectID {
+		out := make([]ObjectID, len(rs))
+		for i, r := range rs {
+			out[i] = r.ID
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+	g, w := ids(got), ids(want)
+	if len(g) != len(w) {
+		t.Fatalf("concurrent run has %d objects, serialized replay has %d", len(g), len(w))
+	}
+	for i := range g {
+		if g[i] != w[i] {
+			t.Fatalf("object sets diverge at %d: %d vs %d", i, g[i], w[i])
+		}
+	}
+}
+
+func TestConcurrentMixedReadWrite(t *testing.T) {
+	db, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	replay, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer replay.Close()
+	runMixedStress(t, db, replay)
+}
+
+func TestConcurrentMixedReadWriteSharded(t *testing.T) {
+	db, err := OpenSharded(ShardOptions{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	replay, err := OpenSharded(ShardOptions{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer replay.Close()
+	runMixedStress(t, db, replay)
+}
+
+// TestConcurrentReadersBufferedFile drives concurrent readers over a
+// file-backed, buffered index: the lock-sharded buffer pool is on the
+// hot path here, so under -race this exercises its segment locking
+// against real page traffic.
+func TestConcurrentReadersBufferedFile(t *testing.T) {
+	db, err := Open(Options{Path: t.TempDir() + "/stress.dqi", BufferPages: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	const n = 300
+	for i := 0; i < n; i++ {
+		if err := db.Insert(ObjectID(i), stressSegment(ObjectID(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	view := Rect{Min: []float64{0, 0}, Max: []float64{100, 100}}
+	want, err := db.Snapshot(view, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 8)
+	var wg sync.WaitGroup
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				rs, err := db.Snapshot(view, 0, 100)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if len(rs) != len(want) {
+					errCh <- fmt.Errorf("buffered snapshot returned %d, want %d", len(rs), len(want))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	bs := db.BufferStats()
+	if bs.Hits+bs.Misses == 0 {
+		t.Error("buffer pool saw no traffic; test is not exercising the sharded pool")
+	}
+	if len(db.BufferSegments()) == 0 {
+		t.Error("no buffer segments reported")
+	}
+}

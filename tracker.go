@@ -2,6 +2,7 @@ package dynq
 
 import (
 	"fmt"
+	"sync"
 
 	"dynq/internal/geom"
 	"dynq/internal/stats"
@@ -27,8 +28,11 @@ type TrackerOptions struct {
 // TPR-tree companion (the paper's future work (iii)) to DB, which stores
 // the full motion history.
 //
-// Not safe for concurrent use.
+// Safe for concurrent use: queries (At, During, Along, Len, Now) hold a
+// shared lock and run in parallel; Update and Remove hold the exclusive
+// lock.
 type Tracker struct {
+	mu       sync.RWMutex
 	tree     *tpr.Tree
 	counters stats.Counters
 	dims     int
@@ -67,6 +71,8 @@ func NewTracker(opts TrackerOptions) (*Tracker, error) {
 // moving with velocity vel. Updates for one object must not go back in
 // time.
 func (tk *Tracker) Update(id ObjectID, t float64, pos, vel []float64) error {
+	tk.mu.Lock()
+	defer tk.mu.Unlock()
 	return tk.tree.Update(tpr.Entry{
 		ID:      id,
 		RefTime: t,
@@ -76,13 +82,25 @@ func (tk *Tracker) Update(id ObjectID, t float64, pos, vel []float64) error {
 }
 
 // Remove forgets an object, reporting whether it was tracked.
-func (tk *Tracker) Remove(id ObjectID) bool { return tk.tree.Remove(id) }
+func (tk *Tracker) Remove(id ObjectID) bool {
+	tk.mu.Lock()
+	defer tk.mu.Unlock()
+	return tk.tree.Remove(id)
+}
 
 // Len reports how many objects are tracked.
-func (tk *Tracker) Len() int { return tk.tree.Len() }
+func (tk *Tracker) Len() int {
+	tk.mu.RLock()
+	defer tk.mu.RUnlock()
+	return tk.tree.Len()
+}
 
 // Now returns the latest update time; queries must not start before it.
-func (tk *Tracker) Now() float64 { return tk.tree.Now() }
+func (tk *Tracker) Now() float64 {
+	tk.mu.RLock()
+	defer tk.mu.RUnlock()
+	return tk.tree.Now()
+}
 
 // At returns every object anticipated inside the view at time t.
 func (tk *Tracker) At(view Rect, t float64) ([]Anticipated, error) {
@@ -96,6 +114,8 @@ func (tk *Tracker) During(view Rect, t0, t1 float64) ([]Anticipated, error) {
 	if err != nil {
 		return nil, err
 	}
+	tk.mu.RLock()
+	defer tk.mu.RUnlock()
 	ms, err := tk.tree.SearchDuring(box, geom.Interval{Lo: t0, Hi: t1}, &tk.counters)
 	if err != nil {
 		return nil, err
@@ -118,6 +138,8 @@ func (tk *Tracker) Along(waypoints []Waypoint) ([]Anticipated, error) {
 	if err != nil {
 		return nil, err
 	}
+	tk.mu.RLock()
+	defer tk.mu.RUnlock()
 	ms, err := tk.tree.SearchTrajectory(traj, &tk.counters)
 	if err != nil {
 		return nil, err
