@@ -138,6 +138,11 @@ type Database interface {
 	CostSnapshot() stats.Snapshot
 	BufferStats() BufferStats
 	BufferSegments() []BufferSegmentStats
+	// Degraded reports whether the database entered read-only mode after
+	// persistent storage write failures (mutations return ErrReadOnly).
+	Degraded() bool
+	// SetReadOnly manually enters or clears read-only mode.
+	SetReadOnly(on bool)
 	Close() error
 }
 

@@ -39,6 +39,7 @@ import (
 	"syscall"
 	"time"
 
+	"dynq"
 	"dynq/internal/bench"
 	"dynq/internal/bench/compare"
 	"dynq/internal/obs"
@@ -57,6 +58,8 @@ func main() {
 		shards       = flag.Int("shards", 0, "also run the 1-vs-N sharded engine comparison with N shards")
 		workers      = flag.Int("workers", 0, "worker-pool bound for -shards (0 = GOMAXPROCS)")
 		concurrency  = flag.Int("concurrency", 0, "also run the 1-vs-N concurrent netq client comparison with N clients")
+		faults       = flag.Int("faults", 0, "run N crash/reopen fault-injection soak cycles instead of benchmarks")
+		faultSeed    = flag.Int64("fault-seed", 1, "deterministic seed for the -faults soak (workload + fault schedule)")
 
 		jsonOut          = flag.String("json", "", "write a machine-readable benchmark report (BENCH_*.json) to this file")
 		comparePath      = flag.String("compare", "", "baseline BENCH_*.json to check this run against")
@@ -92,6 +95,30 @@ func main() {
 		logger.Error("forced exit")
 		os.Exit(130)
 	}()
+
+	if *faults > 0 {
+		// Fault soak mode: crash/reopen cycles under injected storage
+		// faults, asserting zero silent corruption. Exits non-zero on any
+		// wrong answer.
+		logger.Info("fault soak starting", "cycles", *faults, "seed", *faultSeed)
+		rep, err := dynq.FaultSoak(dynq.SoakOptions{
+			Cycles: *faults,
+			Seed:   *faultSeed,
+			Log: func(format string, args ...any) {
+				logger.Info(fmt.Sprintf(format, args...))
+			},
+		})
+		if err != nil {
+			fatal(fmt.Errorf("fault soak harness: %w (partial report: %s)", err, rep))
+		}
+		fmt.Println(rep)
+		if rep.WrongAnswers != 0 {
+			fatal(fmt.Errorf("fault soak found %d wrong answers — silent corruption", rep.WrongAnswers))
+		}
+		logger.Info("fault soak passed", "cycles", rep.Cycles,
+			"clean_recoveries", rep.CleanRecoveries, "detected_corruptions", rep.DetectedCorruption)
+		return
+	}
 
 	cfg := bench.Config{Scale: *scale, Trajectories: *trajectories, Seed: *seed}
 	telemetry := *jsonOut != "" || *comparePath != ""

@@ -158,11 +158,12 @@ func build(path string, scale float64, seed int64, dual bool) error {
 }
 
 func inspect(path string) error {
-	db, err := dynq.OpenFile(path)
+	db, rep, err := dynq.OpenFileRecover(path)
 	if err != nil {
 		return err
 	}
 	defer db.Close()
+	fmt.Printf("recovery:        %s\n", rep)
 	if err := db.Validate(); err != nil {
 		return fmt.Errorf("index validation FAILED: %w", err)
 	}

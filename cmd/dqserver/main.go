@@ -128,10 +128,15 @@ func main() {
 		if err != nil {
 			fatal("bind metrics listener", err)
 		}
-		hs = &http.Server{Handler: obs.Handler(srv.Registry(), srv.Tracer())}
+		hs = &http.Server{Handler: obs.HandlerWithHealth(srv.Registry(), srv.Tracer(), func() error {
+			if db.Degraded() {
+				return dynq.ErrReadOnly
+			}
+			return nil
+		})}
 		logger.Info("observability endpoint up",
 			"addr", ml.Addr().String(),
-			"paths", "/metrics /debug/vars /debug/trace /debug/pprof")
+			"paths", "/metrics /healthz /debug/vars /debug/trace /debug/pprof")
 		go func() {
 			if err := hs.Serve(ml); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				logger.Error("metrics server", "err", err)

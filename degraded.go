@@ -1,0 +1,80 @@
+package dynq
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// ErrReadOnly is returned by mutating operations once the database has
+// degraded to read-only mode after persistent storage write failures (or
+// after SetReadOnly(true)). Queries keep working; writes fail fast until
+// the operator clears the condition.
+var ErrReadOnly = errors.New("dynq: database is read-only (degraded after storage write failures)")
+
+// defaultDegradeAfter is the number of CONSECUTIVE storage write
+// failures that trips degraded mode when Options.DegradeAfter is 0.
+const defaultDegradeAfter = 3
+
+// degradeState tracks consecutive storage write failures and the
+// degraded (read-only) flag. It is embedded by DB and ShardedDB; all
+// methods are safe for concurrent use.
+type degradeState struct {
+	degraded   atomic.Bool
+	writeFails atomic.Int32
+	after      int32 // 0: default threshold; <0: never degrade
+}
+
+// gate returns ErrReadOnly when the database is degraded. Mutating
+// operations call it before doing any work.
+func (d *degradeState) gate() error {
+	if d.degraded.Load() {
+		return ErrReadOnly
+	}
+	return nil
+}
+
+// note records the outcome of a storage-touching write: success resets
+// the consecutive-failure counter, failure advances it and trips
+// degraded mode at the threshold. It returns err unchanged so callers
+// can `return db.noteWriteResult(err)`.
+func (d *degradeState) note(err error) error {
+	if err == nil {
+		d.writeFails.Store(0)
+		return nil
+	}
+	n := d.writeFails.Add(1)
+	limit := d.after
+	if limit == 0 {
+		limit = defaultDegradeAfter
+	}
+	if limit > 0 && n >= limit {
+		d.degraded.Store(true)
+	}
+	return err
+}
+
+// set forces the degraded flag; clearing it also resets the failure
+// counter so one old failure doesn't immediately re-trip.
+func (d *degradeState) set(on bool) {
+	if !on {
+		d.writeFails.Store(0)
+	}
+	d.degraded.Store(on)
+}
+
+// Degraded reports whether the database has entered read-only mode.
+func (db *DB) Degraded() bool { return db.health.degraded.Load() }
+
+// SetReadOnly manually enters (true) or clears (false) read-only mode.
+// Clearing also forgets accumulated write failures.
+func (db *DB) SetReadOnly(on bool) { db.health.set(on) }
+
+func (db *DB) writeGate() error                { return db.health.gate() }
+func (db *DB) noteWriteResult(err error) error { return db.health.note(err) }
+
+// Degraded reports whether the database has entered read-only mode.
+func (db *ShardedDB) Degraded() bool { return db.health.degraded.Load() }
+
+// SetReadOnly manually enters (true) or clears (false) read-only mode.
+// Clearing also forgets accumulated write failures.
+func (db *ShardedDB) SetReadOnly(on bool) { db.health.set(on) }

@@ -1,0 +1,112 @@
+package dynq
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+// TestDegradedModeTripsAfterConsecutiveWriteFailures: storage write
+// failures must flip the database to read-only at the configured
+// threshold, reads must keep working, and clearing the flag restores
+// writes.
+func TestDegradedModeTripsAfterConsecutiveWriteFailures(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "degrade.dynq")
+	if err := rebuildFile(path, nil, 0); err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+	db, fs, faults, err := openFaulted(path, nil, 0)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer fs.Crash()
+	db.health.after = 3 // override openFaulted's "never degrade"
+
+	if err := db.Insert(1, Segment{T0: 0, T1: 1, From: []float64{1, 1}, To: []float64{1, 1}}); err != nil {
+		t.Fatalf("healthy insert: %v", err)
+	}
+
+	faults.ArmWrites(1)
+	faults.ArmAllocs(1)
+	var sawReadOnly bool
+	for i := 0; i < 10; i++ {
+		err := db.Insert(ObjectID(100+i), Segment{T0: 0, T1: 1, From: []float64{2, 2}, To: []float64{2, 2}})
+		if err == nil {
+			t.Fatalf("insert %d succeeded despite armed write faults", i)
+		}
+		if errors.Is(err, ErrReadOnly) {
+			sawReadOnly = true
+			if i < 2 {
+				t.Fatalf("degraded after only %d failures, threshold is 3", i+1)
+			}
+			break
+		}
+	}
+	if !sawReadOnly {
+		t.Fatal("10 consecutive write failures never tripped degraded mode")
+	}
+	if !db.Degraded() {
+		t.Fatal("Degraded() is false after the trip")
+	}
+
+	// Reads still answer while degraded.
+	if _, err := db.Snapshot(Rect{Min: []float64{0, 0}, Max: []float64{10, 10}}, 0, 1); err != nil {
+		t.Fatalf("read while degraded: %v", err)
+	}
+	// Sync is a mutation: gated too.
+	if err := db.Sync(); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Sync while degraded: got %v, want ErrReadOnly", err)
+	}
+
+	faults.Disarm()
+	db.SetReadOnly(false)
+	if db.Degraded() {
+		t.Fatal("SetReadOnly(false) did not clear the flag")
+	}
+	if err := db.Insert(200, Segment{T0: 0, T1: 1, From: []float64{3, 3}, To: []float64{3, 3}}); err != nil {
+		t.Fatalf("insert after clearing degraded mode: %v", err)
+	}
+}
+
+// TestDegradeDisabled: a negative DegradeAfter must never trip, and
+// ErrNotFound from Delete must not count as a storage failure.
+func TestDegradeDisabled(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nodegrade.dynq")
+	if err := rebuildFile(path, nil, 0); err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+	db, fs, faults, err := openFaulted(path, nil, 0)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer fs.Crash()
+	// openFaulted sets after = -1 (never degrade); hammer it.
+	faults.ArmWrites(1)
+	faults.ArmAllocs(1)
+	for i := 0; i < 8; i++ {
+		if err := db.Insert(ObjectID(i), Segment{T0: 0, T1: 1, From: []float64{1, 1}, To: []float64{1, 1}}); err == nil {
+			t.Fatal("insert succeeded despite armed faults")
+		} else if errors.Is(err, ErrReadOnly) {
+			t.Fatalf("degraded despite DegradeAfter < 0 (failure %d)", i)
+		}
+	}
+}
+
+// TestDeleteNotFoundDoesNotDegrade: a missing segment is an answer, not
+// a storage failure — it must never advance the degrade counter.
+func TestDeleteNotFoundDoesNotDegrade(t *testing.T) {
+	db, err := Open(Options{DegradeAfter: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 5; i++ {
+		err := db.Delete(ObjectID(i), 0)
+		if !errors.Is(err, ErrNotFound) {
+			t.Fatalf("delete of absent segment: got %v, want ErrNotFound", err)
+		}
+	}
+	if db.Degraded() {
+		t.Fatal("ErrNotFound deletes degraded the database")
+	}
+}

@@ -99,6 +99,11 @@ type Options struct {
 	// capacity. The paper's experiments run bufferless (0): the client,
 	// not the server, caches results.
 	BufferPages int
+	// DegradeAfter is the number of consecutive storage write failures
+	// after which the database degrades to read-only mode (mutations
+	// return ErrReadOnly until SetReadOnly(false)). 0 means the default
+	// of 3; a negative value disables degradation.
+	DegradeAfter int
 }
 
 // DB is a mobile-object database: an NSI R-tree plus the dynamic query
@@ -124,6 +129,7 @@ type DB struct {
 	store       pager.Store
 	counters    stats.Counters
 	bufferPages int
+	health      degradeState
 }
 
 // Open creates a database. With Options.Path set, a new page file is
@@ -149,6 +155,7 @@ func Open(opts Options) (*DB, error) {
 		return nil, err
 	}
 	db := &DB{tree: tree, cfg: cfg, store: store, bufferPages: opts.BufferPages}
+	db.health.after = int32(opts.DegradeAfter)
 	tree.SetCounters(&db.counters)
 	return db, nil
 }
@@ -200,7 +207,10 @@ func (db *DB) Insert(id ObjectID, seg Segment) error {
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	return db.tree.Insert(rtree.ObjectID(id), g)
+	if err := db.writeGate(); err != nil {
+		return err
+	}
+	return db.noteWriteResult(db.tree.Insert(rtree.ObjectID(id), g))
 }
 
 // BulkLoad builds the index from a segment set at a 0.5 fill factor,
@@ -209,6 +219,9 @@ func (db *DB) Insert(id ObjectID, seg Segment) error {
 func (db *DB) BulkLoad(segs map[ObjectID][]Segment) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if err := db.writeGate(); err != nil {
+		return err
+	}
 	if db.tree.Size() != 0 {
 		return fmt.Errorf("dynq: BulkLoad requires an empty database")
 	}
@@ -224,8 +237,9 @@ func (db *DB) BulkLoad(segs map[ObjectID][]Segment) error {
 	}
 	tree, err := rtree.BulkLoad(db.tree.Config(), db.store, entries)
 	if err != nil {
-		return err
+		return db.noteWriteResult(err)
 	}
+	db.noteWriteResult(nil)
 	if db.bufferPages > 0 {
 		if err := tree.UseBuffer(db.bufferPages); err != nil {
 			return err
@@ -241,11 +255,15 @@ func (db *DB) BulkLoad(segs map[ObjectID][]Segment) error {
 func (db *DB) Delete(id ObjectID, t0 float64) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if err := db.writeGate(); err != nil {
+		return err
+	}
 	err := db.tree.Delete(rtree.ObjectID(id), t0)
 	if err == rtree.ErrNotFound {
+		// A missing segment is an answer, not a storage failure.
 		return ErrNotFound
 	}
-	return err
+	return db.noteWriteResult(err)
 }
 
 // ErrNotFound is returned by Delete for a missing segment.

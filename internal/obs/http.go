@@ -15,6 +15,30 @@ import (
 //	/debug/trace    recent query spans as JSON Lines
 //	/debug/pprof/*  the standard runtime profiles
 func Handler(reg *Registry, tr *Tracer) http.Handler {
+	return HandlerWithHealth(reg, tr, nil)
+}
+
+// HandlerWithHealth is Handler plus a /healthz endpoint. health is
+// polled on every probe: nil error → 200 "ok", non-nil → 503 with the
+// error text (e.g. a database degraded to read-only). A nil health func
+// always reports healthy.
+func HandlerWithHealth(reg *Registry, tr *Tracer, health func() error) http.Handler {
+	mux := newHandlerMux(reg, tr)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if health != nil {
+			if err := health(); err != nil {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				w.Write([]byte(err.Error() + "\n"))
+				return
+			}
+		}
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+func newHandlerMux(reg *Registry, tr *Tracer) *http.ServeMux {
 	mux := http.NewServeMux()
 	if reg != nil {
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -79,5 +80,48 @@ func TestHandlerEndpoints(t *testing.T) {
 	code, _ = get("/debug/pprof/")
 	if code != 200 {
 		t.Errorf("/debug/pprof/ index: %d", code)
+	}
+}
+
+func TestHealthzEndpoint(t *testing.T) {
+	var unhealthy error
+	hs := httptest.NewServer(HandlerWithHealth(NewRegistry(), nil, func() error { return unhealthy }))
+	defer hs.Close()
+
+	get := func() (int, string) {
+		t.Helper()
+		resp, err := http.Get(hs.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get()
+	if code != 200 || !strings.Contains(body, "ok") {
+		t.Errorf("healthy probe: %d %q", code, body)
+	}
+	unhealthy = errors.New("database degraded to read-only")
+	code, body = get()
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "read-only") {
+		t.Errorf("unhealthy probe: %d %q", code, body)
+	}
+	unhealthy = nil
+	if code, _ := get(); code != 200 {
+		t.Errorf("recovered probe: %d", code)
+	}
+
+	// The plain Handler wires no health func: the probe always says ok.
+	plain := httptest.NewServer(Handler(NewRegistry(), nil))
+	defer plain.Close()
+	resp, err := http.Get(plain.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("plain Handler /healthz: %d (HandlerWithHealth(nil) semantics: always ok)", resp.StatusCode)
 	}
 }

@@ -3,21 +3,82 @@ package pager
 import (
 	"errors"
 	"sync/atomic"
+	"time"
 )
 
 // ErrInjected is the failure returned by a FaultStore when armed.
 var ErrInjected = errors.New("pager: injected fault")
 
-// FaultStore wraps a Store and injects failures on demand: after Arm(n),
-// the n-th subsequent read (or write, per ArmWrites) fails with
-// ErrInjected and the store keeps failing until Disarm. It exists for
-// failure-propagation tests: every query engine must surface I/O errors
-// instead of returning partial answers silently.
+// FaultStore wraps a Store and injects failures on demand. It supports
+// two modes, usable together:
+//
+//   - One-shot countdowns: after Arm(n), the n-th subsequent read
+//     (1-based) and all reads after it fail with ErrInjected; ArmWrites,
+//     ArmSyncs, ArmAllocs, ArmFrees do the same per operation, and
+//     ArmTornWrites makes the n-th write persist only a prefix of the
+//     page before the store starts failing. Countdowns give tests exact
+//     control over which operation dies.
+//
+//   - A scripted FaultPlan: probabilistic per-op failure rates, torn
+//     writes, bit flips, and added latency, driven by a deterministic
+//     seeded generator. Plans drive the crash/reopen soak
+//     (dqbench -faults).
+//
+// It exists for failure-propagation tests: every query engine must
+// surface I/O errors instead of returning partial answers silently.
 type FaultStore struct {
 	Inner Store
 
 	readCountdown  atomic.Int64 // <0: disarmed
 	writeCountdown atomic.Int64
+	tornCountdown  atomic.Int64
+	syncCountdown  atomic.Int64
+	allocCountdown atomic.Int64
+	freeCountdown  atomic.Int64
+
+	plan atomic.Pointer[FaultPlan]
+	rng  atomic.Uint64
+
+	stats faultCounters
+}
+
+// FaultPlan is a probabilistic fault schedule. Each probability is the
+// per-operation chance in [0, 1]; Seed makes a run reproducible.
+type FaultPlan struct {
+	Seed uint64
+
+	ReadErr  float64 // ReadPage fails with ErrInjected
+	WriteErr float64 // WritePage fails with ErrInjected
+	SyncErr  float64 // Sync fails with ErrInjected
+	AllocErr float64 // Alloc fails with ErrInjected
+	FreeErr  float64 // Free fails with ErrInjected
+
+	// TornWrite is the chance a WritePage persists only a random prefix
+	// of the physical page and then reports ErrInjected, simulating a
+	// torn sector write under power loss.
+	TornWrite float64
+	// BitFlip is the chance a successful WritePage is followed by a
+	// single-bit corruption of the stored bytes (below the checksum),
+	// simulating media rot.
+	BitFlip float64
+
+	// Latency is added to every intercepted operation.
+	Latency time.Duration
+}
+
+// FaultStats counts operations seen and faults injected by a FaultStore.
+type FaultStats struct {
+	Reads, Writes, Syncs, Allocs, Frees int64
+
+	InjectedReads, InjectedWrites, InjectedSyncs int64
+	InjectedAllocs, InjectedFrees                int64
+	TornWrites, BitFlips                         int64
+}
+
+type faultCounters struct {
+	reads, writes, syncs, allocs, frees               atomic.Int64
+	injReads, injWrites, injSyncs, injAllocs, injFree atomic.Int64
+	torn, flips                                       atomic.Int64
 }
 
 // NewFaultStore wraps inner with fault injection disarmed.
@@ -25,6 +86,10 @@ func NewFaultStore(inner Store) *FaultStore {
 	f := &FaultStore{Inner: inner}
 	f.readCountdown.Store(-1)
 	f.writeCountdown.Store(-1)
+	f.tornCountdown.Store(-1)
+	f.syncCountdown.Store(-1)
+	f.allocCountdown.Store(-1)
+	f.freeCountdown.Store(-1)
 	return f
 }
 
@@ -36,10 +101,57 @@ func (f *FaultStore) Arm(n int64) { f.readCountdown.Store(n) }
 // fail.
 func (f *FaultStore) ArmWrites(n int64) { f.writeCountdown.Store(n) }
 
-// Disarm stops injecting failures.
+// ArmTornWrites makes the n-th subsequent WritePage persist only a
+// prefix of the page (then report ErrInjected), with all writes after it
+// failing outright — the write pattern of a crash mid-flush.
+func (f *FaultStore) ArmTornWrites(n int64) { f.tornCountdown.Store(n) }
+
+// ArmSyncs makes the n-th subsequent Sync and all syncs after it fail.
+func (f *FaultStore) ArmSyncs(n int64) { f.syncCountdown.Store(n) }
+
+// ArmAllocs makes the n-th subsequent Alloc and all allocs after it fail.
+func (f *FaultStore) ArmAllocs(n int64) { f.allocCountdown.Store(n) }
+
+// ArmFrees makes the n-th subsequent Free and all frees after it fail.
+func (f *FaultStore) ArmFrees(n int64) { f.freeCountdown.Store(n) }
+
+// Script installs (or, with nil, removes) a probabilistic fault plan.
+// The generator is reseeded from plan.Seed.
+func (f *FaultStore) Script(plan *FaultPlan) {
+	if plan != nil {
+		f.rng.Store(plan.Seed)
+	}
+	f.plan.Store(plan)
+}
+
+// Disarm stops injecting failures: countdowns reset and any scripted
+// plan is removed.
 func (f *FaultStore) Disarm() {
 	f.readCountdown.Store(-1)
 	f.writeCountdown.Store(-1)
+	f.tornCountdown.Store(-1)
+	f.syncCountdown.Store(-1)
+	f.allocCountdown.Store(-1)
+	f.freeCountdown.Store(-1)
+	f.plan.Store(nil)
+}
+
+// Stats returns cumulative operation and injection counts.
+func (f *FaultStore) Stats() FaultStats {
+	return FaultStats{
+		Reads:          f.stats.reads.Load(),
+		Writes:         f.stats.writes.Load(),
+		Syncs:          f.stats.syncs.Load(),
+		Allocs:         f.stats.allocs.Load(),
+		Frees:          f.stats.frees.Load(),
+		InjectedReads:  f.stats.injReads.Load(),
+		InjectedWrites: f.stats.injWrites.Load(),
+		InjectedSyncs:  f.stats.injSyncs.Load(),
+		InjectedAllocs: f.stats.injAllocs.Load(),
+		InjectedFrees:  f.stats.injFree.Load(),
+		TornWrites:     f.stats.torn.Load(),
+		BitFlips:       f.stats.flips.Load(),
+	}
 }
 
 func trip(c *atomic.Int64) bool {
@@ -57,9 +169,102 @@ func trip(c *atomic.Int64) bool {
 	}
 }
 
+// tripOnce is trip that distinguishes the exact trip point: it returns
+// (true, true) on the n-th operation, (true, false) on every operation
+// after it, and (false, _) while counting down or disarmed.
+func tripOnce(c *atomic.Int64) (tripped, first bool) {
+	for {
+		v := c.Load()
+		switch {
+		case v < 0:
+			return false, false
+		case v == 0:
+			return true, false
+		case v == 1:
+			if c.CompareAndSwap(1, 0) {
+				return true, true
+			}
+		default:
+			if c.CompareAndSwap(v, v-1) {
+				return false, false
+			}
+		}
+	}
+}
+
+// next returns a deterministic pseudo-random 64-bit value (splitmix64
+// over an atomically advanced state).
+func (f *FaultStore) next() uint64 {
+	for {
+		old := f.rng.Load()
+		state := old + 0x9E3779B97F4A7C15
+		if f.rng.CompareAndSwap(old, state) {
+			z := state
+			z ^= z >> 30
+			z *= 0xBF58476D1CE4E5B9
+			z ^= z >> 27
+			z *= 0x94D049BB133111EB
+			z ^= z >> 31
+			return z
+		}
+	}
+}
+
+func (f *FaultStore) chance(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return float64(f.next()>>11)/(1<<53) < p
+}
+
+// enter applies the plan's latency (if any) and returns the active plan.
+func (f *FaultStore) enter() *FaultPlan {
+	p := f.plan.Load()
+	if p != nil && p.Latency > 0 {
+		time.Sleep(p.Latency)
+	}
+	return p
+}
+
+// tornWriter is the optional store hook for prefix-only page writes.
+// FileStore tears the physical record (data + checksum trailer);
+// MemStore tears the logical page.
+type tornWriter interface {
+	WritePageTorn(id PageID, buf []byte, n int) error
+}
+
+// bitFlipper is the optional store hook for below-the-checksum
+// single-bit corruption.
+type bitFlipper interface {
+	FlipBit(id PageID, bit int) error
+}
+
+// tearWrite persists a random prefix of the page via the inner store's
+// torn-write hook (falling back to a plain failed write when the store
+// has none) and reports ErrInjected.
+func (f *FaultStore) tearWrite(id PageID, buf []byte) error {
+	f.stats.torn.Add(1)
+	if tw, ok := f.Inner.(tornWriter); ok {
+		n := int(f.next() % uint64(physPageSize))
+		if err := tw.WritePageTorn(id, buf, n); err != nil {
+			return err
+		}
+	}
+	return ErrInjected
+}
+
 // ReadPage implements Store.
 func (f *FaultStore) ReadPage(id PageID, buf []byte) error {
+	f.stats.reads.Add(1)
 	if trip(&f.readCountdown) {
+		f.stats.injReads.Add(1)
+		return ErrInjected
+	}
+	if p := f.enter(); p != nil && f.chance(p.ReadErr) {
+		f.stats.injReads.Add(1)
 		return ErrInjected
 	}
 	return f.Inner.ReadPage(id, buf)
@@ -67,23 +272,117 @@ func (f *FaultStore) ReadPage(id PageID, buf []byte) error {
 
 // WritePage implements Store.
 func (f *FaultStore) WritePage(id PageID, buf []byte) error {
-	if trip(&f.writeCountdown) {
+	f.stats.writes.Add(1)
+	if tripped, first := tripOnce(&f.tornCountdown); tripped {
+		f.stats.injWrites.Add(1)
+		if first {
+			return f.tearWrite(id, buf)
+		}
 		return ErrInjected
+	}
+	if trip(&f.writeCountdown) {
+		f.stats.injWrites.Add(1)
+		return ErrInjected
+	}
+	if p := f.enter(); p != nil {
+		if f.chance(p.TornWrite) {
+			f.stats.injWrites.Add(1)
+			return f.tearWrite(id, buf)
+		}
+		if f.chance(p.WriteErr) {
+			f.stats.injWrites.Add(1)
+			return ErrInjected
+		}
+		if err := f.Inner.WritePage(id, buf); err != nil {
+			return err
+		}
+		if fl, ok := f.Inner.(bitFlipper); ok && f.chance(p.BitFlip) {
+			f.stats.flips.Add(1)
+			return fl.FlipBit(id, int(f.next()%uint64(physPageSize*8)))
+		}
+		return nil
 	}
 	return f.Inner.WritePage(id, buf)
 }
 
 // Alloc implements Store.
-func (f *FaultStore) Alloc() (PageID, error) { return f.Inner.Alloc() }
+func (f *FaultStore) Alloc() (PageID, error) {
+	f.stats.allocs.Add(1)
+	if trip(&f.allocCountdown) {
+		f.stats.injAllocs.Add(1)
+		return InvalidPage, ErrInjected
+	}
+	if p := f.enter(); p != nil && f.chance(p.AllocErr) {
+		f.stats.injAllocs.Add(1)
+		return InvalidPage, ErrInjected
+	}
+	return f.Inner.Alloc()
+}
 
 // Free implements Store.
-func (f *FaultStore) Free(id PageID) error { return f.Inner.Free(id) }
+func (f *FaultStore) Free(id PageID) error {
+	f.stats.frees.Add(1)
+	if trip(&f.freeCountdown) {
+		f.stats.injFree.Add(1)
+		return ErrInjected
+	}
+	if p := f.enter(); p != nil && f.chance(p.FreeErr) {
+		f.stats.injFree.Add(1)
+		return ErrInjected
+	}
+	return f.Inner.Free(id)
+}
 
 // NumPages implements Store.
 func (f *FaultStore) NumPages() int { return f.Inner.NumPages() }
 
 // Sync implements Store.
-func (f *FaultStore) Sync() error { return f.Inner.Sync() }
+func (f *FaultStore) Sync() error {
+	f.stats.syncs.Add(1)
+	if trip(&f.syncCountdown) {
+		f.stats.injSyncs.Add(1)
+		return ErrInjected
+	}
+	if p := f.enter(); p != nil && f.chance(p.SyncErr) {
+		f.stats.injSyncs.Add(1)
+		return ErrInjected
+	}
+	return f.Inner.Sync()
+}
 
 // Close implements Store.
 func (f *FaultStore) Close() error { return f.Inner.Close() }
+
+// SetRoot forwards to the inner store when it keeps a root pointer
+// (fault-free: root updates are in-memory staging, not I/O).
+func (f *FaultStore) SetRoot(id PageID) error {
+	if s, ok := f.Inner.(interface{ SetRoot(PageID) error }); ok {
+		return s.SetRoot(id)
+	}
+	return nil
+}
+
+// Root forwards to the inner store when it keeps a root pointer.
+func (f *FaultStore) Root() PageID {
+	if s, ok := f.Inner.(interface{ Root() PageID }); ok {
+		return s.Root()
+	}
+	return InvalidPage
+}
+
+// SetAux forwards to the inner store when it keeps caller metadata
+// (fault-free: aux updates are in-memory staging, not I/O).
+func (f *FaultStore) SetAux(data []byte) error {
+	if s, ok := f.Inner.(interface{ SetAux([]byte) error }); ok {
+		return s.SetAux(data)
+	}
+	return nil
+}
+
+// Aux forwards to the inner store when it keeps caller metadata.
+func (f *FaultStore) Aux() []byte {
+	if s, ok := f.Inner.(interface{ Aux() []byte }); ok {
+		return s.Aux()
+	}
+	return nil
+}

@@ -1,0 +1,158 @@
+package pager
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+// The new per-op countdowns: Sync, Alloc, and Free each trip on the n-th
+// call and stay tripped until Disarm.
+func TestFaultStoreOpCountdowns(t *testing.T) {
+	fs := NewFaultStore(NewMemStore())
+
+	fs.ArmSyncs(2)
+	if err := fs.Sync(); err != nil {
+		t.Fatalf("sync 1: %v", err)
+	}
+	if err := fs.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync 2 = %v, want ErrInjected", err)
+	}
+	if err := fs.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync 3 = %v, want ErrInjected (stays tripped)", err)
+	}
+	fs.Disarm()
+	if err := fs.Sync(); err != nil {
+		t.Fatalf("sync after disarm: %v", err)
+	}
+
+	fs.ArmAllocs(1)
+	if _, err := fs.Alloc(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("alloc = %v, want ErrInjected", err)
+	}
+	fs.Disarm()
+	id, err := fs.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fs.ArmFrees(1)
+	if err := fs.Free(id); !errors.Is(err, ErrInjected) {
+		t.Fatalf("free = %v, want ErrInjected", err)
+	}
+	fs.Disarm()
+	if err := fs.Free(id); err != nil {
+		t.Fatal(err)
+	}
+
+	st := fs.Stats()
+	if st.InjectedSyncs != 2 || st.InjectedAllocs != 1 || st.InjectedFrees != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// ArmTornWrites persists a prefix on the n-th write (file-backed: the
+// page then reads back corrupt) and fails outright afterwards.
+func TestFaultStoreTornWrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db")
+	inner := mustCreate(t, path)
+	defer inner.Close()
+	fs := NewFaultStore(inner)
+	id := mustAllocWrite(t, fs, 0x77)
+	if err := inner.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	fs.ArmTornWrites(1)
+	if err := fs.WritePage(id, fillPage(0x99)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write = %v, want ErrInjected", err)
+	}
+	if err := fs.WritePage(id, fillPage(0x99)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write after torn = %v, want ErrInjected", err)
+	}
+	if got := fs.Stats().TornWrites; got != 1 {
+		t.Errorf("TornWrites = %d, want 1", got)
+	}
+	buf := make([]byte, PageSize)
+	err := inner.ReadPage(id, buf)
+	// Depending on the torn prefix length the page is either corrupt or
+	// (zero-length tear) still the old content — never the new content.
+	if err == nil {
+		for i := range buf {
+			if buf[i] == 0x99 {
+				t.Fatal("torn write fully persisted the new page")
+			}
+		}
+	} else if !errors.Is(err, ErrCorruptPage) {
+		t.Fatalf("read after torn write = %v", err)
+	}
+}
+
+// A scripted plan with the same seed injects the same faults at the same
+// operations; a plan with rate 1 always fires; rate 0 never fires.
+func TestFaultStorePlanDeterminism(t *testing.T) {
+	run := func(seed uint64) []bool {
+		fs := NewFaultStore(NewMemStore())
+		id, err := fs.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs.Script(&FaultPlan{Seed: seed, WriteErr: 0.5})
+		var outcomes []bool
+		for i := 0; i < 64; i++ {
+			outcomes = append(outcomes, fs.WritePage(id, fillPage(1)) != nil)
+		}
+		return outcomes
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at op %d", i)
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical fault schedules (suspicious)")
+	}
+
+	always := NewFaultStore(NewMemStore())
+	id, _ := always.Alloc()
+	always.Script(&FaultPlan{ReadErr: 1})
+	if err := always.ReadPage(id, make([]byte, PageSize)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("rate-1 read = %v, want ErrInjected", err)
+	}
+	always.Script(&FaultPlan{}) // all rates zero
+	if err := always.ReadPage(id, make([]byte, PageSize)); err != nil {
+		t.Fatalf("rate-0 read = %v", err)
+	}
+}
+
+// A scripted bit flip corrupts the stored page below the checksum: the
+// write reports success but the page reads back as ErrCorruptPage.
+func TestFaultStorePlanBitFlip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db")
+	inner := mustCreate(t, path)
+	defer inner.Close()
+	fs := NewFaultStore(inner)
+	id := mustAllocWrite(t, fs, 0x00)
+
+	fs.Script(&FaultPlan{Seed: 7, BitFlip: 1})
+	if err := fs.WritePage(id, fillPage(0x55)); err != nil {
+		t.Fatalf("write with bit flip = %v (flips corrupt silently)", err)
+	}
+	fs.Disarm()
+	err := fs.ReadPage(id, make([]byte, PageSize))
+	if !errors.Is(err, ErrCorruptPage) {
+		t.Fatalf("read after bit flip = %v, want ErrCorruptPage", err)
+	}
+	if got := fs.Stats().BitFlips; got != 1 {
+		t.Errorf("BitFlips = %d, want 1", got)
+	}
+}

@@ -7,20 +7,72 @@ import (
 	"os"
 )
 
-// FileStore is a Store persisted in a single file. It exists so indexes
-// can be built once (cmd/dqload) and reopened by later runs; the
-// experiment harness itself defaults to MemStore.
-type FileStore struct {
-	f      *os.File
-	count  uint32 // data pages in the file (allocated + freed)
-	free   PageID // head of free-page chain
-	root   PageID // user root pointer (see SetRoot)
-	aux    []byte // caller metadata (see SetAux)
-	closed bool
-}
+// File layout (format v2, magic "DYNQPG02"):
+//
+//	[slot 0: header, PageSize bytes][slot 1: header, PageSize bytes]
+//	[page 0: PageSize data + 16-byte trailer][page 1: ...]...
+//
+// Each header slot:
+//
+//	offset 0   8 bytes  magic "DYNQPG02"
+//	offset 8   8 bytes  commit sequence number (little endian)
+//	offset 16  4 bytes  number of data pages (allocated + freed)
+//	offset 20  4 bytes  free-list head page id (InvalidPage if none)
+//	offset 24  4 bytes  user root page id
+//	offset 28  2 bytes  aux length
+//	offset 32  ...      aux bytes (up to MaxAux)
+//	offset PageSize-4   CRC32C over bytes [0, PageSize-4)
+//
+// Commits are atomic: a commit writes the header to the slot NOT holding
+// the current committed state (slot seq%2 for the new seq) and fsyncs.
+// If the write tears, the other slot still holds the previous committed
+// header; Open picks the valid slot with the highest sequence number.
+//
+// Allocation state (count, free list head, root, aux) lives in memory
+// between commits; Sync and Close commit it. Data pages are written in
+// place with a checksum + epoch trailer (see checksum.go); a page written
+// after commit S carries epoch S+1, so recovery can tell whether any part
+// of the committed snapshot was overwritten by an unfinished flush.
+//
+// Free pages are chained through their first 4 bytes; freeing rewrites
+// the whole page (link + zeros) so freed pages stay checksummed.
+const fileMagic = "DYNQPG02"
 
-// MaxAux is the caller-metadata capacity of the header page.
+// fileMagicV1 is the pre-checksum single-header format, recognized only
+// to produce a helpful error.
+const fileMagicV1 = "DYNQPG01"
+
+const (
+	hdrMagicOff  = 0
+	hdrSeqOff    = 8
+	hdrCountOff  = 16
+	hdrFreeOff   = 20
+	hdrRootOff   = 24
+	hdrAuxLenOff = 28
+	hdrAuxOff    = 32
+	hdrCRCOff    = PageSize - 4
+
+	headerSlots = 2
+	dataStart   = headerSlots * PageSize
+)
+
+// MaxAux is the caller-metadata capacity of a header slot.
 const MaxAux = 256
+
+// FileStore is a Store persisted in a single file with per-page checksums
+// and atomic dual-slot header commits. It exists so indexes can be built
+// once (cmd/dqload) and reopened by later runs; the experiment harness
+// itself defaults to MemStore.
+type FileStore struct {
+	f         *os.File
+	seq       uint64 // last committed header sequence number
+	count     uint32 // data pages in the file (allocated + freed)
+	free      PageID // head of free-page chain
+	root      PageID // user root pointer (see SetRoot)
+	aux       []byte // caller metadata (see SetAux)
+	bothValid bool   // both header slots decoded cleanly at open
+	closed    bool
+}
 
 // CreateFileStore creates (truncating) a page file at path.
 func CreateFileStore(path string) (*FileStore, error) {
@@ -28,53 +80,136 @@ func CreateFileStore(path string) (*FileStore, error) {
 	if err != nil {
 		return nil, fmt.Errorf("pager: create %s: %w", path, err)
 	}
-	fs := &FileStore{f: f, free: InvalidPage, root: InvalidPage}
-	if err := fs.writeHeader(); err != nil {
+	fs := &FileStore{f: f, free: InvalidPage, root: InvalidPage, bothValid: true}
+	// Write the initial committed header to both slots so either survives
+	// a torn first commit.
+	hdr := fs.encodeHeader(1)
+	for slot := 0; slot < headerSlots; slot++ {
+		if _, err := f.WriteAt(hdr, int64(slot)*PageSize); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("pager: init header of %s: %w", path, err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("pager: sync %s: %w", path, err)
+	}
+	fs.seq = 1
+	return fs, nil
+}
+
+// OpenFileStore opens an existing page file, picking the newest valid
+// header slot. A file where neither slot decodes returns an error
+// wrapping ErrCorruptHeader (or a descriptive error for foreign or
+// old-format files).
+func OpenFileStore(path string) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pager: open %s: %w", path, err)
+	}
+	fs, err := openHeader(f, path)
+	if err != nil {
 		f.Close()
 		return nil, err
 	}
 	return fs, nil
 }
 
-// OpenFileStore opens an existing page file.
-func OpenFileStore(path string) (*FileStore, error) {
-	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("pager: open %s: %w", path, err)
+func openHeader(f *os.File, path string) (*FileStore, error) {
+	var (
+		best      *FileStore
+		valid     int
+		sawOldFmt bool
+		sawMagic  bool
+	)
+	buf := make([]byte, PageSize)
+	for slot := 0; slot < headerSlots; slot++ {
+		n, err := f.ReadAt(buf, int64(slot)*PageSize)
+		if err != nil && n != PageSize {
+			continue
+		}
+		if bytes.Equal(buf[hdrMagicOff:hdrMagicOff+8], []byte(fileMagicV1)) {
+			sawOldFmt = true
+			continue
+		}
+		if !bytes.Equal(buf[hdrMagicOff:hdrMagicOff+8], []byte(fileMagic)) {
+			continue
+		}
+		sawMagic = true
+		cand, ok := decodeHeader(f, buf)
+		if !ok {
+			continue
+		}
+		valid++
+		if best == nil || cand.seq > best.seq {
+			best = cand
+		}
 	}
-	hdr := make([]byte, PageSize)
-	if _, err := f.ReadAt(hdr, 0); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("pager: read header of %s: %w", path, err)
-	}
-	if !bytes.Equal(hdr[hdrMagicOff:hdrMagicOff+8], []byte(fileMagic)) {
-		f.Close()
+	switch {
+	case best != nil:
+		best.bothValid = valid == headerSlots
+		return best, nil
+	case sawOldFmt:
+		return nil, fmt.Errorf("pager: %s uses the old unchecksummed format %q; rebuild it with dqload", path, fileMagicV1)
+	case sawMagic:
+		return nil, fmt.Errorf("pager: %s: %w (both slots failed verification)", path, ErrCorruptHeader)
+	default:
 		return nil, fmt.Errorf("pager: %s is not a dynq page file", path)
 	}
-	auxLen := int(binary.LittleEndian.Uint16(hdr[hdrAuxLenOff:]))
+}
+
+func decodeHeader(f *os.File, buf []byte) (*FileStore, bool) {
+	if crc32Of(buf[:hdrCRCOff]) != binary.LittleEndian.Uint32(buf[hdrCRCOff:]) {
+		return nil, false
+	}
+	auxLen := int(binary.LittleEndian.Uint16(buf[hdrAuxLenOff:]))
 	if auxLen > MaxAux {
-		f.Close()
-		return nil, fmt.Errorf("pager: %s header aux length %d corrupt", path, auxLen)
+		return nil, false
 	}
 	return &FileStore{
 		f:     f,
-		count: binary.LittleEndian.Uint32(hdr[hdrCountOff:]),
-		free:  PageID(binary.LittleEndian.Uint32(hdr[hdrFreeOff:])),
-		root:  PageID(binary.LittleEndian.Uint32(hdr[hdrRootOff:])),
-		aux:   append([]byte(nil), hdr[hdrAuxOff:hdrAuxOff+auxLen]...),
-	}, nil
+		seq:   binary.LittleEndian.Uint64(buf[hdrSeqOff:]),
+		count: binary.LittleEndian.Uint32(buf[hdrCountOff:]),
+		free:  PageID(binary.LittleEndian.Uint32(buf[hdrFreeOff:])),
+		root:  PageID(binary.LittleEndian.Uint32(buf[hdrRootOff:])),
+		aux:   append([]byte(nil), buf[hdrAuxOff:hdrAuxOff+auxLen]...),
+	}, true
 }
 
-func (fs *FileStore) writeHeader() error {
+// encodeHeader renders the current in-memory state as a header slot image
+// stamped with sequence number seq.
+func (fs *FileStore) encodeHeader(seq uint64) []byte {
 	hdr := make([]byte, PageSize)
-	putHeader(hdr, fs.count, fs.free, fs.root)
+	copy(hdr[hdrMagicOff:], fileMagic)
+	binary.LittleEndian.PutUint64(hdr[hdrSeqOff:], seq)
+	binary.LittleEndian.PutUint32(hdr[hdrCountOff:], fs.count)
+	binary.LittleEndian.PutUint32(hdr[hdrFreeOff:], uint32(fs.free))
+	binary.LittleEndian.PutUint32(hdr[hdrRootOff:], uint32(fs.root))
 	binary.LittleEndian.PutUint16(hdr[hdrAuxLenOff:], uint16(len(fs.aux)))
 	copy(hdr[hdrAuxOff:], fs.aux)
-	_, err := fs.f.WriteAt(hdr, 0)
-	return err
+	binary.LittleEndian.PutUint32(hdr[hdrCRCOff:], crc32Of(hdr[:hdrCRCOff]))
+	return hdr
 }
 
-func (fs *FileStore) offset(id PageID) int64 { return int64(id+1) * PageSize }
+// commit durably publishes the in-memory allocation state: it writes the
+// next header to the slot not holding the committed one, then fsyncs.
+// Data pages must already be synced by the caller (see Sync).
+func (fs *FileStore) commit() error {
+	next := fs.seq + 1
+	slot := int64(next % headerSlots)
+	if _, err := fs.f.WriteAt(fs.encodeHeader(next), slot*PageSize); err != nil {
+		return fmt.Errorf("pager: write header slot %d: %w", slot, err)
+	}
+	if err := fs.f.Sync(); err != nil {
+		return fmt.Errorf("pager: sync header: %w", err)
+	}
+	fs.seq = next
+	return nil
+}
+
+func (fs *FileStore) offset(id PageID) int64 {
+	return dataStart + int64(id)*physPageSize
+}
 
 func (fs *FileStore) check(id PageID) error {
 	if fs.closed {
@@ -86,16 +221,36 @@ func (fs *FileStore) check(id PageID) error {
 	return nil
 }
 
-// ReadPage implements Store.
+// writeEpoch is the epoch stamped on pages written now: one past the
+// committed sequence number, so recovery can detect post-commit writes.
+func (fs *FileStore) writeEpoch() uint64 { return fs.seq + 1 }
+
+// ReadPage implements Store. A page whose trailer checksum does not match
+// its contents returns a *CorruptPageError wrapping ErrCorruptPage.
 func (fs *FileStore) ReadPage(id PageID, buf []byte) error {
+	_, err := fs.ReadPageEpoch(id, buf)
+	return err
+}
+
+// ReadPageEpoch is ReadPage plus the epoch recorded in the page trailer,
+// for the recovery walk.
+func (fs *FileStore) ReadPageEpoch(id PageID, buf []byte) (uint64, error) {
 	if len(buf) != PageSize {
-		return ErrBadPageData
+		return 0, ErrBadPageData
 	}
 	if err := fs.check(id); err != nil {
-		return err
+		return 0, err
 	}
-	_, err := fs.f.ReadAt(buf, fs.offset(id))
-	return err
+	rec := make([]byte, physPageSize)
+	if _, err := fs.f.ReadAt(rec, fs.offset(id)); err != nil {
+		return 0, err
+	}
+	epoch, err := verifyRecord(rec, id)
+	if err != nil {
+		return 0, err
+	}
+	copy(buf, rec[:PageSize])
+	return epoch, nil
 }
 
 // WritePage implements Store.
@@ -106,95 +261,230 @@ func (fs *FileStore) WritePage(id PageID, buf []byte) error {
 	if err := fs.check(id); err != nil {
 		return err
 	}
-	_, err := fs.f.WriteAt(buf, fs.offset(id))
+	_, err := fs.f.WriteAt(fs.sealed(id, buf), fs.offset(id))
 	return err
 }
 
-// Alloc implements Store.
+func (fs *FileStore) sealed(id PageID, buf []byte) []byte {
+	rec := make([]byte, physPageSize)
+	copy(rec, buf)
+	sealRecord(rec, id, fs.writeEpoch())
+	return rec
+}
+
+// WritePageTorn persists only the first n bytes of the page's physical
+// record (data + trailer), simulating a torn write. It is a hook for
+// FaultStore; n is clamped to [0, physPageSize).
+func (fs *FileStore) WritePageTorn(id PageID, buf []byte, n int) error {
+	if len(buf) != PageSize {
+		return ErrBadPageData
+	}
+	if err := fs.check(id); err != nil {
+		return err
+	}
+	if n < 0 {
+		n = 0
+	}
+	if n >= physPageSize {
+		n = physPageSize - 1
+	}
+	_, err := fs.f.WriteAt(fs.sealed(id, buf)[:n], fs.offset(id))
+	return err
+}
+
+// FlipBit flips one bit of the page's stored physical record in place,
+// bypassing the checksum. It is a hook for FaultStore; bit is taken
+// modulo the record size in bits.
+func (fs *FileStore) FlipBit(id PageID, bit int) error {
+	if err := fs.check(id); err != nil {
+		return err
+	}
+	if bit < 0 {
+		bit = -bit
+	}
+	bit %= physPageSize * 8
+	var b [1]byte
+	off := fs.offset(id) + int64(bit/8)
+	if _, err := fs.f.ReadAt(b[:], off); err != nil {
+		return err
+	}
+	b[0] ^= 1 << (bit % 8)
+	_, err := fs.f.WriteAt(b[:], off)
+	return err
+}
+
+// Alloc implements Store. Allocation state is in memory until the next
+// Sync/Close commit.
 func (fs *FileStore) Alloc() (PageID, error) {
 	if fs.closed {
 		return InvalidPage, ErrClosed
 	}
+	zero := make([]byte, PageSize)
 	if fs.free != InvalidPage {
 		id := fs.free
-		var link [4]byte
-		if _, err := fs.f.ReadAt(link[:], fs.offset(id)); err != nil {
+		link, err := fs.freeLink(id)
+		if err != nil {
 			return InvalidPage, err
 		}
-		fs.free = PageID(binary.LittleEndian.Uint32(link[:]))
-		zero := make([]byte, PageSize)
 		if err := fs.WritePage(id, zero); err != nil {
 			return InvalidPage, err
 		}
-		return id, fs.writeHeader()
+		fs.free = link
+		return id, nil
 	}
 	id := PageID(fs.count)
 	fs.count++
-	zero := make([]byte, PageSize)
-	if _, err := fs.f.WriteAt(zero, fs.offset(id)); err != nil {
+	if err := fs.WritePage(id, zero); err != nil {
 		fs.count--
 		return InvalidPage, err
 	}
-	return id, fs.writeHeader()
+	return id, nil
 }
 
-// Free implements Store.
+// freeLink reads the next-free link stored in a freed page, verifying its
+// checksum.
+func (fs *FileStore) freeLink(id PageID) (PageID, error) {
+	buf := make([]byte, PageSize)
+	if err := fs.ReadPage(id, buf); err != nil {
+		return InvalidPage, err
+	}
+	return PageID(binary.LittleEndian.Uint32(buf)), nil
+}
+
+// Free implements Store. The freed page is rewritten in full (link +
+// zeros) so it remains checksummed on disk.
 func (fs *FileStore) Free(id PageID) error {
 	if err := fs.check(id); err != nil {
 		return err
 	}
-	var link [4]byte
-	binary.LittleEndian.PutUint32(link[:], uint32(fs.free))
-	if _, err := fs.f.WriteAt(link[:], fs.offset(id)); err != nil {
+	page := make([]byte, PageSize)
+	binary.LittleEndian.PutUint32(page, uint32(fs.free))
+	if err := fs.WritePage(id, page); err != nil {
 		return err
 	}
 	fs.free = id
-	return fs.writeHeader()
+	return nil
+}
+
+// FreeList walks the on-disk free chain and returns it in order. It
+// fails on checksum errors, out-of-range links, or cycles.
+func (fs *FileStore) FreeList() ([]PageID, error) {
+	if fs.closed {
+		return nil, ErrClosed
+	}
+	var list []PageID
+	seen := make(map[PageID]bool)
+	for id := fs.free; id != InvalidPage; {
+		if uint32(id) >= fs.count {
+			return nil, fmt.Errorf("%w: free-list link %d >= %d", ErrPageOutOfRange, id, fs.count)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("pager: free-list cycle at page %d", id)
+		}
+		seen[id] = true
+		list = append(list, id)
+		next, err := fs.freeLink(id)
+		if err != nil {
+			return nil, err
+		}
+		id = next
+	}
+	return list, nil
+}
+
+// ResetFreeList discards the in-memory free chain and rebuilds it so that
+// it contains exactly ids (head first), rewriting each page's link. The
+// caller commits via Sync.
+func (fs *FileStore) ResetFreeList(ids []PageID) error {
+	if fs.closed {
+		return ErrClosed
+	}
+	fs.free = InvalidPage
+	for i := len(ids) - 1; i >= 0; i-- {
+		if err := fs.Free(ids[i]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // NumPages implements Store. Freed pages remain counted until reused; the
 // file does not shrink.
 func (fs *FileStore) NumPages() int { return int(fs.count) }
 
-// SetRoot records a user root page id (the index root) in the file header.
+// CommittedSeq returns the sequence number of the last committed header.
+func (fs *FileStore) CommittedSeq() uint64 { return fs.seq }
+
+// BothHeaderSlotsValid reports whether both header slots decoded cleanly
+// when the store was opened (false after recovering from a torn header
+// commit; the next Sync repairs the stale slot).
+func (fs *FileStore) BothHeaderSlotsValid() bool { return fs.bothValid }
+
+// SetRoot records a user root page id (the index root). It is committed
+// by the next Sync/Close.
 func (fs *FileStore) SetRoot(id PageID) error {
+	if fs.closed {
+		return ErrClosed
+	}
 	fs.root = id
-	return fs.writeHeader()
+	return nil
 }
 
-// Root returns the user root page id recorded in the header.
+// Root returns the user root page id.
 func (fs *FileStore) Root() PageID { return fs.root }
 
-// SetAux stores up to MaxAux bytes of caller metadata (e.g. index shape)
-// in the header page, durable across reopen.
+// SetAux stages up to MaxAux bytes of caller metadata (e.g. index shape)
+// for the next header commit.
 func (fs *FileStore) SetAux(data []byte) error {
+	if fs.closed {
+		return ErrClosed
+	}
 	if len(data) > MaxAux {
 		return fmt.Errorf("pager: aux data %d bytes exceeds %d", len(data), MaxAux)
 	}
 	fs.aux = append(fs.aux[:0], data...)
-	return fs.writeHeader()
+	return nil
 }
 
-// Aux returns the caller metadata stored in the header (nil if none).
+// Aux returns the caller metadata from the last committed or staged
+// header (nil if none).
 func (fs *FileStore) Aux() []byte { return append([]byte(nil), fs.aux...) }
 
-// Sync implements Store.
+// Sync implements Store: it fsyncs the data pages, then atomically
+// commits the current allocation state and metadata by writing the
+// alternate header slot and fsyncing again. If the process dies between
+// the two steps the previous header still describes a consistent file.
 func (fs *FileStore) Sync() error {
 	if fs.closed {
 		return ErrClosed
 	}
-	return fs.f.Sync()
+	if err := fs.f.Sync(); err != nil {
+		return fmt.Errorf("pager: sync data: %w", err)
+	}
+	return fs.commit()
 }
 
-// Close implements Store.
+// Close implements Store: it commits (as Sync) and closes the file.
 func (fs *FileStore) Close() error {
 	if fs.closed {
 		return nil
 	}
-	fs.closed = true
-	if err := fs.writeHeader(); err != nil {
+	if err := fs.Sync(); err != nil {
+		fs.closed = true
 		fs.f.Close()
 		return err
 	}
+	fs.closed = true
+	return fs.f.Close()
+}
+
+// Crash abandons the store without committing, simulating a process
+// crash: buffered state (allocations, root, aux) staged since the last
+// Sync is lost. Test hook.
+func (fs *FileStore) Crash() error {
+	if fs.closed {
+		return nil
+	}
+	fs.closed = true
 	return fs.f.Close()
 }

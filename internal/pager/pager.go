@@ -10,7 +10,6 @@
 package pager
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
 )
@@ -157,29 +156,35 @@ func (m *MemStore) Close() error {
 	return nil
 }
 
-// The file store keeps a header in physical page 0:
-//
-//	offset 0  8 bytes  magic "DYNQPG01"
-//	offset 8  4 bytes  number of data pages (little endian)
-//	offset 12 4 bytes  free-list head page id (InvalidPage if none)
-//	offset 16 4 bytes  user root page id (for the index to record its root)
-//
-// Free pages are chained through their first 4 bytes. Data page i lives at
-// file offset (i+1)*PageSize.
-const fileMagic = "DYNQPG01"
+// WritePageTorn persists only the first n bytes of the page, simulating
+// a torn write (FaultStore hook; the file-backed analogue also tears the
+// checksum trailer).
+func (m *MemStore) WritePageTorn(id PageID, buf []byte, n int) error {
+	if len(buf) != PageSize {
+		return ErrBadPageData
+	}
+	if err := m.check(id); err != nil {
+		return err
+	}
+	if n < 0 {
+		n = 0
+	}
+	if n > PageSize {
+		n = PageSize
+	}
+	copy(m.pages[id][:n], buf[:n])
+	return nil
+}
 
-const (
-	hdrMagicOff  = 0
-	hdrCountOff  = 8
-	hdrFreeOff   = 12
-	hdrRootOff   = 16
-	hdrAuxLenOff = 20
-	hdrAuxOff    = 24
-)
-
-func putHeader(buf []byte, count uint32, free, root PageID) {
-	copy(buf[hdrMagicOff:], fileMagic)
-	binary.LittleEndian.PutUint32(buf[hdrCountOff:], count)
-	binary.LittleEndian.PutUint32(buf[hdrFreeOff:], uint32(free))
-	binary.LittleEndian.PutUint32(buf[hdrRootOff:], uint32(root))
+// FlipBit flips one bit of the stored page in place (FaultStore hook).
+func (m *MemStore) FlipBit(id PageID, bit int) error {
+	if err := m.check(id); err != nil {
+		return err
+	}
+	if bit < 0 {
+		bit = -bit
+	}
+	bit %= PageSize * 8
+	m.pages[id][bit/8] ^= 1 << (bit % 8)
+	return nil
 }

@@ -160,8 +160,65 @@ func writeJunk(path string) error {
 		return err
 	}
 	defer f.Close()
-	_, err = f.WriteAt([]byte("NOTMAGIC"), 0)
+	// Both header slots: a single bad slot is a recoverable torn commit.
+	if _, err := f.WriteAt([]byte("NOTMAGIC"), 0); err != nil {
+		return err
+	}
+	_, err = f.WriteAt([]byte("NOTMAGIC"), PageSize)
 	return err
+}
+
+// A torn header commit — one corrupt slot — must not prevent opening:
+// the other slot still holds the previous committed state.
+func TestOpenFileStoreSurvivesTornHeaderSlot(t *testing.T) {
+	for slot := 0; slot < headerSlots; slot++ {
+		path := filepath.Join(t.TempDir(), "torn")
+		s, err := CreateFileStore(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id, err := s.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.WritePage(id, fillPage(0xCD)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SetRoot(id); err != nil {
+			t.Fatal(err)
+		}
+		// Sync then Close: two commits, so BOTH slots describe the
+		// post-alloc state and either alone can open it.
+		if err := s.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		f, err := openRaw(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteAt([]byte{0xFF, 0xFF, 0xFF, 0xFF}, int64(slot)*PageSize+100); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		s2, err := OpenFileStore(path)
+		if err != nil {
+			t.Fatalf("open with slot %d corrupted: %v", slot, err)
+		}
+		if s2.BothHeaderSlotsValid() {
+			t.Errorf("slot %d: BothHeaderSlotsValid = true, want false", slot)
+		}
+		buf := make([]byte, PageSize)
+		if err := s2.ReadPage(s2.Root(), buf); err != nil {
+			t.Fatalf("slot %d: read root page: %v", slot, err)
+		}
+		if !bytes.Equal(buf, fillPage(0xCD)) {
+			t.Errorf("slot %d: root page content lost", slot)
+		}
+		s2.Close()
+	}
 }
 
 // Property: any interleaving of alloc/write/free against the MemStore and

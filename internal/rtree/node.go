@@ -105,6 +105,17 @@ func encodeNode(cfg Config, n *Node, buf []byte) error {
 	return nil
 }
 
+// DecodePage decodes one on-disk node page under cfg. It is the exported
+// entry point for the recovery walk (which must inspect pages without a
+// live tree) and for fuzzing: on arbitrary bytes it returns an error,
+// never panics.
+func DecodePage(cfg Config, id pager.PageID, buf []byte) (*Node, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return decodeNode(cfg, id, buf)
+}
+
 func decodeNode(cfg Config, id pager.PageID, buf []byte) (*Node, error) {
 	if len(buf) != pager.PageSize {
 		return nil, pager.ErrBadPageData

@@ -3,6 +3,8 @@ package netq
 import (
 	"errors"
 	"fmt"
+
+	"dynq"
 )
 
 // Error kinds carried in Response.ErrKind so clients can reconstruct
@@ -12,6 +14,7 @@ const (
 	ErrKindNoTracker  = "no_tracker"
 	ErrKindNoSession  = "no_session"
 	ErrKindOverloaded = "overloaded"
+	ErrKindReadOnly   = "read_only"
 )
 
 // ErrNoTracker is returned (and matched with errors.Is on both sides of
@@ -70,6 +73,8 @@ func errKind(err error) string {
 		return ErrKindNoSession
 	case errors.Is(err, ErrOverloaded):
 		return ErrKindOverloaded
+	case errors.Is(err, dynq.ErrReadOnly):
+		return ErrKindReadOnly
 	}
 	return ""
 }
@@ -95,6 +100,8 @@ func typedError(req Request, resp Response) error {
 		return &wireError{msg: resp.Err, sentinel: ErrNoSession}
 	case ErrKindOverloaded:
 		return &wireError{msg: resp.Err, sentinel: ErrOverloaded}
+	case ErrKindReadOnly:
+		return &wireError{msg: resp.Err, sentinel: dynq.ErrReadOnly}
 	}
 	return errors.New(resp.Err)
 }

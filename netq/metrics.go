@@ -6,6 +6,7 @@ import (
 
 	"dynq"
 	"dynq/internal/obs"
+	"dynq/internal/pager"
 )
 
 // knownOps enumerates the protocol operations, in declaration order, for
@@ -67,6 +68,9 @@ func newServerMetrics(reg *obs.Registry, db dynq.Database) *serverMetrics {
 	reg.SetHelp("pager_buffer_hit_ratio", "Buffer pool hits / (hits + misses).")
 	reg.SetHelp("dynq_page_reads_total", "Cumulative index node fetches (the paper's disk-access metric).")
 	reg.SetHelp("dynq_distance_comps_total", "Cumulative geometric predicate evaluations (the paper's CPU metric).")
+	reg.SetHelp("pager_checksum_failures_total", "Pages whose CRC32C trailer failed verification on read.")
+	reg.SetHelp("netq_retries_total", "Transparent redial-and-retry attempts by reconnecting clients in this process.")
+	reg.SetHelp("dynq_degraded_mode", "1 when the database has degraded to read-only after storage write failures.")
 
 	m := &serverMetrics{perOp: make(map[Op]*opMetrics, len(knownOps))}
 	for _, op := range knownOps {
@@ -103,6 +107,14 @@ func newServerMetrics(reg *obs.Registry, db dynq.Database) *serverMetrics {
 	reg.GaugeFunc("dynq_distance_comps_total", func() float64 { return float64(db.CostSnapshot().DistanceComps) })
 	reg.GaugeFunc("dynq_pruned_nodes_total", func() float64 { return float64(db.CostSnapshot().PrunedNodes) })
 	reg.GaugeFunc("dynq_results_total", func() float64 { return float64(db.CostSnapshot().Results) })
+	reg.GaugeFunc("pager_checksum_failures_total", func() float64 { return float64(pager.ChecksumFailures()) })
+	reg.GaugeFunc("netq_retries_total", func() float64 { return float64(RetriesTotal()) })
+	reg.GaugeFunc("dynq_degraded_mode", func() float64 {
+		if db.Degraded() {
+			return 1
+		}
+		return 0
+	})
 
 	// One hit-ratio gauge per buffer pool lock segment: a cold or
 	// thrashing segment shows up as an outlier. The segment count is

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math/rand/v2"
 	"net"
 	"runtime"
 	"sync"
@@ -583,57 +584,204 @@ func (s *Server) dispatchTracker(req Request) Response {
 	}
 }
 
-// Client is a connection to a dqserver. Methods are safe for sequential
-// use only (one request in flight per connection).
-type Client struct {
-	conn   net.Conn
-	enc    *gob.Encoder
-	dec    *gob.Decoder
-	tracer *obs.Tracer
+// DialOptions tune the client's connection and resilience behavior. The
+// zero value gives the defaults: a 5-second connect+handshake timeout
+// and no automatic reconnection.
+type DialOptions struct {
+	// HandshakeTimeout bounds the TCP connect plus the protocol
+	// handshake, so dialing a half-open or wedged peer fails instead of
+	// hanging forever. 0 means the 5-second default; negative disables
+	// the bound.
+	HandshakeTimeout time.Duration
+	// Reconnect enables transparent redial-and-retry for IDEMPOTENT
+	// read operations (snapshot, knn, stats, tracker queries) after a
+	// transport failure. Writes and session operations are NEVER
+	// retried — a lost write may or may not have been applied, and
+	// retrying could duplicate it; they fail fast with an error matching
+	// errors.Is(err, ErrConnectionLost).
+	Reconnect bool
+	// RetryMax caps redial attempts per call (default 8; negative
+	// disables retries even with Reconnect set).
+	RetryMax int
+	// RetryBase is the first backoff delay; attempts double it up to
+	// RetryMaxDelay, each jittered ±50%. Defaults: 25ms base, 1s cap.
+	RetryBase     time.Duration
+	RetryMaxDelay time.Duration
+	// Tracer, when set, records one client-side span per call as with
+	// Client.WithTracer.
+	Tracer *obs.Tracer
 }
 
-// Dial connects to a server and performs the protocol handshake.
+// defaultHandshakeTimeout bounds Dial's connect+handshake when
+// DialOptions.HandshakeTimeout is zero.
+const defaultHandshakeTimeout = 5 * time.Second
+
+func (o DialOptions) handshakeTimeout() time.Duration {
+	switch {
+	case o.HandshakeTimeout < 0:
+		return 0
+	case o.HandshakeTimeout == 0:
+		return defaultHandshakeTimeout
+	}
+	return o.HandshakeTimeout
+}
+
+func (o DialOptions) retryMax() int {
+	switch {
+	case o.RetryMax < 0:
+		return 0
+	case o.RetryMax == 0:
+		return 8
+	}
+	return o.RetryMax
+}
+
+func (o DialOptions) retryBase() time.Duration {
+	if o.RetryBase <= 0 {
+		return 25 * time.Millisecond
+	}
+	return o.RetryBase
+}
+
+func (o DialOptions) retryMaxDelay() time.Duration {
+	if o.RetryMaxDelay <= 0 {
+		return time.Second
+	}
+	return o.RetryMaxDelay
+}
+
+// ErrConnectionLost is wrapped by every client error caused by a
+// transport failure (peer restart, broken pipe, failed redial) — as
+// opposed to an error the server itself returned. A write that fails
+// with it may or may not have been applied; the caller must decide
+// whether re-sending is safe.
+var ErrConnectionLost = errors.New("netq: connection lost")
+
+// ErrClientClosed is returned by calls made after (or interrupted by)
+// Client.Close.
+var ErrClientClosed = errors.New("netq: client closed")
+
+// retriesTotal counts transparent redial-and-retry attempts across all
+// clients in the process, exported for the netq_retries_total metric.
+var retriesTotal atomic.Int64
+
+// RetriesTotal reports the cumulative number of transparent retries
+// performed by reconnecting clients in this process.
+func RetriesTotal() int64 { return retriesTotal.Load() }
+
+// Client is a connection to a dqserver. Request methods are safe for
+// sequential use only (one request in flight per connection); Close may
+// be called concurrently and interrupts an in-flight call.
+type Client struct {
+	addr   string // "" when wrapped around an existing conn (no redial)
+	opts   DialOptions
+	tracer *obs.Tracer
+	closed atomic.Bool
+
+	mu   sync.Mutex // guards conn/enc/dec replacement, not request I/O
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// Dial connects to a server and performs the protocol handshake, both
+// bounded by the default 5-second handshake timeout.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialWithOptions(addr, DialOptions{})
+}
+
+// DialWithOptions is Dial with explicit connection and resilience
+// options.
+func DialWithOptions(addr string, opts DialOptions) (*Client, error) {
+	c := &Client{addr: addr, opts: opts, tracer: opts.Tracer}
+	conn, enc, dec, err := c.dialOnce()
 	if err != nil {
 		return nil, err
 	}
-	c, err := NewClient(conn)
-	if err != nil {
-		conn.Close()
-		return nil, err
-	}
+	c.conn, c.enc, c.dec = conn, enc, dec
 	return c, nil
 }
 
+// dialOnce establishes and handshakes one connection under the
+// handshake timeout.
+func (c *Client) dialOnce() (net.Conn, *gob.Encoder, *gob.Decoder, error) {
+	timeout := c.opts.handshakeTimeout()
+	var conn net.Conn
+	var err error
+	if timeout > 0 {
+		conn, err = net.DialTimeout("tcp", c.addr, timeout)
+	} else {
+		conn, err = net.Dial("tcp", c.addr)
+	}
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	enc, dec, err := handshake(conn, timeout)
+	if err != nil {
+		conn.Close()
+		return nil, nil, nil, err
+	}
+	return conn, enc, dec, nil
+}
+
 // NewClient wraps an established connection (useful for tests with
-// in-memory pipes) and performs the protocol handshake, returning a
-// *VersionError if the peer speaks a different protocol version.
+// in-memory pipes) and performs the protocol handshake under the default
+// handshake timeout, returning a *VersionError if the peer speaks a
+// different protocol version. A client built this way cannot reconnect
+// (it has no address to redial).
 func NewClient(conn net.Conn) (*Client, error) {
-	c := &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
-	if err := c.enc.Encode(hello{Magic: protocolMagic, Version: ProtocolVersion}); err != nil {
-		return nil, fmt.Errorf("netq: handshake send: %w", err)
+	return NewClientWithOptions(conn, DialOptions{})
+}
+
+// NewClientWithOptions is NewClient with explicit options; Reconnect is
+// ignored (there is no address to redial).
+func NewClientWithOptions(conn net.Conn, opts DialOptions) (*Client, error) {
+	enc, dec, err := handshake(conn, opts.handshakeTimeout())
+	if err != nil {
+		return nil, err
+	}
+	return &Client{opts: opts, tracer: opts.Tracer, conn: conn, enc: enc, dec: dec}, nil
+}
+
+// handshake performs the version exchange on conn, bounded by timeout
+// (0 = unbounded) so a half-open peer cannot hang the caller forever.
+func handshake(conn net.Conn, timeout time.Duration) (*gob.Encoder, *gob.Decoder, error) {
+	if timeout > 0 {
+		conn.SetDeadline(time.Now().Add(timeout))
+		defer conn.SetDeadline(time.Time{})
+	}
+	enc, dec := gob.NewEncoder(conn), gob.NewDecoder(conn)
+	if err := enc.Encode(hello{Magic: protocolMagic, Version: ProtocolVersion}); err != nil {
+		return nil, nil, fmt.Errorf("netq: handshake send: %w", err)
 	}
 	var ack helloAck
-	if err := c.dec.Decode(&ack); err != nil {
+	if err := dec.Decode(&ack); err != nil {
+		if isTimeout(err) {
+			return nil, nil, fmt.Errorf("netq: handshake timed out after %v (peer accepted but never answered): %w", timeout, err)
+		}
 		// A v1 server chokes on the hello (its Request decoder finds no
 		// matching fields) and drops the connection, surfacing here as
 		// EOF: classify that as a version mismatch, not an I/O mystery.
 		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
-			return nil, &VersionError{Local: ProtocolVersion, Remote: 0,
+			return nil, nil, &VersionError{Local: ProtocolVersion, Remote: 0,
 				Detail: "peer closed the connection during the handshake"}
 		}
-		return nil, fmt.Errorf("netq: handshake read: %w", err)
+		return nil, nil, fmt.Errorf("netq: handshake read: %w", err)
 	}
 	if ack.Magic != protocolMagic || ack.Version != ProtocolVersion {
 		// A v1 server decodes our hello into a zero Request and answers
 		// Response{Err: unknown op}; its Err field lands in ack.Err.
-		return nil, &VersionError{Local: ProtocolVersion, Remote: ack.Version, Detail: ack.Err}
+		return nil, nil, &VersionError{Local: ProtocolVersion, Remote: ack.Version, Detail: ack.Err}
 	}
 	if ack.Err != "" {
-		return nil, errors.New(ack.Err)
+		return nil, nil, errors.New(ack.Err)
 	}
-	return c, nil
+	return enc, dec, nil
+}
+
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 // WithTracer records one client-side span per call (op prefixed
@@ -645,15 +793,114 @@ func (c *Client) WithTracer(t *obs.Tracer) *Client {
 	return c
 }
 
-// Close terminates the connection (and the server-side sessions).
-func (c *Client) Close() error { return c.conn.Close() }
+// Close terminates the connection (and the server-side sessions). It is
+// safe to call while a request is blocked in I/O: the call unblocks and
+// returns ErrClientClosed.
+func (c *Client) Close() error {
+	c.closed.Store(true)
+	c.mu.Lock()
+	conn := c.conn
+	c.conn, c.enc, c.dec = nil, nil, nil
+	c.mu.Unlock()
+	if conn != nil {
+		return conn.Close()
+	}
+	return nil
+}
 
-// roundTrip sends one request and awaits its response, honoring the
-// context: cancellation (or the context's deadline) interrupts blocked
-// connection I/O immediately. Because the protocol is one request/response
-// pair in flight, a call that was interrupted mid-exchange leaves the gob
-// stream desynchronized — the connection must be closed, not reused.
+// current returns the live connection, redialing if the previous one was
+// dropped. Redialing is safe even before a write: nothing has been sent
+// on the new connection yet.
+func (c *Client) current() (net.Conn, *gob.Encoder, *gob.Decoder, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed.Load() {
+		return nil, nil, nil, ErrClientClosed
+	}
+	if c.conn != nil {
+		return c.conn, c.enc, c.dec, nil
+	}
+	if c.addr == "" {
+		return nil, nil, nil, fmt.Errorf("%w: no address to reconnect (client wraps an existing connection)", ErrConnectionLost)
+	}
+	conn, enc, dec, err := c.dialOnce()
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("%w: redial %s: %w", ErrConnectionLost, c.addr, err)
+	}
+	c.conn, c.enc, c.dec = conn, enc, dec
+	return conn, enc, dec, nil
+}
+
+// drop discards conn if it is still the client's current connection.
+// Called after any transport error: a half-finished exchange leaves the
+// gob stream desynchronized, so the connection must not be reused.
+func (c *Client) drop(conn net.Conn) {
+	c.mu.Lock()
+	if c.conn == conn {
+		c.conn, c.enc, c.dec = nil, nil, nil
+	}
+	c.mu.Unlock()
+	conn.Close()
+}
+
+// transportError marks an exchange failure caused by the transport (as
+// opposed to an error the server returned in a Response).
+type transportError struct{ err error }
+
+func (e *transportError) Error() string { return e.err.Error() }
+func (e *transportError) Unwrap() error { return e.err }
+
+// exchange performs one request/response pair on the current connection,
+// honoring the context: cancellation (or the context's deadline)
+// interrupts blocked connection I/O immediately. Transport failures come
+// back as *transportError and drop the connection.
+func (c *Client) exchange(ctx context.Context, req Request) (Response, error) {
+	conn, enc, dec, err := c.current()
+	if err != nil {
+		if errors.Is(err, ErrClientClosed) {
+			return Response{}, err
+		}
+		return Response{}, &transportError{err: err}
+	}
+	if ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, func() {
+			conn.SetDeadline(time.Unix(1, 0)) // wake any blocked read/write
+		})
+		defer func() {
+			if stop() {
+				conn.SetDeadline(time.Time{})
+			}
+		}()
+	}
+	if err := enc.Encode(req); err != nil {
+		c.drop(conn)
+		return Response{}, &transportError{err: ctxError(ctx, err)}
+	}
+	var resp Response
+	if err := dec.Decode(&resp); err != nil {
+		c.drop(conn)
+		if errors.Is(err, io.EOF) {
+			return Response{}, &transportError{err: fmt.Errorf("netq: server closed the connection")}
+		}
+		return Response{}, &transportError{err: ctxError(ctx, err)}
+	}
+	if resp.Err != "" {
+		return Response{}, typedError(req, resp)
+	}
+	return resp, nil
+}
+
+// roundTrip sends one request and awaits its response. With
+// DialOptions.Reconnect set, idempotent read operations that hit a
+// transport failure are transparently retried over a fresh connection
+// with capped exponential backoff, within the context's deadline and the
+// per-call retry budget. Writes and session ops never retry: they fail
+// with an error matching errors.Is(err, ErrConnectionLost), leaving the
+// resend decision to the caller.
 func (c *Client) roundTrip(ctx context.Context, req Request) (Response, error) {
+	if c.closed.Load() {
+		return Response{}, ErrClientClosed
+	}
 	if err := ctx.Err(); err != nil {
 		return Response{}, err
 	}
@@ -680,30 +927,50 @@ func (c *Client) roundTrip(ctx context.Context, req Request) (Response, error) {
 		tc.Annotate(&span)
 		c.tracer.Record(span)
 	}()
-	if ctx.Done() != nil {
-		stop := context.AfterFunc(ctx, func() {
-			c.conn.SetDeadline(time.Unix(1, 0)) // wake any blocked read/write
-		})
-		defer func() {
-			if stop() {
-				c.conn.SetDeadline(time.Time{})
-			}
-		}()
-	}
-	if err := c.enc.Encode(req); err != nil {
-		return Response{}, ctxError(ctx, err)
-	}
-	var resp Response
-	if err := c.dec.Decode(&resp); err != nil {
-		if errors.Is(err, io.EOF) {
-			return Response{}, fmt.Errorf("netq: server closed the connection")
+
+	retriable := c.opts.Reconnect && c.addr != "" && isReadOp(req.Op)
+	budget := c.opts.retryMax()
+	for attempt := 0; ; attempt++ {
+		resp, err := c.exchange(ctx, req)
+		var terr *transportError
+		if err == nil || !errors.As(err, &terr) {
+			return resp, err // success, or an error the server returned
 		}
-		return Response{}, ctxError(ctx, err)
+		if c.closed.Load() {
+			return Response{}, ErrClientClosed
+		}
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return Response{}, ctxErr
+		}
+		if !retriable || attempt >= budget {
+			if errors.Is(terr.err, ErrConnectionLost) {
+				return Response{}, terr.err
+			}
+			return Response{}, fmt.Errorf("%w: %w", ErrConnectionLost, terr.err)
+		}
+		retriesTotal.Add(1)
+		if err := sleepBackoff(ctx, attempt, c.opts.retryBase(), c.opts.retryMaxDelay()); err != nil {
+			return Response{}, err
+		}
 	}
-	if resp.Err != "" {
-		return Response{}, typedError(req, resp)
+}
+
+// sleepBackoff waits base*2^attempt capped at maxDelay, jittered ±50%,
+// or until the context is done.
+func sleepBackoff(ctx context.Context, attempt int, base, maxDelay time.Duration) error {
+	d := base << uint(attempt)
+	if d > maxDelay || d <= 0 {
+		d = maxDelay
 	}
-	return resp, nil
+	d = d/2 + time.Duration(rand.Int64N(int64(d)))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // ctxError prefers the context's error over the I/O timeout it provoked.

@@ -19,10 +19,18 @@ import (
 //	offset 8  4 bytes height
 //	offset 12 8 bytes segment count
 //	offset 20 8 bytes modification sequence
-const metaVersion = 1
+const (
+	metaVersion = 1
+	metaLen     = 28
+)
+
+// maxMetaSegments bounds the plausible persisted segment count; a page
+// file can hold at most NumPages * leaf fanout segments and PageIDs are
+// 32-bit, so anything near 2^40 is corruption, not data.
+const maxMetaSegments = 1 << 40
 
 func encodeMeta(m rtree.Meta) []byte {
-	buf := make([]byte, 28)
+	buf := make([]byte, metaLen)
 	buf[0] = metaVersion
 	buf[1] = byte(m.Config.Dims)
 	if m.Config.DualTime {
@@ -36,57 +44,98 @@ func encodeMeta(m rtree.Meta) []byte {
 	return buf
 }
 
+// decodeMeta parses and VALIDATES persisted metadata. Every field is
+// range-checked and cross-checked before an rtree.Config is built from
+// it, so corrupt bytes surface as a descriptive error wrapping
+// ErrCorrupt instead of a bogus tree shape.
 func decodeMeta(buf []byte) (rtree.Meta, error) {
-	if len(buf) < 28 || buf[0] != metaVersion {
-		return rtree.Meta{}, fmt.Errorf("dynq: page file has no (or incompatible) database metadata")
+	if len(buf) == 0 {
+		return rtree.Meta{}, fmt.Errorf("%w: page file carries no database metadata", ErrCorrupt)
+	}
+	if len(buf) < metaLen {
+		return rtree.Meta{}, fmt.Errorf("%w: metadata truncated (%d bytes, want %d)", ErrCorrupt, len(buf), metaLen)
+	}
+	if buf[0] != metaVersion {
+		return rtree.Meta{}, fmt.Errorf("%w: unsupported metadata version %d (want %d)", ErrCorrupt, buf[0], metaVersion)
+	}
+	dims := int(buf[1])
+	if dims < 1 || dims > 8 {
+		return rtree.Meta{}, fmt.Errorf("%w: spatial dimensionality %d outside [1,8]", ErrCorrupt, dims)
+	}
+	if buf[2] > 1 {
+		return rtree.Meta{}, fmt.Errorf("%w: dual-time flag byte %d is not 0 or 1", ErrCorrupt, buf[2])
+	}
+	split := rtree.SplitPolicy(buf[3])
+	switch split {
+	case rtree.SplitQuadratic, rtree.SplitLinear, rtree.SplitRStarAxis:
+	default:
+		return rtree.Meta{}, fmt.Errorf("%w: unknown split policy byte %d", ErrCorrupt, buf[3])
+	}
+	root := pager.PageID(binary.LittleEndian.Uint32(buf[4:]))
+	height := binary.LittleEndian.Uint32(buf[8:])
+	size := binary.LittleEndian.Uint64(buf[12:])
+	if height > 255 {
+		return rtree.Meta{}, fmt.Errorf("%w: index height %d implausible (node levels are 8-bit)", ErrCorrupt, height)
+	}
+	if size > maxMetaSegments {
+		return rtree.Meta{}, fmt.Errorf("%w: segment count %d implausible", ErrCorrupt, size)
+	}
+	if (root == pager.InvalidPage) != (height == 0) {
+		return rtree.Meta{}, fmt.Errorf("%w: root page %d inconsistent with height %d", ErrCorrupt, root, height)
+	}
+	if height == 0 && size != 0 {
+		return rtree.Meta{}, fmt.Errorf("%w: empty index (height 0) claims %d segments", ErrCorrupt, size)
 	}
 	cfg := rtree.DefaultConfig()
-	cfg.Dims = int(buf[1])
+	cfg.Dims = dims
 	cfg.DualTime = buf[2] == 1
-	cfg.Split = rtree.SplitPolicy(buf[3])
+	cfg.Split = split
 	return rtree.Meta{
-		Root:   pager.PageID(binary.LittleEndian.Uint32(buf[4:])),
-		Height: int(binary.LittleEndian.Uint32(buf[8:])),
-		Size:   int(binary.LittleEndian.Uint64(buf[12:])),
+		Root:   root,
+		Height: int(height),
+		Size:   int(size),
 		ModSeq: binary.LittleEndian.Uint64(buf[20:]),
 		Config: cfg,
 	}, nil
 }
 
-// Sync persists index metadata and flushes pages. For a memory-backed
-// database it is a no-op.
+// auxStore is the optional store capability for persisting metadata in
+// the page file header. FileStore implements it directly; FaultStore
+// forwards to its inner store.
+type auxStore interface {
+	SetAux(data []byte) error
+	Aux() []byte
+}
+
+// Sync persists index metadata and flushes pages; on a FileStore the
+// commit is atomic (dual header slots), so a crash mid-Sync leaves the
+// previous committed state intact. For a memory-backed database it is a
+// no-op. Persistent storage failures eventually degrade the database to
+// read-only (see Degraded).
 func (db *DB) Sync() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if err := db.tree.Pool().Flush(); err != nil {
+	if err := db.writeGate(); err != nil {
 		return err
 	}
-	if fs, ok := db.store.(*pager.FileStore); ok {
-		if err := fs.SetAux(encodeMeta(db.tree.Meta())); err != nil {
-			return err
+	if err := db.tree.Pool().Flush(); err != nil {
+		return db.noteWriteResult(fmt.Errorf("dynq: flush pages: %w", err))
+	}
+	if s, ok := db.store.(auxStore); ok {
+		if err := s.SetAux(encodeMeta(db.tree.Meta())); err != nil {
+			return db.noteWriteResult(fmt.Errorf("dynq: stage metadata: %w", err))
 		}
 	}
-	return db.store.Sync()
+	if err := db.store.Sync(); err != nil {
+		return db.noteWriteResult(fmt.Errorf("dynq: commit: %w", err))
+	}
+	return db.noteWriteResult(nil)
 }
 
-// OpenFile reattaches a database previously created with Options.Path and
-// persisted with Sync.
+// OpenFile reattaches a database previously created with Options.Path
+// and persisted with Sync, running the same integrity verification as
+// OpenFileRecover but discarding the report.
 func OpenFile(path string) (*DB, error) {
-	fs, err := pager.OpenFileStore(path)
-	if err != nil {
-		return nil, err
-	}
-	m, err := decodeMeta(fs.Aux())
-	if err != nil {
-		fs.Close()
-		return nil, err
-	}
-	tree, err := rtree.Restore(m.Config, fs, m.Root, m.Height, m.Size, m.ModSeq)
-	if err != nil {
-		fs.Close()
-		return nil, err
-	}
-	db := &DB{tree: tree, cfg: m.Config, store: fs}
-	tree.SetCounters(&db.counters)
-	return db, nil
+	db, _, err := OpenFileRecover(path)
+	return db, err
 }

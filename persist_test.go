@@ -1,0 +1,112 @@
+package dynq
+
+import (
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+
+	"dynq/internal/pager"
+	"dynq/internal/rtree"
+)
+
+func validMetaBytes() []byte {
+	m := rtree.Meta{Root: 3, Height: 2, Size: 100, ModSeq: 7, Config: rtree.DefaultConfig()}
+	return encodeMeta(m)
+}
+
+func TestDecodeMetaRoundTrip(t *testing.T) {
+	cfg := rtree.DefaultConfig()
+	cfg.Dims = 3
+	cfg.DualTime = true
+	cfg.Split = rtree.SplitRStarAxis
+	in := rtree.Meta{Root: 42, Height: 4, Size: 12345, ModSeq: 99, Config: cfg}
+	out, err := decodeMeta(encodeMeta(in))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if out.Root != in.Root || out.Height != in.Height || out.Size != in.Size ||
+		out.ModSeq != in.ModSeq || out.Config.Dims != 3 || !out.Config.DualTime ||
+		out.Config.Split != rtree.SplitRStarAxis {
+		t.Fatalf("round trip mismatch: %+v != %+v", out, in)
+	}
+}
+
+// TestDecodeMetaRejectsCorruption drives every validation branch: each
+// mutation must produce a descriptive error wrapping ErrCorrupt, never a
+// silently-accepted bogus config.
+func TestDecodeMetaRejectsCorruption(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(b []byte) []byte
+		wantSub string
+	}{
+		{"empty", func(b []byte) []byte { return nil }, "no database metadata"},
+		{"truncated", func(b []byte) []byte { return b[:metaLen-1] }, "truncated"},
+		{"bad version", func(b []byte) []byte { b[0] = 9; return b }, "version"},
+		{"dims zero", func(b []byte) []byte { b[1] = 0; return b }, "dimensionality"},
+		{"dims huge", func(b []byte) []byte { b[1] = 200; return b }, "dimensionality"},
+		{"dual flag", func(b []byte) []byte { b[2] = 7; return b }, "dual-time"},
+		{"split policy", func(b []byte) []byte { b[3] = 250; return b }, "split policy"},
+		{"height huge", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[8:], 1<<20)
+			return b
+		}, "height"},
+		{"size huge", func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[12:], 1<<50)
+			return b
+		}, "segment count"},
+		{"root without height", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[8:], 0)
+			return b
+		}, "inconsistent"},
+		{"height without root", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[4:], uint32(pager.InvalidPage))
+			return b
+		}, "inconsistent"},
+		{"empty with segments", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[4:], uint32(pager.InvalidPage))
+			binary.LittleEndian.PutUint32(b[8:], 0)
+			return b
+		}, "claims"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := decodeMeta(tc.mutate(validMetaBytes()))
+			if err == nil {
+				t.Fatal("corrupt metadata accepted")
+			}
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("error does not wrap ErrCorrupt: %v", err)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// FuzzDecodeMeta asserts decodeMeta never panics and never accepts bytes
+// that re-encode differently — acceptance means every field was in
+// range, so encode(decode(x)) must reproduce the input exactly.
+func FuzzDecodeMeta(f *testing.F) {
+	f.Add(validMetaBytes())
+	empty := encodeMeta(rtree.Meta{Root: pager.InvalidPage, Config: rtree.DefaultConfig()})
+	f.Add(empty)
+	f.Add([]byte{})
+	f.Add([]byte{1})
+	f.Add([]byte{2, 2, 0, 0, 3, 0, 0, 0, 1, 0, 0, 0, 5, 0, 0, 0, 0, 0, 0, 0, 9, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := decodeMeta(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("rejection not typed as ErrCorrupt: %v", err)
+			}
+			return
+		}
+		re := encodeMeta(m)
+		if len(data) < metaLen || string(re) != string(data[:metaLen]) {
+			t.Fatalf("accepted metadata does not round-trip:\n in  %x\n out %x", data, re)
+		}
+	})
+}

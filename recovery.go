@@ -1,0 +1,231 @@
+package dynq
+
+import (
+	"errors"
+	"fmt"
+
+	"dynq/internal/pager"
+	"dynq/internal/rtree"
+)
+
+// ErrCorrupt is the umbrella for every integrity failure detected when
+// opening a file-backed database: invalid metadata, checksum mismatches,
+// a malformed tree, or pages newer than the committed header (a flush
+// that died after overwriting committed pages in place). All such errors
+// satisfy errors.Is(err, ErrCorrupt); page-level checksum failures
+// additionally satisfy errors.Is(err, pager.ErrCorruptPage).
+var ErrCorrupt = errors.New("dynq: database corrupt")
+
+// RecoveryReport describes what Open-time recovery verified and
+// repaired.
+type RecoveryReport struct {
+	// HeaderSeq is the committed header sequence number the database
+	// opened at.
+	HeaderSeq uint64
+	// TornHeaderRepaired is true when only one header slot was valid at
+	// open — the signature of a crash during a header commit. The commit
+	// issued at the end of recovery rewrites the stale slot.
+	TornHeaderRepaired bool
+	// PagesChecked is the number of reachable pages whose checksum,
+	// epoch, and structure were verified (the whole committed tree).
+	PagesChecked int
+	// LeafPages and InternalPages partition PagesChecked by level.
+	LeafPages, InternalPages int
+	// Segments is the number of leaf entries found, cross-checked
+	// against the committed metadata.
+	Segments int
+	// FreePages is the number of allocated-but-unreachable pages, all on
+	// the free list after recovery.
+	FreePages int
+	// FreeListRebuilt is true when the on-disk free chain disagreed with
+	// the reachability walk (broken links, orphaned pages) and was
+	// rebuilt from the tree.
+	FreeListRebuilt bool
+	// OrphanPages is the number of unreachable pages that were not on
+	// the free chain and were returned to it.
+	OrphanPages int
+}
+
+// String renders a one-line summary for logs and tools.
+func (r RecoveryReport) String() string {
+	s := fmt.Sprintf("seq %d: verified %d pages (%d internal, %d leaf, %d segments), %d free",
+		r.HeaderSeq, r.PagesChecked, r.InternalPages, r.LeafPages, r.Segments, r.FreePages)
+	if r.TornHeaderRepaired {
+		s += ", repaired torn header slot"
+	}
+	if r.FreeListRebuilt {
+		s += fmt.Sprintf(", rebuilt free list (%d orphans)", r.OrphanPages)
+	}
+	return s
+}
+
+// OpenFileRecover opens a file-backed database, verifying the committed
+// tree before handing it out: every reachable page's checksum and epoch
+// are checked, the structure is validated against the committed
+// metadata, and the free list is rebuilt from the tree if the on-disk
+// chain is damaged. Corruption surfaces as a typed error wrapping
+// ErrCorrupt; the returned report says what was checked and repaired.
+func OpenFileRecover(path string) (*DB, *RecoveryReport, error) {
+	fs, err := pager.OpenFileStore(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	db, rep, err := recoverFileStore(fs, fs)
+	if err != nil {
+		fs.Close()
+		return nil, nil, err
+	}
+	return db, rep, nil
+}
+
+// recoverFileStore verifies the committed state of fs and builds a DB
+// whose tree reads through treeStore — normally fs itself, but tests and
+// the fault soak pass a FaultStore wrapping it.
+func recoverFileStore(fs *pager.FileStore, treeStore pager.Store) (*DB, *RecoveryReport, error) {
+	m, err := decodeMeta(fs.Aux())
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := &RecoveryReport{
+		HeaderSeq:          fs.CommittedSeq(),
+		TornHeaderRepaired: !fs.BothHeaderSlotsValid(),
+	}
+	reachable, err := verifyTree(fs, m, rep)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := recoverFreeList(fs, reachable, rep); err != nil {
+		return nil, nil, err
+	}
+	if rep.TornHeaderRepaired && !rep.FreeListRebuilt {
+		// Re-commit so the stale header slot is rewritten and the file
+		// tolerates another torn commit.
+		if err := fs.Sync(); err != nil {
+			return nil, nil, fmt.Errorf("dynq: repair torn header: %w", err)
+		}
+	}
+	tree, err := rtree.Restore(m.Config, treeStore, m.Root, m.Height, m.Size, m.ModSeq)
+	if err != nil {
+		return nil, nil, err
+	}
+	db := &DB{tree: tree, cfg: m.Config, store: treeStore}
+	tree.SetCounters(&db.counters)
+	return db, rep, nil
+}
+
+// verifyTree walks the committed tree breadth-first from the root,
+// checking each page's checksum, epoch, level, and fanout, and returns
+// the set of reachable pages.
+func verifyTree(fs *pager.FileStore, m rtree.Meta, rep *RecoveryReport) (map[pager.PageID]bool, error) {
+	seq := fs.CommittedSeq()
+	count := uint32(fs.NumPages())
+	reachable := make(map[pager.PageID]bool)
+	if m.Root == pager.InvalidPage {
+		return reachable, nil
+	}
+	type frame struct {
+		id    pager.PageID
+		level int
+	}
+	queue := []frame{{m.Root, m.Height - 1}}
+	buf := make([]byte, pager.PageSize)
+	for len(queue) > 0 {
+		fr := queue[0]
+		queue = queue[1:]
+		if reachable[fr.id] {
+			return nil, fmt.Errorf("%w: page %d reachable through two tree paths", ErrCorrupt, fr.id)
+		}
+		if uint32(fr.id) >= count {
+			return nil, fmt.Errorf("%w: child pointer %d beyond allocated pages (%d)", ErrCorrupt, fr.id, count)
+		}
+		reachable[fr.id] = true
+		epoch, err := fs.ReadPageEpoch(fr.id, buf)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
+		}
+		if epoch > seq {
+			// The page was rewritten after the commit this header
+			// describes: an unfinished flush clobbered committed state.
+			return nil, fmt.Errorf("%w: page %d carries epoch %d newer than committed header %d (torn flush overwrote committed state)",
+				ErrCorrupt, fr.id, epoch, seq)
+		}
+		n, err := rtree.DecodePage(m.Config, fr.id, buf)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
+		}
+		if n.Level != fr.level {
+			return nil, fmt.Errorf("%w: page %d stores level %d, tree position implies %d", ErrCorrupt, fr.id, n.Level, fr.level)
+		}
+		if n.Leaf() {
+			rep.LeafPages++
+			rep.Segments += len(n.Entries)
+			continue
+		}
+		rep.InternalPages++
+		if len(n.Children) == 0 {
+			return nil, fmt.Errorf("%w: internal page %d has no children", ErrCorrupt, fr.id)
+		}
+		for _, c := range n.Children {
+			queue = append(queue, frame{c.ID, fr.level - 1})
+		}
+	}
+	rep.PagesChecked = len(reachable)
+	if rep.Segments != m.Size {
+		return nil, fmt.Errorf("%w: tree holds %d segments, metadata claims %d", ErrCorrupt, rep.Segments, m.Size)
+	}
+	return reachable, nil
+}
+
+// recoverFreeList checks that the on-disk free chain is exactly the
+// complement of the reachable set and rebuilds it from the tree when it
+// is not (broken links, pages orphaned by a crash between Alloc and
+// commit). A rebuild is committed immediately so the repair survives.
+func recoverFreeList(fs *pager.FileStore, reachable map[pager.PageID]bool, rep *RecoveryReport) error {
+	var unreachable []pager.PageID
+	for id := pager.PageID(0); uint32(id) < uint32(fs.NumPages()); id++ {
+		if !reachable[id] {
+			unreachable = append(unreachable, id)
+		}
+	}
+	rep.FreePages = len(unreachable)
+
+	chain, chainErr := fs.FreeList()
+	intact := chainErr == nil && len(chain) == len(unreachable)
+	onChain := make(map[pager.PageID]bool, len(chain))
+	if chainErr == nil {
+		for _, id := range chain {
+			onChain[id] = true
+		}
+		for _, id := range unreachable {
+			if !onChain[id] {
+				intact = false
+			}
+		}
+		if len(onChain) != len(chain) {
+			intact = false // duplicate links
+		}
+		for _, id := range chain {
+			if reachable[id] {
+				// A live tree page on the free chain would be handed out
+				// by Alloc and overwritten. Always rebuild.
+				intact = false
+			}
+		}
+	}
+	if intact {
+		return nil
+	}
+	for _, id := range unreachable {
+		if !onChain[id] {
+			rep.OrphanPages++
+		}
+	}
+	rep.FreeListRebuilt = true
+	if err := fs.ResetFreeList(unreachable); err != nil {
+		return fmt.Errorf("dynq: rebuild free list: %w", err)
+	}
+	if err := fs.Sync(); err != nil {
+		return fmt.Errorf("dynq: commit rebuilt free list: %w", err)
+	}
+	return nil
+}

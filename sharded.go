@@ -41,6 +41,7 @@ type ShardedDB struct {
 	mu     sync.RWMutex
 	engine *shard.Engine
 	dims   int
+	health degradeState
 }
 
 // OpenSharded creates a sharded database. With Options.Path set, each
@@ -71,7 +72,9 @@ func OpenSharded(opts ShardOptions) (*ShardedDB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &ShardedDB{engine: engine, dims: cfg.Dims}, nil
+	db := &ShardedDB{engine: engine, dims: cfg.Dims}
+	db.health.after = int32(opts.DegradeAfter)
+	return db, nil
 }
 
 // Close shuts the worker pool down and releases every shard's store.
@@ -106,7 +109,10 @@ func (db *ShardedDB) Insert(id ObjectID, seg Segment) error {
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	return db.engine.Insert(rtree.LeafEntry{ID: rtree.ObjectID(id), Seg: g})
+	if err := db.health.gate(); err != nil {
+		return err
+	}
+	return db.health.note(db.engine.Insert(rtree.LeafEntry{ID: rtree.ObjectID(id), Seg: g}))
 }
 
 // BulkLoad partitions the segment set by owner shard and bulk-loads every
@@ -124,7 +130,10 @@ func (db *ShardedDB) BulkLoad(segs map[ObjectID][]Segment) error {
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	return db.engine.BulkLoad(entries)
+	if err := db.health.gate(); err != nil {
+		return err
+	}
+	return db.health.note(db.engine.BulkLoad(entries))
 }
 
 // Delete removes the motion update of an object that started at t0 from
@@ -132,11 +141,15 @@ func (db *ShardedDB) BulkLoad(segs map[ObjectID][]Segment) error {
 func (db *ShardedDB) Delete(id ObjectID, t0 float64) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if err := db.health.gate(); err != nil {
+		return err
+	}
 	err := db.engine.Delete(rtree.ObjectID(id), t0)
 	if err == rtree.ErrNotFound {
+		// A missing segment is an answer, not a storage failure.
 		return ErrNotFound
 	}
-	return err
+	return db.health.note(err)
 }
 
 // Snapshot answers one spatio-temporal range query across all shards.
