@@ -319,7 +319,8 @@ func runConcurrency(cfg bench.Config, clients int, report *bench.Report) error {
 	}
 	report.AddConcurrencyCells(clients, cells)
 	fmt.Printf("index: %d segments; server read gate = GOMAXPROCS\n", segments)
-	fmt.Printf("%-8s | %-8s | %-12s | %-12s | %s\n", "clients", "queries", "wall", "qps", "speedup")
+	fmt.Printf("%-8s | %-8s | %-12s | %-12s | %-8s | %-10s | %s\n",
+		"clients", "queries", "wall", "qps", "speedup", "srv p50", "srv p99")
 	var base time.Duration
 	for _, c := range cells {
 		if c.Clients == 1 {
@@ -331,8 +332,10 @@ func runConcurrency(cfg bench.Config, clients int, report *bench.Report) error {
 		if c.Wall > 0 && base > 0 {
 			speedup = float64(base) / float64(c.Wall)
 		}
-		fmt.Printf("%8d | %8d | %12v | %12.0f | %6.2fx\n",
-			c.Clients, c.Queries, c.Wall.Round(time.Microsecond), c.QPS(), speedup)
+		fmt.Printf("%8d | %8d | %12v | %12.0f | %6.2fx | %10v | %v\n",
+			c.Clients, c.Queries, c.Wall.Round(time.Microsecond), c.QPS(), speedup,
+			time.Duration(c.WindowP50*float64(time.Second)).Round(time.Microsecond),
+			time.Duration(c.WindowP99*float64(time.Second)).Round(time.Microsecond))
 	}
 	return nil
 }

@@ -4,11 +4,22 @@
 //
 // With -metrics it also serves an observability endpoint:
 //
-//	/metrics        Prometheus text format (per-op request counts,
-//	                latency histograms, buffer-pool hit ratio, ...)
-//	/debug/vars     the same metrics as expvar-style JSON
-//	/debug/trace    recent query spans (per-stage cost deltas) as JSONL
-//	/debug/pprof/*  the standard runtime profiles
+//	/metrics          Prometheus text format (per-op request counts,
+//	                  latency histograms, rolling-window quantiles,
+//	                  buffer-pool hit ratio, runtime gauges, ...)
+//	/debug/vars       the same metrics as expvar-style JSON
+//	/debug/trace      recent query spans (per-stage cost deltas) as JSONL
+//	/debug/slow       queries that exceeded -slow-query, spans included
+//	/debug/events     the operational event journal (recovery, degraded
+//	                  mode, overload bursts, checksum failures)
+//	/debug/runtime    the runtime collector's time series
+//	/debug/telemetry  the full stats snapshot (same payload as the netq
+//	                  telemetry op that dqtop polls)
+//	/debug/pprof/*    the standard runtime profiles
+//
+// A -db file is opened through recovery: every reachable page is
+// verified and repairs are journaled and exported as dynq_recovery_*
+// gauges before the server takes traffic.
 //
 // SIGINT/SIGTERM shut the server down gracefully, logging a final
 // cumulative cost summary; a second signal forces exit.
@@ -19,6 +30,7 @@
 // Usage:
 //
 //	dqserver [-addr :7207] [-metrics :7208] [-db db.dynq | -scale F -seed N [-dual] [-shards N]]
+//	         [-slow-query 250ms] [-slo-latency 100ms] [-slo-window 5m]
 //	         [-log-level info] [-log-format text]
 package main
 
@@ -56,6 +68,10 @@ func main() {
 		maxConc = flag.Int("max-concurrent", 0, "max concurrently executing read queries (0 = GOMAXPROCS, <0 = unlimited)")
 		maxQue  = flag.Int("max-queue", 0, "max read queries waiting for a slot before rejection (0 = 4x max-concurrent)")
 
+		slowQuery  = flag.Duration("slow-query", obs.DefSlowThreshold, "capture queries slower than this into /debug/slow (negative disables)")
+		sloLatency = flag.Duration("slo-latency", 100*time.Millisecond, "latency SLO target per request")
+		sloWindow  = flag.Duration("slo-window", 5*time.Minute, "window over which SLO attainment is computed")
+
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error (debug logs every request)")
 		logFormat = flag.String("log-format", "text", "log format: text or json")
 	)
@@ -71,7 +87,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	db, err := openDB(*path, *scale, *seed, *dual, *shards, logger)
+	db, recovery, err := openDB(*path, *scale, *seed, *dual, *shards, logger)
 	if err != nil {
 		fatal("open database", err)
 	}
@@ -102,6 +118,12 @@ func main() {
 
 	srv := netq.NewServer(db)
 	srv.WithLogger(logger)
+	srv.WithSlowQueryThreshold(*slowQuery)
+	srv.WithSLO(obs.SLOConfig{Window: *sloWindow, LatencyTarget: *sloLatency})
+	if recovery != nil {
+		srv.WithRecoveryReport(recovery)
+		logger.Info("recovery-on-open", "report", recovery.String())
+	}
 	if *maxConc != 0 || *maxQue != 0 {
 		n := *maxConc
 		if n == 0 {
@@ -128,15 +150,23 @@ func main() {
 		if err != nil {
 			fatal("bind metrics listener", err)
 		}
-		hs = &http.Server{Handler: obs.HandlerWithHealth(srv.Registry(), srv.Tracer(), func() error {
-			if db.Degraded() {
-				return dynq.ErrReadOnly
-			}
-			return nil
+		hs = &http.Server{Handler: obs.NewHandler(obs.HandlerConfig{
+			Registry:  srv.Registry(),
+			Tracer:    srv.Tracer(),
+			SlowLog:   srv.SlowLog(),
+			Journal:   srv.Journal(),
+			Collector: srv.Collector(),
+			Telemetry: srv.Telemetry,
+			Health: func() error {
+				if db.Degraded() {
+					return dynq.ErrReadOnly
+				}
+				return nil
+			},
 		})}
 		logger.Info("observability endpoint up",
 			"addr", ml.Addr().String(),
-			"paths", "/metrics /healthz /debug/vars /debug/trace /debug/pprof")
+			"paths", "/metrics /healthz /debug/vars /debug/trace /debug/slow /debug/events /debug/runtime /debug/telemetry /debug/pprof")
 		go func() {
 			if err := hs.Serve(ml); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				logger.Error("metrics server", "err", err)
@@ -179,15 +209,17 @@ func main() {
 	logger.Info("bye")
 }
 
-func openDB(path string, scale float64, seed int64, dual bool, shards int, logger *slog.Logger) (dynq.Database, error) {
+func openDB(path string, scale float64, seed int64, dual bool, shards int, logger *slog.Logger) (dynq.Database, *dynq.RecoveryReport, error) {
 	if shards < 1 {
-		return nil, fmt.Errorf("-shards must be >= 1, got %d", shards)
+		return nil, nil, fmt.Errorf("-shards must be >= 1, got %d", shards)
 	}
 	if path != "" {
 		if shards > 1 {
-			return nil, fmt.Errorf("-shards only applies to a synthetic index; a -db file holds one pre-built tree")
+			return nil, nil, fmt.Errorf("-shards only applies to a synthetic index; a -db file holds one pre-built tree")
 		}
-		return dynq.OpenFile(path)
+		// Open through recovery so the server never takes traffic on an
+		// unverified file; the report feeds dynq_recovery_* gauges.
+		return dynq.OpenFileRecover(path)
 	}
 	sim := motion.PaperConfig()
 	sim.Objects = int(float64(sim.Objects) * scale)
@@ -198,7 +230,7 @@ func openDB(path string, scale float64, seed int64, dual bool, shards int, logge
 	start := time.Now()
 	segs, err := motion.GenerateSegments(sim)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var db dynq.Database
 	if shards > 1 {
@@ -210,7 +242,7 @@ func openDB(path string, scale float64, seed int64, dual bool, shards int, logge
 		db, err = dynq.Open(dynq.Options{DualTimeAxes: dual})
 	}
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	byObject := map[dynq.ObjectID][]dynq.Segment{}
 	for _, s := range segs {
@@ -221,12 +253,12 @@ func openDB(path string, scale float64, seed int64, dual bool, shards int, logge
 	}
 	if err := bulkLoad(db, byObject); err != nil {
 		db.Close()
-		return nil, err
+		return nil, nil, err
 	}
 	logger.Info("generated and indexed synthetic workload",
 		"segments", len(segs), "objects", sim.Objects, "seed", seed,
 		"elapsed", time.Since(start).Round(time.Millisecond))
-	return db, nil
+	return db, nil, nil
 }
 
 func bulkLoad(db dynq.Database, segs map[dynq.ObjectID][]dynq.Segment) error {

@@ -1,0 +1,187 @@
+// Command dqtop renders a live terminal view of one or more dqserver
+// instances, polled over the netq telemetry op (no HTTP endpoint
+// needed): per-op rolling-window and cumulative latency percentiles,
+// SLO attainment and error-budget burn, runtime health, and recent
+// operational events.
+//
+// The telemetry op bypasses the server's read admission control, so
+// dqtop keeps reporting while a server is shedding query load — which
+// is exactly when its numbers matter.
+//
+// Usage:
+//
+//	dqtop [-refresh 2s] [-once] [-probe] [-events 5] addr [addr...]
+//
+// -once prints a single snapshot and exits (for scripts and CI
+// artifacts); -probe issues one stats query per refresh against each
+// server so an otherwise idle server still shows live windows.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"dynq/netq"
+)
+
+func main() {
+	var (
+		refresh = flag.Duration("refresh", 2*time.Second, "poll and redraw interval")
+		once    = flag.Bool("once", false, "print one snapshot and exit")
+		probe   = flag.Bool("probe", false, "issue a stats query per refresh so idle servers show live windows")
+		events  = flag.Int("events", 5, "recent journal events to show per server")
+	)
+	flag.Parse()
+	addrs := flag.Args()
+	if len(addrs) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: dqtop [-refresh 2s] [-once] [-probe] [-events 5] addr [addr...]")
+		os.Exit(2)
+	}
+
+	clients := make(map[string]*netq.Client, len(addrs))
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+
+	for {
+		var out strings.Builder
+		if !*once {
+			out.WriteString("\x1b[2J\x1b[H") // clear screen, home cursor
+		}
+		fmt.Fprintf(&out, "dqtop  %s  %d server(s)  refresh %v\n",
+			time.Now().Format("15:04:05"), len(addrs), *refresh)
+		for _, addr := range addrs {
+			tel, err := poll(clients, addr, *probe)
+			if err != nil {
+				fmt.Fprintf(&out, "\n── %s ", addr)
+				out.WriteString(strings.Repeat("─", max(1, 64-len(addr))))
+				fmt.Fprintf(&out, "\n  unreachable: %v\n", err)
+				continue
+			}
+			render(&out, addr, tel, *events)
+		}
+		os.Stdout.WriteString(out.String())
+		if *once {
+			return
+		}
+		time.Sleep(*refresh)
+	}
+}
+
+// poll fetches one server's telemetry, dialing (or redialing) lazily so
+// a server that restarts mid-session comes back on the next refresh.
+func poll(clients map[string]*netq.Client, addr string, probe bool) (netq.Telemetry, error) {
+	c := clients[addr]
+	if c == nil {
+		var err error
+		c, err = netq.DialWithOptions(addr, netq.DialOptions{Reconnect: true})
+		if err != nil {
+			return netq.Telemetry{}, err
+		}
+		clients[addr] = c
+	}
+	if probe {
+		// Deliberately before the snapshot so the probe's own latency
+		// lands in the windows dqtop is about to display.
+		if _, err := c.Stats(); err != nil {
+			c.Close()
+			delete(clients, addr)
+			return netq.Telemetry{}, err
+		}
+	}
+	tel, err := c.Telemetry()
+	if err != nil {
+		c.Close()
+		delete(clients, addr)
+		return netq.Telemetry{}, err
+	}
+	return tel, nil
+}
+
+func render(out *strings.Builder, addr string, tel netq.Telemetry, eventLimit int) {
+	fmt.Fprintf(out, "\n── %s ", addr)
+	out.WriteString(strings.Repeat("─", max(1, 64-len(addr))))
+	out.WriteByte('\n')
+
+	state := "healthy"
+	if tel.Degraded {
+		state = "DEGRADED (read-only)"
+	}
+	fmt.Fprintf(out, "  up %s  %s  conns %d  inflight %d  queued %d  slow %d (>%v)  events %d\n",
+		time.Duration(tel.UptimeSeconds*float64(time.Second)).Round(time.Second),
+		state, tel.ActiveConns, tel.InflightOps, tel.ReadQueueDepth,
+		tel.SlowCaptured, tel.SlowThreshold, tel.EventsTotal)
+	if r := tel.Runtime; r != nil {
+		fmt.Fprintf(out, "  goroutines %d  heap %s  gc %d (last pause %v)",
+			r.Goroutines, sizeof(r.HeapAllocBytes), r.NumGC, r.LastGCPause.Round(time.Microsecond))
+		if v, ok := r.Extra["buffer_frames"]; ok {
+			fmt.Fprintf(out, "  buffer %d frames", int(v))
+		}
+		out.WriteByte('\n')
+	}
+
+	if len(tel.Ops) > 0 {
+		tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+		fmt.Fprint(tw, "  op\tcount\terr\tp50\tp99\t")
+		for _, w := range tel.Ops[0].Windows {
+			fmt.Fprintf(tw, "p99/%v\t", w.Window)
+		}
+		fmt.Fprintln(tw)
+		for _, op := range tel.Ops {
+			fmt.Fprintf(tw, "  %s\t%d\t%d\t%s\t%s\t", op.Op, op.Count, op.Errors, ms(op.P50), ms(op.P99))
+			for _, w := range op.Windows {
+				if w.Count == 0 {
+					fmt.Fprint(tw, "-\t")
+				} else {
+					fmt.Fprintf(tw, "%s\t", ms(w.P99))
+				}
+			}
+			fmt.Fprintln(tw)
+		}
+		tw.Flush()
+	}
+
+	for _, slo := range tel.SLOs {
+		status := "ok"
+		if !slo.Met {
+			status = "VIOLATED"
+		}
+		fmt.Fprintf(out, "  slo %-14s %s  avail %.4f (burn %.1f)  <%v %.4f (burn %.1f)  n=%d\n",
+			slo.Op, status,
+			slo.Availability, slo.AvailabilityBurn,
+			time.Duration(slo.LatencyTargetSeconds*float64(time.Second)), slo.LatencyAttainment, slo.LatencyBurn,
+			slo.Total)
+	}
+
+	for i, ev := range tel.Events {
+		if i >= eventLimit {
+			fmt.Fprintf(out, "  … %d more events\n", len(tel.Events)-i)
+			break
+		}
+		fmt.Fprintf(out, "  [%s] %s %s: %s\n",
+			ev.Time.Format("15:04:05"), ev.Severity, ev.Type, ev.Message)
+	}
+}
+
+// ms renders a latency in seconds as a compact duration string.
+func ms(seconds float64) string {
+	return time.Duration(seconds * float64(time.Second)).Round(time.Microsecond).String()
+}
+
+func sizeof(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", b)
+}

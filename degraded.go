@@ -2,7 +2,10 @@ package dynq
 
 import (
 	"errors"
+	"strconv"
 	"sync/atomic"
+
+	"dynq/internal/obs"
 )
 
 // ErrReadOnly is returned by mutating operations once the database has
@@ -47,19 +50,34 @@ func (d *degradeState) note(err error) error {
 	if limit == 0 {
 		limit = defaultDegradeAfter
 	}
-	if limit > 0 && n >= limit {
-		d.degraded.Store(true)
+	if limit > 0 && n >= limit && d.degraded.CompareAndSwap(false, true) {
+		obs.DefaultJournal().Record(obs.EventDegradedEnter, obs.SeverityError,
+			"database degraded to read-only after consecutive storage write failures",
+			map[string]string{
+				"consecutive_failures": strconv.Itoa(int(n)),
+				"last_error":           err.Error(),
+			})
 	}
 	return err
 }
 
 // set forces the degraded flag; clearing it also resets the failure
-// counter so one old failure doesn't immediately re-trip.
+// counter so one old failure doesn't immediately re-trip. Transitions in
+// either direction leave an event-journal record.
 func (d *degradeState) set(on bool) {
 	if !on {
 		d.writeFails.Store(0)
 	}
-	d.degraded.Store(on)
+	if d.degraded.Swap(on) == on {
+		return
+	}
+	if on {
+		obs.DefaultJournal().Record(obs.EventDegradedEnter, obs.SeverityError,
+			"database set read-only", nil)
+	} else {
+		obs.DefaultJournal().Record(obs.EventDegradedExit, obs.SeverityInfo,
+			"database left read-only mode", nil)
+	}
 }
 
 // Degraded reports whether the database has entered read-only mode.

@@ -130,7 +130,14 @@ type DB struct {
 	counters    stats.Counters
 	bufferPages int
 	health      degradeState
+	// recovery holds the open-time verification report when the database
+	// was opened through OpenFileRecover, nil otherwise.
+	recovery *RecoveryReport
 }
+
+// LastRecovery returns the report from open-time recovery, or nil when
+// the database was not opened through OpenFileRecover.
+func (db *DB) LastRecovery() *RecoveryReport { return db.recovery }
 
 // Open creates a database. With Options.Path set, a new page file is
 // created, TRUNCATING any existing file at that path; use OpenFile to

@@ -22,6 +22,11 @@ type ConcurrencyCell struct {
 	Clients int
 	Queries int           // total queries executed by this row
 	Wall    time.Duration // wall time for the whole batch
+	// WindowP50/WindowP99 are the server's rolling-window snapshot
+	// latency quantiles (shortest window, in seconds) as reported by the
+	// netq telemetry op right after the batch — the server-side view of
+	// the latency the clients just generated.
+	WindowP50, WindowP99 float64
 }
 
 // QPS returns the row's aggregate query throughput.
@@ -156,7 +161,20 @@ func ConcurrencyExperiment(cfg Config, clients int) ([]ConcurrencyCell, int, err
 		for err := range errCh {
 			return ConcurrencyCell{}, err
 		}
-		return ConcurrencyCell{Clients: nClients, Queries: len(views), Wall: wall}, nil
+		cell := ConcurrencyCell{Clients: nClients, Queries: len(views), Wall: wall}
+		// The server-side latency picture for this batch, through the same
+		// wire op dqtop uses.
+		tel, err := conns[0].Telemetry()
+		if err != nil {
+			return ConcurrencyCell{}, err
+		}
+		for _, op := range tel.Ops {
+			if op.Op == string(netq.OpSnapshot) && len(op.Windows) > 0 {
+				cell.WindowP50 = op.Windows[0].P50
+				cell.WindowP99 = op.Windows[0].P99
+			}
+		}
+		return cell, nil
 	}
 
 	// Untimed warmup settles connection setup and first-touch costs out

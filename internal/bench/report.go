@@ -130,6 +130,10 @@ type ConcurrencyCellReport struct {
 	WallNS  int64   `json:"wall_ns"`
 	QPS     float64 `json:"qps"`
 	Speedup float64 `json:"speedup"` // vs the 1-client row
+	// Server-side rolling-window snapshot latency quantiles (seconds)
+	// from the netq telemetry op, taken right after the batch.
+	WindowP50 float64 `json:"window_p50,omitempty"`
+	WindowP99 float64 `json:"window_p99,omitempty"`
 }
 
 // NewReport stamps a report with the environment and the run's workload
@@ -203,11 +207,13 @@ func (r *Report) AddConcurrencyCells(clients int, cells []ConcurrencyCell) {
 			speedup = float64(baseWall) / float64(c.Wall)
 		}
 		r.ConcurrencyCells = append(r.ConcurrencyCells, ConcurrencyCellReport{
-			Clients: c.Clients,
-			Queries: c.Queries,
-			WallNS:  c.Wall.Nanoseconds(),
-			QPS:     c.QPS(),
-			Speedup: speedup,
+			Clients:   c.Clients,
+			Queries:   c.Queries,
+			WallNS:    c.Wall.Nanoseconds(),
+			QPS:       c.QPS(),
+			Speedup:   speedup,
+			WindowP50: c.WindowP50,
+			WindowP99: c.WindowP99,
 		})
 	}
 }

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// EventType classifies an operational event in the journal.
+type EventType string
+
+// Known event types. Components append to this set freely; the journal
+// itself is type-agnostic.
+const (
+	EventRecovery        EventType = "recovery"         // open-time recovery completed
+	EventDegradedEnter   EventType = "degraded_enter"   // database entered read-only mode
+	EventDegradedExit    EventType = "degraded_exit"    // database left read-only mode
+	EventOverloadBurst   EventType = "overload_burst"   // admission control rejecting reads
+	EventChecksumFailure EventType = "checksum_failure" // page checksum mismatch on read
+	EventServerStart     EventType = "server_start"     // netq server began serving
+	EventServerStop      EventType = "server_stop"      // netq server shut down
+)
+
+// Event severities.
+const (
+	SeverityInfo  = "info"
+	SeverityWarn  = "warn"
+	SeverityError = "error"
+)
+
+// Event is one operational occurrence worth a queryable record: a
+// recovery report, a degraded-mode flip, an overload burst, a checksum
+// failure. Seq increases monotonically per journal and never repeats,
+// so pollers can resume from the last Seq they saw.
+type Event struct {
+	Seq      uint64            `json:"seq"`
+	Time     time.Time         `json:"time"`
+	Type     EventType         `json:"type"`
+	Severity string            `json:"severity"`
+	Message  string            `json:"message"`
+	Fields   map[string]string `json:"fields,omitempty"`
+}
+
+// Journal is a typed, bounded ring of operational events. Record is
+// cheap (one mutexed slot write); readers get snapshots. Safe for
+// concurrent use.
+type Journal struct {
+	mu     sync.Mutex
+	ring   []Event
+	next   uint64 // total events ever recorded; also the next seq
+	byType map[EventType]int64
+	now    func() time.Time
+}
+
+// DefaultJournalCapacity bounds the process-wide journal.
+const DefaultJournalCapacity = 1024
+
+// defaultJournal is the process-wide journal: layers without their own
+// plumbing (the pager's checksum verification, the database's degraded
+// flag) record here, and servers serve it.
+var defaultJournal = NewJournal(DefaultJournalCapacity)
+
+// DefaultJournal returns the process-wide event journal.
+func DefaultJournal() *Journal { return defaultJournal }
+
+// NewJournal creates a journal keeping the last capacity events
+// (minimum 1).
+func NewJournal(capacity int) *Journal {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Journal{
+		ring:   make([]Event, capacity),
+		byType: make(map[EventType]int64),
+		now:    time.Now,
+	}
+}
+
+// WithClock replaces the wall clock (tests only). Call before recording.
+func (j *Journal) WithClock(now func() time.Time) *Journal {
+	j.now = now
+	return j
+}
+
+// Record appends an event, stamping its time and sequence number, and
+// returns the assigned seq. fields may be nil.
+func (j *Journal) Record(typ EventType, severity, message string, fields map[string]string) uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	e := Event{
+		Seq:      j.next,
+		Time:     j.now(),
+		Type:     typ,
+		Severity: severity,
+		Message:  message,
+		Fields:   fields,
+	}
+	j.ring[j.next%uint64(len(j.ring))] = e
+	j.next++
+	j.byType[typ]++
+	return e.Seq
+}
+
+// Total reports the number of events ever recorded (the next seq).
+func (j *Journal) Total() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.next
+}
+
+// CountsByType snapshots the per-type totals (including events that have
+// rotated out of the ring).
+func (j *Journal) CountsByType() map[EventType]int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make(map[EventType]int64, len(j.byType))
+	for k, v := range j.byType {
+		out[k] = v
+	}
+	return out
+}
+
+// Recent returns up to limit buffered events, newest first (limit <= 0
+// means all buffered).
+func (j *Journal) Recent(limit int) []Event {
+	es := j.Since(0)
+	// Since returns oldest first; flip to newest first and cap.
+	for i, k := 0, len(es)-1; i < k; i, k = i+1, k-1 {
+		es[i], es[k] = es[k], es[i]
+	}
+	if limit > 0 && len(es) > limit {
+		es = es[:limit]
+	}
+	return es
+}
+
+// Since returns the buffered events with Seq >= seq, oldest first.
+// Events older than the ring's capacity are gone; callers polling with
+// a resume seq can detect loss by comparing the first returned Seq.
+func (j *Journal) Since(seq uint64) []Event {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	n := uint64(len(j.ring))
+	start := uint64(0)
+	if j.next > n {
+		start = j.next - n
+	}
+	if seq > start {
+		start = seq
+	}
+	var out []Event
+	for i := start; i < j.next; i++ {
+		out = append(out, j.ring[i%n])
+	}
+	return out
+}

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"math"
+	"sort"
 	"sync/atomic"
 	"time"
 )
@@ -41,10 +42,9 @@ func NewHistogram(bounds []float64) *Histogram {
 
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
-	i := 0
-	for i < len(h.bounds) && v > h.bounds[i] {
-		i++
-	}
+	// Binary search for the first bound >= v; values past the last bound
+	// land in the implicit +Inf bucket at index len(bounds).
+	i := sort.SearchFloat64s(h.bounds, v)
 	h.counts[i].Add(1)
 	h.count.Add(1)
 	for {
@@ -83,7 +83,14 @@ func (h *Histogram) BucketCounts() []int64 {
 // bucket's bounds. Observations in the +Inf bucket clamp to the largest
 // finite bound. Returns 0 for an empty histogram.
 func (h *Histogram) Quantile(q float64) float64 {
-	counts := h.BucketCounts()
+	return quantileFromCounts(h.bounds, h.BucketCounts(), q)
+}
+
+// quantileFromCounts extracts the q-quantile from a per-bucket count
+// snapshot over the given bounds (last count is the +Inf bucket), using
+// the same interpolation as Histogram.Quantile. It is shared with
+// WindowedHistogram, whose rolling windows are merged count snapshots.
+func quantileFromCounts(bounds []float64, counts []int64, q float64) float64 {
 	var total int64
 	for _, c := range counts {
 		total += c
@@ -98,19 +105,19 @@ func (h *Histogram) Quantile(q float64) float64 {
 			cum += c
 			continue
 		}
-		if i == len(h.bounds) { // +Inf bucket: no upper bound to lerp to
-			return h.bounds[len(h.bounds)-1]
+		if i == len(bounds) { // +Inf bucket: no upper bound to lerp to
+			return bounds[len(bounds)-1]
 		}
 		lo := 0.0
 		if i > 0 {
-			lo = h.bounds[i-1]
+			lo = bounds[i-1]
 		}
-		hi := h.bounds[i]
+		hi := bounds[i]
 		if c == 0 {
 			return hi
 		}
 		frac := (rank - float64(cum)) / float64(c)
 		return lo + frac*(hi-lo)
 	}
-	return h.bounds[len(h.bounds)-1]
+	return bounds[len(bounds)-1]
 }

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// linearBucketIndex is the pre-binary-search bucketing, kept as the
+// benchmark baseline and as an oracle for the equivalence test.
+func linearBucketIndex(bounds []float64, v float64) int {
+	i := 0
+	for i < len(bounds) && v > bounds[i] {
+		i++
+	}
+	return i
+}
+
+// TestObserveBucketingMatchesLinearScan pins the binary-search bucketing
+// to the original linear scan across boundaries, midpoints, and the
+// overflow bucket.
+func TestObserveBucketingMatchesLinearScan(t *testing.T) {
+	bounds := DefLatencyBuckets()
+	values := []float64{0, 1e-9, 1e-6, 1.5e-6, 2.5e-6, 0.01, 0.0100001, 2.5, 2.6, 1e9}
+	for _, b := range bounds {
+		values = append(values, b, b*0.999, b*1.001)
+	}
+	for _, v := range values {
+		h := NewHistogram(bounds)
+		h.Observe(v)
+		counts := h.BucketCounts()
+		want := linearBucketIndex(bounds, v)
+		got := -1
+		for i, c := range counts {
+			if c == 1 {
+				got = i
+				break
+			}
+		}
+		if got != want {
+			t.Errorf("Observe(%v) landed in bucket %d, linear scan says %d", v, got, want)
+		}
+	}
+}
+
+// benchValues spreads observations across the whole bucket range so the
+// benchmark does not favor early-exit on either implementation.
+func benchValues() []float64 {
+	bounds := DefLatencyBuckets()
+	vs := make([]float64, 0, len(bounds)*2+2)
+	for _, b := range bounds {
+		vs = append(vs, b*0.9, b*1.05)
+	}
+	return append(vs, 5.0, 1e-9) // overflow and underflow
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram(nil) // 20 finite bounds + overflow: the 21-bucket default
+	vs := benchValues()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(vs[i%len(vs)])
+	}
+}
+
+// BenchmarkHistogramObserveLinear measures the replaced linear-scan
+// bucketing over the same value stream, so `go test -bench Observe`
+// shows the two side by side on the 21-bucket default.
+func BenchmarkHistogramObserveLinear(b *testing.B) {
+	h := NewHistogram(nil)
+	vs := benchValues()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := vs[i%len(vs)]
+		// The original Observe, inlined: linear bucket scan + the same
+		// atomic count/sum updates.
+		j := linearBucketIndex(h.bounds, v)
+		h.counts[j].Add(1)
+		h.count.Add(1)
+		for {
+			old := h.sum.Load()
+			next := math.Float64bits(math.Float64frombits(old) + v)
+			if h.sum.CompareAndSwap(old, next) {
+				break
+			}
+		}
+	}
+}
+
+func BenchmarkWindowedHistogramObserve(b *testing.B) {
+	w := NewWindowedHistogram(nil, DefWindowInterval, 0)
+	vs := benchValues()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Observe(vs[i%len(vs)])
+	}
+}

@@ -1,0 +1,234 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// SLOConfig defines the service-level objectives an SLOTracker measures
+// attainment against, over a rolling window.
+type SLOConfig struct {
+	// Window is the rolling evaluation window (0 gets 5 minutes).
+	Window time.Duration
+	// Interval is the window's rotation resolution (0 gets
+	// DefWindowInterval).
+	Interval time.Duration
+	// AvailabilityObjective is the target fraction of requests answered
+	// without error, e.g. 0.999 (0 gets 0.999).
+	AvailabilityObjective float64
+	// LatencyTarget is the per-request latency objective; a request slower
+	// than this is "slow" even if it succeeds (0 gets 100ms).
+	LatencyTarget time.Duration
+	// LatencyObjective is the target fraction of requests faster than
+	// LatencyTarget, e.g. 0.99 (0 gets 0.99).
+	LatencyObjective float64
+}
+
+func (c SLOConfig) withDefaults() SLOConfig {
+	if c.Window <= 0 {
+		c.Window = 5 * time.Minute
+	}
+	if c.Interval <= 0 {
+		c.Interval = DefWindowInterval
+	}
+	if c.AvailabilityObjective <= 0 || c.AvailabilityObjective > 1 {
+		c.AvailabilityObjective = 0.999
+	}
+	if c.LatencyTarget <= 0 {
+		c.LatencyTarget = 100 * time.Millisecond
+	}
+	if c.LatencyObjective <= 0 || c.LatencyObjective > 1 {
+		c.LatencyObjective = 0.99
+	}
+	return c
+}
+
+// SLOStatus is one operation's objective attainment over the tracker's
+// rolling window.
+type SLOStatus struct {
+	Op     string        `json:"op"`
+	Window time.Duration `json:"window"`
+	Total  int64         `json:"total"`
+	Errors int64         `json:"errors"`
+	Slow   int64         `json:"slow"` // successful but over the latency target
+
+	// Availability is the achieved non-error fraction; the objective it is
+	// measured against rides along for display.
+	Availability          float64 `json:"availability"`
+	AvailabilityObjective float64 `json:"availability_objective"`
+	// LatencyAttainment is the achieved fraction of requests under the
+	// latency target.
+	LatencyTargetSeconds float64 `json:"latency_target_seconds"`
+	LatencyAttainment    float64 `json:"latency_attainment"`
+	LatencyObjective     float64 `json:"latency_objective"`
+
+	// Burn rates: observed budget consumption relative to the objective's
+	// error budget (1.0 = burning exactly the budget; >1 = on track to
+	// exhaust it before the window's worth of budget allows). A burn rate
+	// is 0 with no traffic.
+	AvailabilityBurn float64 `json:"availability_burn"`
+	LatencyBurn      float64 `json:"latency_burn"`
+
+	// Met reports whether both objectives are currently attained.
+	Met bool `json:"met"`
+}
+
+// sloSlot is one rotation interval's worth of request outcomes for one
+// operation.
+type sloSlot struct {
+	start  time.Time
+	total  int64
+	errors int64
+	slow   int64
+}
+
+// sloSeries is the per-op ring of outcome slots.
+type sloSeries struct {
+	slots    []sloSlot
+	cur      int
+	curStart time.Time
+}
+
+// SLOTracker measures availability and latency-objective attainment per
+// operation over a rolling window, with error-budget burn rates. Safe
+// for concurrent use.
+type SLOTracker struct {
+	cfg SLOConfig
+
+	mu     sync.Mutex
+	series map[string]*sloSeries
+	now    func() time.Time
+}
+
+// NewSLOTracker creates a tracker with the given objectives (zero fields
+// get defaults: 5m window, 99.9% availability, 99% under 100ms).
+func NewSLOTracker(cfg SLOConfig) *SLOTracker {
+	return &SLOTracker{
+		cfg:    cfg.withDefaults(),
+		series: make(map[string]*sloSeries),
+		now:    time.Now,
+	}
+}
+
+// WithClock replaces the wall clock (tests only). Call before recording.
+func (t *SLOTracker) WithClock(now func() time.Time) *SLOTracker {
+	t.now = now
+	return t
+}
+
+// Config reports the tracker's effective objectives.
+func (t *SLOTracker) Config() SLOConfig { return t.cfg }
+
+func (t *SLOTracker) seriesFor(op string) *sloSeries {
+	s, ok := t.series[op]
+	if !ok {
+		n := int(t.cfg.Window/t.cfg.Interval) + 1
+		s = &sloSeries{slots: make([]sloSlot, n)}
+		t.series[op] = s
+	}
+	return s
+}
+
+// rotate advances a series' ring to the slot containing now. Must be
+// called with the tracker lock held.
+func (s *sloSeries) rotate(now time.Time, interval time.Duration) {
+	if s.curStart.IsZero() {
+		s.curStart = now.Truncate(interval)
+		s.slots[s.cur].start = s.curStart
+		return
+	}
+	steps := int(now.Sub(s.curStart) / interval)
+	if steps <= 0 {
+		return
+	}
+	if steps >= len(s.slots) {
+		for i := range s.slots {
+			s.slots[i] = sloSlot{}
+		}
+		s.cur = 0
+		s.curStart = now.Truncate(interval)
+		s.slots[0].start = s.curStart
+		return
+	}
+	for i := 0; i < steps; i++ {
+		s.cur = (s.cur + 1) % len(s.slots)
+		s.curStart = s.curStart.Add(interval)
+		s.slots[s.cur] = sloSlot{start: s.curStart}
+	}
+}
+
+// Record notes one request outcome for op: its latency and whether it
+// failed. Failed requests consume availability budget; successful ones
+// slower than the latency target consume latency budget.
+func (t *SLOTracker) Record(op string, d time.Duration, failed bool) {
+	slow := d > t.cfg.LatencyTarget
+	t.mu.Lock()
+	s := t.seriesFor(op)
+	s.rotate(t.now(), t.cfg.Interval)
+	slot := &s.slots[s.cur]
+	slot.total++
+	if failed {
+		slot.errors++
+	} else if slow {
+		slot.slow++
+	}
+	t.mu.Unlock()
+}
+
+// Status reports every tracked operation's attainment over the rolling
+// window, sorted by op name.
+func (t *SLOTracker) Status() []SLOStatus {
+	t.mu.Lock()
+	now := t.now()
+	cutoff := now.Add(-t.cfg.Window)
+	out := make([]SLOStatus, 0, len(t.series))
+	for op, s := range t.series {
+		s.rotate(now, t.cfg.Interval)
+		st := SLOStatus{
+			Op:                    op,
+			Window:                t.cfg.Window,
+			AvailabilityObjective: t.cfg.AvailabilityObjective,
+			LatencyTargetSeconds:  t.cfg.LatencyTarget.Seconds(),
+			LatencyObjective:      t.cfg.LatencyObjective,
+		}
+		for i := range s.slots {
+			sl := &s.slots[i]
+			if sl.start.IsZero() || !sl.start.Add(t.cfg.Interval).After(cutoff) {
+				continue
+			}
+			st.Total += sl.total
+			st.Errors += sl.errors
+			st.Slow += sl.slow
+		}
+		out = append(out, st)
+	}
+	t.mu.Unlock()
+
+	for i := range out {
+		st := &out[i]
+		if st.Total > 0 {
+			st.Availability = 1 - float64(st.Errors)/float64(st.Total)
+			st.LatencyAttainment = 1 - float64(st.Errors+st.Slow)/float64(st.Total)
+			st.AvailabilityBurn = burnRate(1-st.Availability, 1-st.AvailabilityObjective)
+			st.LatencyBurn = burnRate(1-st.LatencyAttainment, 1-st.LatencyObjective)
+		}
+		st.Met = st.Total == 0 ||
+			(st.Availability >= st.AvailabilityObjective && st.LatencyAttainment >= st.LatencyObjective)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Op < out[j].Op })
+	return out
+}
+
+// burnRate is the observed bad fraction relative to the budgeted bad
+// fraction. An objective of exactly 1.0 has no budget: any failure is an
+// infinite burn, reported as a large sentinel to stay JSON-safe.
+func burnRate(observed, budget float64) float64 {
+	if observed <= 0 {
+		return 0
+	}
+	if budget <= 0 {
+		return 1e9
+	}
+	return observed / budget
+}

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefSlowThreshold is the default slow-query capture threshold.
+const DefSlowThreshold = 250 * time.Millisecond
+
+// SlowEntry is one captured slow query: the full span (trace ids,
+// parameters, per-stage cost deltas) plus the threshold it exceeded.
+type SlowEntry struct {
+	Seq         uint64        `json:"seq"`
+	Span        Span          `json:"span"`
+	ThresholdNS time.Duration `json:"threshold_ns"`
+}
+
+// SlowLog ring-buffers every query whose wall time met or exceeded a
+// configurable threshold, keeping the query's full trace span (per-stage
+// cost deltas, view parameters, trace ids) for post-hoc diagnosis.
+// Safe for concurrent use; the threshold can be adjusted at runtime.
+type SlowLog struct {
+	threshold atomic.Int64 // nanoseconds; <=0 disables capture
+
+	mu   sync.Mutex
+	ring []SlowEntry
+	next uint64 // total entries ever captured; also the next seq
+}
+
+// NewSlowLog creates a slow-query log keeping the last capacity entries
+// (minimum 1) and capturing queries at or above threshold (0 gets
+// DefSlowThreshold; negative disables capture).
+func NewSlowLog(capacity int, threshold time.Duration) *SlowLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	l := &SlowLog{ring: make([]SlowEntry, capacity)}
+	l.SetThreshold(threshold)
+	return l
+}
+
+// SetThreshold adjusts the capture threshold (0 restores the default;
+// negative disables capture).
+func (l *SlowLog) SetThreshold(d time.Duration) {
+	if d == 0 {
+		d = DefSlowThreshold
+	}
+	l.threshold.Store(int64(d))
+}
+
+// Threshold reports the current capture threshold (negative = disabled).
+func (l *SlowLog) Threshold() time.Duration {
+	return time.Duration(l.threshold.Load())
+}
+
+// Record captures the span if its wall time meets the threshold,
+// reporting whether it was kept.
+func (l *SlowLog) Record(s Span) bool {
+	th := l.threshold.Load()
+	if th < 0 || s.WallNS < th {
+		return false
+	}
+	l.mu.Lock()
+	l.ring[l.next%uint64(len(l.ring))] = SlowEntry{
+		Seq:         l.next,
+		Span:        s,
+		ThresholdNS: time.Duration(th),
+	}
+	l.next++
+	l.mu.Unlock()
+	return true
+}
+
+// Captured reports the number of slow queries ever captured (entries
+// older than the ring's capacity have rotated out).
+func (l *SlowLog) Captured() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next
+}
+
+// Recent returns up to limit buffered entries, newest first (limit <= 0
+// means all buffered).
+func (l *SlowLog) Recent(limit int) []SlowEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := uint64(len(l.ring))
+	count := l.next
+	if count > n {
+		count = n
+	}
+	if limit > 0 && uint64(limit) < count {
+		count = uint64(limit)
+	}
+	out := make([]SlowEntry, 0, count)
+	for i := uint64(0); i < count; i++ {
+		out = append(out, l.ring[(l.next-1-i)%n])
+	}
+	return out
+}

@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"time"
+)
+
+// OpTelemetry is one operation's latency picture: cumulative since boot
+// plus rolling windows.
+type OpTelemetry struct {
+	Op     string  `json:"op"`
+	Count  int64   `json:"count"`
+	Errors int64   `json:"errors"`
+	Sum    float64 `json:"sum"` // cumulative seconds
+	// Cumulative since-boot percentiles (seconds).
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+	// Rolling windows, shortest first.
+	Windows []WindowSnapshot `json:"windows,omitempty"`
+}
+
+// Telemetry is one server's stats snapshot: windowed and cumulative
+// per-op latency, SLO attainment, the latest runtime sample, and recent
+// operational events. It is the payload of the netq telemetry op (so
+// non-HTTP clients and the future cluster router can poll it) and of the
+// /debug/telemetry endpoint.
+type Telemetry struct {
+	Time          time.Time `json:"time"`
+	Addr          string    `json:"addr,omitempty"` // filled by clients that know who they asked
+	UptimeSeconds float64   `json:"uptime_seconds"`
+	GoVersion     string    `json:"go_version"`
+	Revision      string    `json:"revision"`
+	Degraded      bool      `json:"degraded"`
+
+	ActiveConns    int `json:"active_conns"`
+	InflightOps    int `json:"inflight_ops"`
+	ReadQueueDepth int `json:"read_queue_depth"`
+
+	Ops  []OpTelemetry `json:"ops,omitempty"`
+	SLOs []SLOStatus   `json:"slos,omitempty"`
+
+	Runtime *RuntimeSample `json:"runtime,omitempty"`
+
+	SlowThreshold time.Duration `json:"slow_threshold_ns"`
+	SlowCaptured  uint64        `json:"slow_captured"`
+
+	EventsTotal uint64  `json:"events_total"`
+	Events      []Event `json:"events,omitempty"` // newest first
+}

@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefWindows are the rolling windows reported by default alongside
+// cumulative histogram totals.
+func DefWindows() []time.Duration {
+	return []time.Duration{time.Minute, 5 * time.Minute}
+}
+
+// DefWindowInterval is the default sub-histogram rotation interval: the
+// resolution of the rolling windows.
+const DefWindowInterval = 10 * time.Second
+
+// WindowSnapshot is the merged view of one rolling window: the
+// observation count, sum, and percentiles over (approximately) the last
+// Window of wall time, at the rotation interval's resolution.
+type WindowSnapshot struct {
+	Window time.Duration `json:"window"`
+	Count  int64         `json:"count"`
+	Sum    float64       `json:"sum"`
+	P50    float64       `json:"p50"`
+	P95    float64       `json:"p95"`
+	P99    float64       `json:"p99"`
+}
+
+// windowSlot is one rotation interval's worth of bucketed observations.
+type windowSlot struct {
+	start  time.Time // zero while the slot is empty/expired
+	counts []int64   // len(bounds)+1, last is +Inf
+	count  int64
+	sum    float64
+}
+
+// WindowedHistogram pairs a cumulative Histogram with a ring of bucketed
+// sub-histograms rotated on a fixed interval, so callers can extract
+// rolling-window percentiles ("p99 over the last minute") alongside the
+// since-boot totals. Observations land in both the cumulative histogram
+// and the current sub-histogram; a window snapshot merges the slots that
+// overlap the requested window. Rotation is lazy — driven by Observe and
+// Snapshot calls — so an idle histogram costs nothing.
+//
+// All methods are safe for concurrent use. The windowed side takes a
+// mutex per Observe; the cumulative side stays lock-free.
+type WindowedHistogram struct {
+	cum      *Histogram
+	interval time.Duration
+
+	mu       sync.Mutex
+	bounds   []float64
+	slots    []windowSlot
+	cur      int       // index of the slot receiving observations
+	curStart time.Time // start of the current slot's interval
+
+	now func() time.Time // injectable clock for tests
+}
+
+// NewWindowedHistogram creates a windowed histogram over the given
+// bucket bounds (nil gets DefLatencyBuckets), rotating sub-histograms
+// every interval (0 gets DefWindowInterval) with enough ring capacity to
+// answer windows up to maxWindow (0 gets the largest of DefWindows).
+func NewWindowedHistogram(bounds []float64, interval, maxWindow time.Duration) *WindowedHistogram {
+	if len(bounds) == 0 {
+		bounds = DefLatencyBuckets()
+	}
+	if interval <= 0 {
+		interval = DefWindowInterval
+	}
+	if maxWindow <= 0 {
+		for _, w := range DefWindows() {
+			if w > maxWindow {
+				maxWindow = w
+			}
+		}
+	}
+	if maxWindow < interval {
+		maxWindow = interval
+	}
+	// One slot per interval covering maxWindow, plus the partially filled
+	// current slot.
+	n := int(maxWindow/interval) + 1
+	w := &WindowedHistogram{
+		cum:      NewHistogram(bounds),
+		interval: interval,
+		bounds:   append([]float64(nil), bounds...),
+		slots:    make([]windowSlot, n),
+		now:      time.Now,
+	}
+	for i := range w.slots {
+		w.slots[i].counts = make([]int64, len(bounds)+1)
+	}
+	return w
+}
+
+// WithClock replaces the wall clock (tests only). Call before observing.
+func (w *WindowedHistogram) WithClock(now func() time.Time) *WindowedHistogram {
+	w.now = now
+	return w
+}
+
+// rotate advances the ring so the current slot covers the interval
+// containing now. Must be called with the lock held.
+func (w *WindowedHistogram) rotate(now time.Time) {
+	if w.curStart.IsZero() {
+		w.curStart = now.Truncate(w.interval)
+		w.slots[w.cur].start = w.curStart
+		return
+	}
+	steps := int(now.Sub(w.curStart) / w.interval)
+	if steps <= 0 {
+		return
+	}
+	if steps >= len(w.slots) {
+		// The whole ring expired while idle: clear everything in one pass.
+		for i := range w.slots {
+			w.slots[i].reset()
+		}
+		w.cur = 0
+		w.curStart = now.Truncate(w.interval)
+		w.slots[0].start = w.curStart
+		return
+	}
+	for s := 0; s < steps; s++ {
+		w.cur = (w.cur + 1) % len(w.slots)
+		w.curStart = w.curStart.Add(w.interval)
+		w.slots[w.cur].reset()
+		w.slots[w.cur].start = w.curStart
+	}
+}
+
+func (s *windowSlot) reset() {
+	s.start = time.Time{}
+	s.count = 0
+	s.sum = 0
+	for i := range s.counts {
+		s.counts[i] = 0
+	}
+}
+
+// Observe records one value into both the cumulative histogram and the
+// current rotation slot.
+func (w *WindowedHistogram) Observe(v float64) {
+	w.cum.Observe(v)
+	i := sort.SearchFloat64s(w.bounds, v)
+	w.mu.Lock()
+	w.rotate(w.now())
+	slot := &w.slots[w.cur]
+	slot.counts[i]++
+	slot.count++
+	slot.sum += v
+	w.mu.Unlock()
+}
+
+// ObserveDuration records a duration in seconds.
+func (w *WindowedHistogram) ObserveDuration(d time.Duration) { w.Observe(d.Seconds()) }
+
+// Cumulative exposes the since-boot histogram (for registry attachment).
+func (w *WindowedHistogram) Cumulative() *Histogram { return w.cum }
+
+// Interval reports the rotation interval (the window resolution).
+func (w *WindowedHistogram) Interval() time.Duration { return w.interval }
+
+// Snapshot merges the rotation slots overlapping the last `window` of
+// wall time into one WindowSnapshot. Windows longer than the ring's
+// capacity are clamped to it.
+func (w *WindowedHistogram) Snapshot(window time.Duration) WindowSnapshot {
+	if window <= 0 {
+		window = w.interval
+	}
+	snap := WindowSnapshot{Window: window}
+	merged := make([]int64, len(w.bounds)+1)
+
+	w.mu.Lock()
+	now := w.now()
+	w.rotate(now)
+	cutoff := now.Add(-window)
+	for i := range w.slots {
+		s := &w.slots[i]
+		// A slot covers [start, start+interval); include it when any part
+		// of that interval lies inside (cutoff, now].
+		if s.start.IsZero() || !s.start.Add(w.interval).After(cutoff) {
+			continue
+		}
+		for b, c := range s.counts {
+			merged[b] += c
+		}
+		snap.Count += s.count
+		snap.Sum += s.sum
+	}
+	w.mu.Unlock()
+
+	snap.P50 = quantileFromCounts(w.bounds, merged, 0.50)
+	snap.P95 = quantileFromCounts(w.bounds, merged, 0.95)
+	snap.P99 = quantileFromCounts(w.bounds, merged, 0.99)
+	return snap
+}

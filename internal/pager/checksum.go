@@ -5,7 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"strconv"
 	"sync/atomic"
+
+	"dynq/internal/obs"
 )
 
 // Every page persisted by FileStore carries a 16-byte trailer:
@@ -92,6 +95,14 @@ func verifyRecord(rec []byte, id PageID) (uint64, error) {
 	got := pageCRC(rec[:PageSize], id, epoch)
 	if got != want {
 		checksumFailures.Add(1)
+		// Leave a queryable record in the process journal: a checksum
+		// failure is an operational event, not just a counter tick.
+		obs.DefaultJournal().Record(obs.EventChecksumFailure, obs.SeverityError,
+			"page checksum mismatch on read", map[string]string{
+				"page":     strconv.FormatUint(uint64(id), 10),
+				"stored":   fmt.Sprintf("%08x", want),
+				"computed": fmt.Sprintf("%08x", got),
+			})
 		return 0, &CorruptPageError{ID: id, Want: want, Got: got}
 	}
 	return epoch, nil

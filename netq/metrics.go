@@ -16,7 +16,7 @@ var knownOps = []Op{
 	OpPDQStart, OpPDQFetch,
 	OpNPDQ, OpNPDQReset,
 	OpAdaptiveStart, OpAdaptiveFrame,
-	OpStats,
+	OpStats, OpTelemetry,
 	OpTrackUpdate, OpTrackAt, OpTrackDuring, OpTrackAlong,
 }
 

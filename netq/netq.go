@@ -40,7 +40,12 @@ import (
 // History:
 //
 //	1  original gob request/response stream, no handshake (implicit)
-//	2  hello/ack handshake; Request carries TraceID/SpanID
+//	2  hello/ack handshake; Request carries TraceID/SpanID.
+//	   Later additions within 2: the telemetry op and the
+//	   Response.Telemetry field. Both are additive and gob-compatible
+//	   (gob ignores unknown fields), and the handshake already demands
+//	   exact version equality, so they did not warrant a bump; a v2
+//	   server without the op answers it with a typed UnknownOpError.
 const ProtocolVersion = 2
 
 // protocolMagic distinguishes a netq peer from an arbitrary TCP
@@ -77,6 +82,7 @@ const (
 	OpAdaptiveStart Op = "adaptive-start" // start an adaptive session (one per conn)
 	OpAdaptiveFrame Op = "adaptive-frame" // report a view frame, get new objects
 	OpStats         Op = "stats"          // index statistics
+	OpTelemetry     Op = "telemetry"      // server stats snapshot (SLOs, windows, runtime, events)
 	// Tracker operations (available when the server was given one).
 	OpTrackUpdate Op = "track-update" // report an object's current state
 	OpTrackAt     Op = "track-at"     // anticipated occupants at an instant
@@ -114,6 +120,8 @@ type Response struct {
 	Stats       dynq.IndexStats
 	Anticipated []dynq.Anticipated
 	Predictive  bool // adaptive session mode after this frame
+	// Telemetry answers the telemetry op (nil for every other op).
+	Telemetry *obs.Telemetry
 }
 
 // Server serves a database to network clients. Every server carries its
@@ -141,6 +149,7 @@ type Server struct {
 	reg     *obs.Registry
 	tracer  *obs.Tracer
 	metrics *serverMetrics
+	tel     *serverTelemetry
 	logger  *slog.Logger
 
 	mu    sync.Mutex
@@ -165,6 +174,7 @@ func NewServer(db dynq.Database) *Server {
 		logger:  obs.NopLogger(),
 	}
 	s.WithConcurrency(runtime.GOMAXPROCS(0), 0)
+	s.tel = newServerTelemetry(s)
 	return s
 }
 
@@ -200,7 +210,9 @@ func (s *Server) MaxQueue() int { return s.maxQueue }
 // isReadOp classifies the ops that are safe to run concurrently: pure
 // queries against the database's shared-lock read path or the tracker's.
 // Everything else either writes (insert, track-update) or touches
-// per-connection session state.
+// per-connection session state. The telemetry op is deliberately NOT
+// listed: it must bypass admission control so monitoring keeps seeing
+// an overloaded server — overload is exactly when the numbers matter.
 func isReadOp(op Op) bool {
 	switch op {
 	case OpSnapshot, OpKNN, OpStats, OpTrackAt, OpTrackDuring, OpTrackAlong:
@@ -270,8 +282,10 @@ func (s *Server) WithTracker(tk *dynq.Tracker) *Server {
 }
 
 // Serve accepts connections until the listener closes. It always returns
-// a non-nil error (net.ErrClosed after Close).
+// a non-nil error (net.ErrClosed after Close). The first Serve starts
+// the runtime collector; Close stops it.
 func (s *Server) Serve(l net.Listener) error {
+	s.startCollector()
 	for {
 		conn, err := l.Accept()
 		if err != nil {
@@ -289,15 +303,21 @@ func (s *Server) Serve(l net.Listener) error {
 	}
 }
 
-// Close terminates all client connections.
+// Close terminates all client connections and stops the runtime
+// collector.
 func (s *Server) Close() {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.done = true
 	for c := range s.conns {
 		c.Close()
 	}
 	clear(s.conns)
+	s.mu.Unlock()
+	if s.tel.collectorOn.Swap(false) {
+		s.tel.collector.Stop()
+		s.tel.journal.Record(obs.EventServerStop, obs.SeverityInfo,
+			"netq server shut down", nil)
+	}
 }
 
 func (s *Server) handle(conn net.Conn) {
@@ -406,6 +426,7 @@ func (s *Server) serve(sess *connSessions, req Request) Response {
 		m.noTracker.Inc()
 	case ErrKindOverloaded:
 		m.overloads.Inc()
+		s.tel.noteOverload(s.maxConcurrent, s.maxQueue)
 	}
 
 	span := obs.Span{
@@ -427,6 +448,7 @@ func (s *Server) serve(sess *connSessions, req Request) Response {
 		span.Stages = obs.Stages(delta, engine)
 	}
 	s.tracer.Record(span)
+	s.tel.record(req.Op, elapsed, resp.Err != "", span)
 
 	lvl := slog.LevelDebug
 	if resp.Err != "" {
@@ -545,6 +567,9 @@ func (s *Server) dispatch(ctx context.Context, sess *connSessions, req Request) 
 			return fail(err)
 		}
 		return Response{Stats: st}
+	case OpTelemetry:
+		tel := s.Telemetry()
+		return Response{Telemetry: &tel}
 	default:
 		return fail(&UnknownOpError{Op: req.Op})
 	}

@@ -3,7 +3,9 @@ package dynq
 import (
 	"errors"
 	"fmt"
+	"strconv"
 
+	"dynq/internal/obs"
 	"dynq/internal/pager"
 	"dynq/internal/rtree"
 )
@@ -110,7 +112,29 @@ func recoverFileStore(fs *pager.FileStore, treeStore pager.Store) (*DB, *Recover
 	}
 	db := &DB{tree: tree, cfg: m.Config, store: treeStore}
 	tree.SetCounters(&db.counters)
+	db.recovery = rep
+	rep.journal()
 	return db, rep, nil
+}
+
+// journal leaves a queryable record of the recovery in the process-wide
+// event journal, so operators see what open-time verification repaired
+// without having run `dqload inspect`.
+func (r RecoveryReport) journal() {
+	sev := obs.SeverityInfo
+	if r.TornHeaderRepaired || r.FreeListRebuilt {
+		sev = obs.SeverityWarn
+	}
+	obs.DefaultJournal().Record(obs.EventRecovery, sev,
+		"recovery-on-open completed: "+r.String(), map[string]string{
+			"header_seq":           strconv.FormatUint(r.HeaderSeq, 10),
+			"pages_checked":        strconv.Itoa(r.PagesChecked),
+			"segments":             strconv.Itoa(r.Segments),
+			"free_pages":           strconv.Itoa(r.FreePages),
+			"orphan_pages":         strconv.Itoa(r.OrphanPages),
+			"torn_header_repaired": strconv.FormatBool(r.TornHeaderRepaired),
+			"free_list_rebuilt":    strconv.FormatBool(r.FreeListRebuilt),
+		})
 }
 
 // verifyTree walks the committed tree breadth-first from the root,
