@@ -122,11 +122,20 @@ type AdaptiveCursor interface {
 	Close()
 }
 
-// Database is the query surface shared by *DB and *ShardedDB: everything
-// a server needs to answer the protocol's operations without knowing
-// whether one tree or many stand behind it.
+// Database is the query and write surface shared by *DB and *ShardedDB:
+// everything a server needs to answer the protocol's operations without
+// knowing whether one tree or many stand behind it.
 type Database interface {
 	Insert(id ObjectID, seg Segment) error
+	InsertCtx(ctx context.Context, id ObjectID, seg Segment, opts WriteOptions) error
+	Delete(id ObjectID, t0 float64) error
+	DeleteCtx(ctx context.Context, id ObjectID, t0 float64, opts WriteOptions) error
+	// ApplyUpdates applies a batch of motion updates as one write: the
+	// high-rate ingest path. See the concrete types for atomicity and
+	// durability semantics.
+	ApplyUpdates(ctx context.Context, updates []MotionUpdate, opts WriteOptions) error
+	BulkLoadUpdates(updates []MotionUpdate) error
+	BulkLoadCtx(ctx context.Context, updates []MotionUpdate, opts WriteOptions) error
 	Snapshot(view Rect, t0, t1 float64) ([]Result, error)
 	SnapshotCtx(ctx context.Context, view Rect, t0, t1 float64, opts QueryOptions) ([]Result, error)
 	KNN(point []float64, t float64, k int) ([]Neighbor, error)

@@ -19,7 +19,12 @@
 //	-mixed            also run the mixed static+mobile NPDQ experiment
 //	-hist             report per-frame wall-time percentiles per figure
 //	-concurrency 8    also run the 1-vs-N concurrent netq client comparison
+//	-ingest           also run the serial-Insert vs batched-ApplyUpdates
+//	                  ingest throughput comparison (memory and WAL engines)
 //	-shards 4         also run the 1-vs-N sharded engine comparison
+//	-faults 200       crash/reopen fault-injection soak instead of benchmarks
+//	-wal              with -faults: tear the WAL tail instead of the page
+//	                  file and assert exact replay of acknowledged writes
 //	-json FILE        write a versioned machine-readable report (BENCH_*.json)
 //	-compare FILE     check this run against a baseline report; exits 3 on
 //	                  regression unless -compare-warn is set
@@ -58,8 +63,10 @@ func main() {
 		shards       = flag.Int("shards", 0, "also run the 1-vs-N sharded engine comparison with N shards")
 		workers      = flag.Int("workers", 0, "worker-pool bound for -shards (0 = GOMAXPROCS)")
 		concurrency  = flag.Int("concurrency", 0, "also run the 1-vs-N concurrent netq client comparison with N clients")
+		ingest       = flag.Bool("ingest", false, "also run the serial-Insert vs batched-ApplyUpdates ingest throughput comparison")
 		faults       = flag.Int("faults", 0, "run N crash/reopen fault-injection soak cycles instead of benchmarks")
 		faultSeed    = flag.Int64("fault-seed", 1, "deterministic seed for the -faults soak (workload + fault schedule)")
+		walSoak      = flag.Bool("wal", false, "with -faults: tear the write-ahead log instead of the page file (crash mid-record and mid-group-commit, assert exact replay)")
 
 		jsonOut          = flag.String("json", "", "write a machine-readable benchmark report (BENCH_*.json) to this file")
 		comparePath      = flag.String("compare", "", "baseline BENCH_*.json to check this run against")
@@ -96,6 +103,31 @@ func main() {
 		os.Exit(130)
 	}()
 
+	if *faults > 0 && *walSoak {
+		// WAL soak mode: crash/reopen cycles that tear the write-ahead
+		// log's unsynced tail (mid-record, mid-group-commit), asserting
+		// that replay restores every acknowledged write exactly. Exits
+		// non-zero on any lost acknowledged batch or wrong answer.
+		logger.Info("wal soak starting", "cycles", *faults, "seed", *faultSeed)
+		rep, err := dynq.WALSoak(dynq.WALSoakOptions{
+			Cycles: *faults,
+			Seed:   *faultSeed,
+			Log: func(format string, args ...any) {
+				logger.Info(fmt.Sprintf(format, args...))
+			},
+		})
+		if err != nil {
+			fatal(fmt.Errorf("wal soak harness: %w (partial report: %s)", err, rep))
+		}
+		fmt.Println(rep)
+		if rep.LostAcked != 0 || rep.WrongAnswers != 0 {
+			fatal(fmt.Errorf("wal soak lost %d acknowledged batches, %d wrong answers — durability violation",
+				rep.LostAcked, rep.WrongAnswers))
+		}
+		logger.Info("wal soak passed", "cycles", rep.Cycles, "tears", rep.Tears,
+			"torn_tails", rep.TornTails, "records_replayed", rep.RecordsReplayed)
+		return
+	}
 	if *faults > 0 {
 		// Fault soak mode: crash/reopen cycles under injected storage
 		// faults, asserting zero silent corruption. Exits non-zero on any
@@ -171,7 +203,7 @@ func main() {
 	}
 	// Extra experiments run before the figures; with the default -fig 0
 	// they replace the figure sweep entirely.
-	extrasOnly := *fig == 0 && (*mixed || *shards > 0 || *concurrency > 0)
+	extrasOnly := *fig == 0 && (*mixed || *shards > 0 || *concurrency > 0 || *ingest)
 	if *mixed {
 		if err := runMixed(cfg); err != nil {
 			fatal(err)
@@ -184,6 +216,11 @@ func main() {
 	}
 	if *concurrency > 0 {
 		if err := runConcurrency(cfg, *concurrency, report); err != nil {
+			fatal(err)
+		}
+	}
+	if *ingest {
+		if err := runIngest(cfg, report); err != nil {
 			fatal(err)
 		}
 	}
@@ -336,6 +373,41 @@ func runConcurrency(cfg bench.Config, clients int, report *bench.Report) error {
 			c.Clients, c.Queries, c.Wall.Round(time.Microsecond), c.QPS(), speedup,
 			time.Duration(c.WindowP50*float64(time.Second)).Round(time.Microsecond),
 			time.Duration(c.WindowP99*float64(time.Second)).Round(time.Microsecond))
+	}
+	return nil
+}
+
+// runIngest prints the ingest-throughput comparison: the same motion
+// update stream through a netq server as serial Insert round trips vs
+// batched ApplyUpdates requests, against the in-memory engine and a
+// WAL-armed file engine (group-commit durability). Each row's final
+// segment count is checked against what was sent.
+func runIngest(cfg bench.Config, report *bench.Report) error {
+	fmt.Println("\n=== Ingest: serial Insert vs batched ApplyUpdates (netq, updates/sec) ===")
+	cells, err := bench.IngestExperiment(cfg, []int{64, 256})
+	if err != nil {
+		return err
+	}
+	report.AddIngestCells(cells)
+	fmt.Printf("%-10s | %-6s | %-8s | %-12s | %-12s | %s\n",
+		"durability", "batch", "updates", "wall", "updates/s", "speedup")
+	base := map[bool]float64{}
+	for _, c := range cells {
+		if c.Batch == 1 {
+			base[c.WAL] = c.UPS()
+		}
+	}
+	for _, c := range cells {
+		mode := "memory"
+		if c.WAL {
+			mode = "wal"
+		}
+		speedup := 0.0
+		if b := base[c.WAL]; b > 0 {
+			speedup = c.UPS() / b
+		}
+		fmt.Printf("%-10s | %6d | %8d | %12v | %12.0f | %6.2fx\n",
+			mode, c.Batch, c.Updates, c.Wall.Round(time.Microsecond), c.UPS(), speedup)
 	}
 	return nil
 }

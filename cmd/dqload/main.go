@@ -96,15 +96,15 @@ func buildFromTrace(out, tracePath string, dual bool) error {
 		return err
 	}
 	defer db.Close()
-	byObject := map[dynq.ObjectID][]dynq.Segment{}
-	for _, e := range entries {
-		byObject[uint64(e.ID)] = append(byObject[uint64(e.ID)], dynq.Segment{
+	updates := make([]dynq.MotionUpdate, len(entries))
+	for i, e := range entries {
+		updates[i] = dynq.MotionUpdate{ID: uint64(e.ID), Segment: dynq.Segment{
 			T0: e.Seg.T.Lo, T1: e.Seg.T.Hi,
 			From: e.Seg.Start, To: e.Seg.End,
-		})
+		}}
 	}
 	start := time.Now()
-	if err := db.BulkLoad(byObject); err != nil {
+	if err := db.BulkLoadUpdates(updates); err != nil {
 		return err
 	}
 	if err := db.Sync(); err != nil {
@@ -139,15 +139,15 @@ func build(path string, scale float64, seed int64, dual bool) error {
 	}
 	defer db.Close()
 
-	byObject := map[dynq.ObjectID][]dynq.Segment{}
-	for _, s := range segs {
-		byObject[s.ObjID] = append(byObject[s.ObjID], dynq.Segment{
+	updates := make([]dynq.MotionUpdate, len(segs))
+	for i, s := range segs {
+		updates[i] = dynq.MotionUpdate{ID: s.ObjID, Segment: dynq.Segment{
 			T0: s.Seg.T.Lo, T1: s.Seg.T.Hi,
 			From: s.Seg.Start, To: s.Seg.End,
-		})
+		}}
 	}
 	start = time.Now()
-	if err := db.BulkLoad(byObject); err != nil {
+	if err := db.BulkLoadUpdates(updates); err != nil {
 		return err
 	}
 	if err := db.Sync(); err != nil {

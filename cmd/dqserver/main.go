@@ -27,9 +27,15 @@
 // Diagnostics go to stderr through log/slog; -log-format json makes them
 // machine-parseable and request-scoped lines carry trace/span ids.
 //
+// With -wal a write-ahead log sidecar (<db>.wal) is armed: every
+// acknowledged write is durable across a crash, and the next open
+// replays whatever the last page commit missed. An existing sidecar is
+// detected and replayed even without the flag.
+//
 // Usage:
 //
 //	dqserver [-addr :7207] [-metrics :7208] [-db db.dynq | -scale F -seed N [-dual] [-shards N]]
+//	         [-wal] [-group-commit-window 2ms]
 //	         [-slow-query 250ms] [-slo-latency 100ms] [-slo-window 5m]
 //	         [-log-level info] [-log-format text]
 package main
@@ -65,6 +71,8 @@ func main() {
 		track   = flag.Bool("track", false, "attach a current-state tracker (enables OpTrack* operations)")
 		horizon = flag.Float64("horizon", 2, "tracker anticipation horizon")
 		shards  = flag.Int("shards", 1, "partition the index across N parallel shards (>1 requires a synthetic index, not -db)")
+		walArm  = flag.Bool("wal", false, "arm a write-ahead log sidecar (<db>.wal) for durable writes; requires -db")
+		gcWin   = flag.Duration("group-commit-window", 0, "WAL group-commit coalescing window (0 = 2ms default, negative fsyncs every commit round)")
 		maxConc = flag.Int("max-concurrent", 0, "max concurrently executing read queries (0 = GOMAXPROCS, <0 = unlimited)")
 		maxQue  = flag.Int("max-queue", 0, "max read queries waiting for a slot before rejection (0 = 4x max-concurrent)")
 
@@ -87,7 +95,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	db, recovery, err := openDB(*path, *scale, *seed, *dual, *shards, logger)
+	db, recovery, err := openDB(*path, *scale, *seed, *dual, *shards, *walArm, *gcWin, logger)
 	if err != nil {
 		fatal("open database", err)
 	}
@@ -209,7 +217,7 @@ func main() {
 	logger.Info("bye")
 }
 
-func openDB(path string, scale float64, seed int64, dual bool, shards int, logger *slog.Logger) (dynq.Database, *dynq.RecoveryReport, error) {
+func openDB(path string, scale float64, seed int64, dual bool, shards int, walArm bool, gcWin time.Duration, logger *slog.Logger) (dynq.Database, *dynq.RecoveryReport, error) {
 	if shards < 1 {
 		return nil, nil, fmt.Errorf("-shards must be >= 1, got %d", shards)
 	}
@@ -218,8 +226,28 @@ func openDB(path string, scale float64, seed int64, dual bool, shards int, logge
 			return nil, nil, fmt.Errorf("-shards only applies to a synthetic index; a -db file holds one pre-built tree")
 		}
 		// Open through recovery so the server never takes traffic on an
-		// unverified file; the report feeds dynq_recovery_* gauges.
-		return dynq.OpenFileRecover(path)
+		// unverified file; the report feeds dynq_recovery_* gauges. -wal
+		// forces a log sidecar into existence; without the flag an
+		// existing sidecar is still detected and replayed.
+		ropts := dynq.RecoverOptions{GroupCommitWindow: gcWin}
+		if walArm {
+			ropts.WALPath = path + ".wal"
+		}
+		db, rep, err := dynq.OpenFileRecoverWith(path, ropts)
+		if err != nil {
+			return nil, nil, err
+		}
+		if rep.WALArmed {
+			logger.Info("write-ahead log armed",
+				"wal", path+".wal",
+				"replayed_records", rep.WALRecordsReplayed,
+				"replayed_updates", rep.WALUpdatesReplayed,
+				"torn_tail", rep.WALTornTail)
+		}
+		return db, rep, nil
+	}
+	if walArm {
+		return nil, nil, fmt.Errorf("-wal requires -db: a synthetic in-memory index has no page file for the log to recover against")
 	}
 	sim := motion.PaperConfig()
 	sim.Objects = int(float64(sim.Objects) * scale)
@@ -244,14 +272,14 @@ func openDB(path string, scale float64, seed int64, dual bool, shards int, logge
 	if err != nil {
 		return nil, nil, err
 	}
-	byObject := map[dynq.ObjectID][]dynq.Segment{}
-	for _, s := range segs {
-		byObject[s.ObjID] = append(byObject[s.ObjID], dynq.Segment{
+	updates := make([]dynq.MotionUpdate, len(segs))
+	for i, s := range segs {
+		updates[i] = dynq.MotionUpdate{ID: s.ObjID, Segment: dynq.Segment{
 			T0: s.Seg.T.Lo, T1: s.Seg.T.Hi,
 			From: s.Seg.Start, To: s.Seg.End,
-		})
+		}}
 	}
-	if err := bulkLoad(db, byObject); err != nil {
+	if err := db.BulkLoadUpdates(updates); err != nil {
 		db.Close()
 		return nil, nil, err
 	}
@@ -259,15 +287,4 @@ func openDB(path string, scale float64, seed int64, dual bool, shards int, logge
 		"segments", len(segs), "objects", sim.Objects, "seed", seed,
 		"elapsed", time.Since(start).Round(time.Millisecond))
 	return db, nil, nil
-}
-
-func bulkLoad(db dynq.Database, segs map[dynq.ObjectID][]dynq.Segment) error {
-	switch d := db.(type) {
-	case *dynq.DB:
-		return d.BulkLoad(segs)
-	case *dynq.ShardedDB:
-		return d.BulkLoad(segs)
-	default:
-		return fmt.Errorf("unknown database type %T", db)
-	}
 }

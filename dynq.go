@@ -27,14 +27,18 @@
 package dynq
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"dynq/internal/core"
 	"dynq/internal/geom"
 	"dynq/internal/pager"
 	"dynq/internal/rtree"
 	"dynq/internal/stats"
+	"dynq/internal/wal"
 )
 
 // ObjectID identifies a mobile object across all of its motion updates.
@@ -97,13 +101,29 @@ type Options struct {
 	Path string
 	// BufferPages enables a server-side LRU page buffer of the given
 	// capacity. The paper's experiments run bufferless (0): the client,
-	// not the server, caches results.
+	// not the server, caches results. With WALPath set, 0 selects a
+	// default buffer instead (see defaultWALBufferPages): a logged
+	// database must keep post-checkpoint writes in memory so a crash
+	// cannot tear the committed base file the log replays onto.
 	BufferPages int
 	// DegradeAfter is the number of consecutive storage write failures
 	// after which the database degrades to read-only mode (mutations
 	// return ErrReadOnly until SetReadOnly(false)). 0 means the default
 	// of 3; a negative value disables degradation.
 	DegradeAfter int
+	// WALPath, when non-empty, arms a write-ahead log at that path: every
+	// ApplyUpdates/Insert/Delete appends a checksummed record before
+	// touching the index, Sync checkpoints the log, and reopening through
+	// OpenFileRecover replays whatever the last page commit missed. Open
+	// creates the log fresh (like Path, truncating any existing file);
+	// the conventional sidecar path "<Path>.wal" is what OpenFileRecover
+	// detects automatically.
+	WALPath string
+	// GroupCommitWindow is how long a group-commit leader waits for
+	// concurrent writers to pile into its fsync (0 = the 2ms default; a
+	// negative value disables coalescing — every commit round fsyncs
+	// immediately). Only meaningful with WALPath set.
+	GroupCommitWindow time.Duration
 }
 
 // DB is a mobile-object database: an NSI R-tree plus the dynamic query
@@ -130,6 +150,12 @@ type DB struct {
 	counters    stats.Counters
 	bufferPages int
 	health      degradeState
+	// wal is the armed write-ahead log, nil when the database runs
+	// without one (Options.WALPath empty and no sidecar found on open).
+	wal *wal.Log
+	// appliedLSN is the WAL position the committed page state had
+	// absorbed when the database was opened; replay starts above it.
+	appliedLSN uint64
 	// recovery holds the open-time verification report when the database
 	// was opened through OpenFileRecover, nil otherwise.
 	recovery *RecoveryReport
@@ -142,10 +168,23 @@ func (db *DB) LastRecovery() *RecoveryReport { return db.recovery }
 // Open creates a database. With Options.Path set, a new page file is
 // created, TRUNCATING any existing file at that path; use OpenFile to
 // reattach an existing one.
+// defaultWALBufferPages is the page buffer capacity a WAL-armed database
+// gets when Options.BufferPages is left 0. Unbuffered writes rewrite
+// committed pages in place; after a crash the page file then carries
+// epochs newer than its committed header — detected as corruption on
+// open, leaving the log nothing intact to replay onto. Buffered, dirty
+// pages stay in memory between checkpoints and the committed base
+// survives any crash.
+const defaultWALBufferPages = 1024
+
 func Open(opts Options) (*DB, error) {
 	cfg, err := opts.toConfig()
 	if err != nil {
 		return nil, err
+	}
+	bufferPages := opts.BufferPages
+	if opts.WALPath != "" && bufferPages == 0 {
+		bufferPages = defaultWALBufferPages
 	}
 	var store pager.Store
 	if opts.Path != "" {
@@ -157,13 +196,34 @@ func Open(opts Options) (*DB, error) {
 	} else {
 		store = pager.NewMemStore()
 	}
-	tree, err := rtree.NewBuffered(cfg, store, opts.BufferPages)
+	tree, err := rtree.NewBuffered(cfg, store, bufferPages)
 	if err != nil {
 		return nil, err
 	}
-	db := &DB{tree: tree, cfg: cfg, store: store, bufferPages: opts.BufferPages}
+	db := &DB{tree: tree, cfg: cfg, store: store, bufferPages: bufferPages}
 	db.health.after = int32(opts.DegradeAfter)
 	tree.SetCounters(&db.counters)
+	if fs, ok := store.(*pager.FileStore); ok {
+		// Commit the empty base state immediately: a crash before the
+		// first Sync must leave an openable (empty) file — with a WAL
+		// armed, that base is what replay rebuilds from.
+		cerr := fs.SetAux(encodeMeta(tree.Meta(), 0))
+		if cerr == nil {
+			cerr = fs.Sync()
+		}
+		if cerr != nil {
+			store.Close()
+			return nil, cerr
+		}
+	}
+	if opts.WALPath != "" {
+		w, err := wal.Create(opts.WALPath, wal.Options{GroupCommitWindow: opts.GroupCommitWindow})
+		if err != nil {
+			store.Close()
+			return nil, fmt.Errorf("dynq: create wal: %w", err)
+		}
+		db.wal = w
+	}
 	return db, nil
 }
 
@@ -192,8 +252,26 @@ func (o Options) toConfig() (rtree.Config, error) {
 	return cfg, nil
 }
 
-// Close releases the underlying page store.
-func (db *DB) Close() error { return db.store.Close() }
+// Close releases the underlying page store and the write-ahead log.
+// Close does NOT Sync: with a WAL armed the log itself carries the
+// unsynced tail across the restart; without one, unsynced writes are
+// lost as before.
+func (db *DB) Close() error {
+	var werr error
+	if db.wal != nil {
+		werr = db.wal.Close()
+	}
+	return errors.Join(werr, db.store.Close())
+}
+
+// WALStats returns the armed write-ahead log's counters, or zero when no
+// WAL is armed.
+func (db *DB) WALStats() (wal.Stats, bool) {
+	if db.wal == nil {
+		return wal.Stats{}, false
+	}
+	return db.wal.Stats(), true
+}
 
 // Dims returns the spatial dimensionality.
 func (db *DB) Dims() int { return db.cfg.Dims }
@@ -206,71 +284,30 @@ func (db *DB) Len() int {
 }
 
 // Insert records one motion update for an object. Coordinates are stored
-// at float32 precision (the on-disk key format).
+// at float32 precision (the on-disk key format). It is a thin wrapper
+// over ApplyUpdates with default (group-commit) durability; batch
+// updates through ApplyUpdates when ingesting at rate.
 func (db *DB) Insert(id ObjectID, seg Segment) error {
-	g, err := db.toSegment(seg)
-	if err != nil {
-		return err
-	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if err := db.writeGate(); err != nil {
-		return err
-	}
-	return db.noteWriteResult(db.tree.Insert(rtree.ObjectID(id), g))
+	return db.InsertCtx(context.Background(), id, seg, WriteOptions{})
 }
 
 // BulkLoad builds the index from a segment set at a 0.5 fill factor,
 // replacing any current contents. It is far faster than repeated Insert
 // for large historical loads. The db must be empty.
+//
+// Deprecated: the map form loses input order. Use BulkLoadUpdates (or
+// BulkLoadCtx), which shares the ordered MotionUpdate batch form with
+// ApplyUpdates; this wrapper flattens the map sorted by (object, start
+// time) and delegates.
 func (db *DB) BulkLoad(segs map[ObjectID][]Segment) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if err := db.writeGate(); err != nil {
-		return err
-	}
-	if db.tree.Size() != 0 {
-		return fmt.Errorf("dynq: BulkLoad requires an empty database")
-	}
-	var entries []rtree.LeafEntry
-	for id, list := range segs {
-		for _, s := range list {
-			g, err := db.toSegment(s)
-			if err != nil {
-				return err
-			}
-			entries = append(entries, rtree.LeafEntry{ID: rtree.ObjectID(id), Seg: g})
-		}
-	}
-	tree, err := rtree.BulkLoad(db.tree.Config(), db.store, entries)
-	if err != nil {
-		return db.noteWriteResult(err)
-	}
-	db.noteWriteResult(nil)
-	if db.bufferPages > 0 {
-		if err := tree.UseBuffer(db.bufferPages); err != nil {
-			return err
-		}
-	}
-	tree.SetCounters(&db.counters)
-	db.tree = tree
-	return nil
+	return db.BulkLoadUpdates(sortedUpdates(segs))
 }
 
 // Delete removes the motion update of an object that started at t0.
-// It returns ErrNotFound if no such segment is indexed.
+// It returns ErrNotFound if no such segment is indexed. Like Insert it
+// is a thin wrapper over ApplyUpdates.
 func (db *DB) Delete(id ObjectID, t0 float64) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if err := db.writeGate(); err != nil {
-		return err
-	}
-	err := db.tree.Delete(rtree.ObjectID(id), t0)
-	if err == rtree.ErrNotFound {
-		// A missing segment is an answer, not a storage failure.
-		return ErrNotFound
-	}
-	return db.noteWriteResult(err)
+	return db.DeleteCtx(context.Background(), id, t0, WriteOptions{})
 }
 
 // ErrNotFound is returned by Delete for a missing segment.

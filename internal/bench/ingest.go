@@ -1,0 +1,169 @@
+package bench
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"time"
+
+	"dynq"
+	"dynq/internal/motion"
+	"dynq/netq"
+)
+
+// IngestCell is one row of the ingest-throughput experiment: the same
+// ordered motion-update stream pushed through a netq server either as
+// serial Insert round-trips (Batch 1) or as batched ApplyUpdates
+// requests.
+type IngestCell struct {
+	// Batch is the number of updates per wire request; 1 is the serial
+	// Insert baseline the batched rows are compared against.
+	Batch int
+	// WAL marks the durable rows: a file-backed database with a
+	// group-commit write-ahead log, so every acknowledged request
+	// survives a crash. Non-WAL rows measure the in-memory engine.
+	WAL     bool
+	Updates int
+	Wall    time.Duration
+}
+
+// UPS returns the row's sustained update throughput (updates/sec).
+func (c IngestCell) UPS() float64 {
+	if c.Wall <= 0 {
+		return 0
+	}
+	return float64(c.Updates) / c.Wall.Seconds()
+}
+
+// IngestExperiment measures sustained ingest throughput through the wire
+// protocol: the paper's motion-update stream applied to a fresh database
+// behind a netq server, serially (one Insert per round trip) and in
+// ApplyUpdates batches of each given size. Both an in-memory engine and
+// a WAL-armed file engine (group-commit durability) are measured; every
+// row's final segment count is cross-checked against what was sent, so
+// the table doubles as a correctness run for the batched write path.
+//
+// Batching amortizes round trips, lock acquisition, and — on the durable
+// rows — the per-commit fsync, which dominates: that is where the order
+// of magnitude lives. The in-memory rows are the engine-bound reference
+// (on loopback a round trip costs less than an R-tree insert), showing
+// batched durable ingest approaching the no-durability ceiling.
+func IngestExperiment(cfg Config, batches []int) ([]IngestCell, error) {
+	for _, b := range batches {
+		if b < 2 {
+			return nil, fmt.Errorf("bench: ingest batch sizes must be >= 2, got %d", b)
+		}
+	}
+	sim := motion.PaperConfig()
+	sim.Objects = int(float64(sim.Objects) * cfg.Scale)
+	if sim.Objects < 1 {
+		sim.Objects = 1
+	}
+	sim.Seed = cfg.Seed
+	segs, err := motion.GenerateSegments(sim)
+	if err != nil {
+		return nil, err
+	}
+	updates := make([]dynq.MotionUpdate, len(segs))
+	for i, s := range segs {
+		updates[i] = dynq.MotionUpdate{ID: dynq.ObjectID(s.ObjID), Segment: dynq.Segment{
+			T0: s.Seg.T.Lo, T1: s.Seg.T.Hi,
+			From: s.Seg.Start, To: s.Seg.End,
+		}}
+	}
+
+	dir, err := os.MkdirTemp("", "dqbench-ingest")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	// Every row ingests the same stream, capped to keep the experiment
+	// interactive at large scales. The WAL serial baseline is capped
+	// further: it pays one group-commit window per update, and
+	// throughput is a rate, so the shorter run does not bias it.
+	if len(updates) > 25000 {
+		updates = updates[:25000]
+	}
+	var cells []IngestCell
+	for _, withWAL := range []bool{false, true} {
+		serialCap := len(updates)
+		if withWAL {
+			serialCap = 500
+		}
+		for _, batch := range append([]int{1}, batches...) {
+			cell, err := runIngestRow(updates, batch, withWAL, serialCap, dir)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, cell)
+		}
+	}
+	return cells, nil
+}
+
+// runIngestRow times one (batch size, durability) row against a fresh
+// database and server.
+func runIngestRow(updates []dynq.MotionUpdate, batch int, withWAL bool, serialCap int, dir string) (IngestCell, error) {
+	// Buffered like a production server: bufferless pass-through stores
+	// re-decode the root path on every insert, which would hide the wire
+	// and durability costs this experiment is about.
+	opts := dynq.Options{BufferPages: 4096}
+	if withWAL {
+		path := filepath.Join(dir, fmt.Sprintf("ingest-b%d.pages", batch))
+		opts.Path = path
+		opts.WALPath = path + ".wal"
+	}
+	db, err := dynq.Open(opts)
+	if err != nil {
+		return IngestCell{}, err
+	}
+	defer db.Close()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return IngestCell{}, err
+	}
+	defer l.Close()
+	srv := netq.NewServer(db)
+	go srv.Serve(l)
+	defer srv.Close()
+	cl, err := netq.Dial(l.Addr().String())
+	if err != nil {
+		return IngestCell{}, err
+	}
+	defer cl.Close()
+
+	n := len(updates)
+	if batch == 1 && n > serialCap {
+		n = serialCap
+	}
+	start := time.Now()
+	if batch == 1 {
+		for _, u := range updates[:n] {
+			if err := cl.Insert(u.ID, u.Segment); err != nil {
+				return IngestCell{}, err
+			}
+		}
+	} else {
+		for lo := 0; lo < n; lo += batch {
+			hi := lo + batch
+			if hi > n {
+				hi = n
+			}
+			if err := cl.ApplyUpdates(updates[lo:hi]); err != nil {
+				return IngestCell{}, err
+			}
+		}
+	}
+	wall := time.Since(start)
+	st, err := cl.Stats()
+	if err != nil {
+		return IngestCell{}, err
+	}
+	if st.Segments != n {
+		return IngestCell{}, fmt.Errorf("bench: ingest row (batch %d, wal %v) left %d segments indexed, sent %d",
+			batch, withWAL, st.Segments, n)
+	}
+	return IngestCell{Batch: batch, WAL: withWAL, Updates: n, Wall: wall}, nil
+}

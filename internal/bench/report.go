@@ -44,6 +44,9 @@ type Report struct {
 	// when the run included one (dqbench -concurrency).
 	ConcurrencyClients int                     `json:"concurrency_clients,omitempty"`
 	ConcurrencyCells   []ConcurrencyCellReport `json:"concurrency_cells,omitempty"`
+	// IngestCells holds the serial-Insert vs batched-ApplyUpdates ingest
+	// throughput comparison when the run included one (dqbench -ingest).
+	IngestCells []IngestCellReport `json:"ingest_cells,omitempty"`
 }
 
 // FigureReport is one measured figure of the paper's evaluation.
@@ -136,6 +139,18 @@ type ConcurrencyCellReport struct {
 	WindowP99 float64 `json:"window_p99,omitempty"`
 }
 
+// IngestCellReport is one row of the ingest throughput comparison: the
+// same update stream as serial Insert round trips (batch 1) or batched
+// ApplyUpdates requests, against an in-memory or WAL-armed engine.
+type IngestCellReport struct {
+	Batch   int     `json:"batch"`
+	WAL     bool    `json:"wal"`
+	Updates int     `json:"updates"`
+	WallNS  int64   `json:"wall_ns"`
+	UPS     float64 `json:"ups"`
+	Speedup float64 `json:"speedup"` // vs the serial row with the same durability
+}
+
 // NewReport stamps a report with the environment and the run's workload
 // parameters.
 func NewReport(cfg Config) *Report {
@@ -214,6 +229,31 @@ func (r *Report) AddConcurrencyCells(clients int, cells []ConcurrencyCell) {
 			Speedup:   speedup,
 			WindowP50: c.WindowP50,
 			WindowP99: c.WindowP99,
+		})
+	}
+}
+
+// AddIngestCells records the ingest comparison rows, deriving each row's
+// speedup from the serial (batch 1) row with the same durability mode.
+func (r *Report) AddIngestCells(cells []IngestCell) {
+	base := map[bool]float64{}
+	for _, c := range cells {
+		if c.Batch == 1 {
+			base[c.WAL] = c.UPS()
+		}
+	}
+	for _, c := range cells {
+		speedup := 0.0
+		if b := base[c.WAL]; b > 0 {
+			speedup = c.UPS() / b
+		}
+		r.IngestCells = append(r.IngestCells, IngestCellReport{
+			Batch:   c.Batch,
+			WAL:     c.WAL,
+			Updates: c.Updates,
+			WallNS:  c.Wall.Nanoseconds(),
+			UPS:     c.UPS(),
+			Speedup: speedup,
 		})
 	}
 }

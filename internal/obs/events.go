@@ -18,6 +18,8 @@ const (
 	EventChecksumFailure EventType = "checksum_failure" // page checksum mismatch on read
 	EventServerStart     EventType = "server_start"     // netq server began serving
 	EventServerStop      EventType = "server_stop"      // netq server shut down
+	EventWALReplay       EventType = "wal_replay"       // open-time WAL replay re-applied records
+	EventSyncFailure     EventType = "sync_failure"     // checkpoint sync failed with a WAL armed
 )
 
 // Event severities.

@@ -19,6 +19,8 @@ import (
 func (e *Engine) Snapshot(ctx context.Context, spatial geom.Box, tw geom.Interval, limit int) ([]rtree.Match, error) {
 	parts := make([][]rtree.Match, len(e.shards))
 	err := e.fanOutTraced(ctx, "snapshot/shard", "snapshot", func(i int, sh *Shard) error {
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
 		ms, err := sh.Tree.RangeSearchCtx(ctx, spatial, tw, rtree.SearchOptions{Limit: limit}, &sh.Counters)
 		parts[i] = ms
 		return err
@@ -42,6 +44,8 @@ func (e *Engine) Snapshot(ctx context.Context, spatial geom.Box, tw geom.Interva
 func (e *Engine) KNN(ctx context.Context, p geom.Point, t float64, k int) ([]core.Neighbor, error) {
 	parts := make([][]core.Neighbor, len(e.shards))
 	err := e.fanOutTraced(ctx, "knn/shard", "knn", func(i int, sh *Shard) error {
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
 		nbs, err := core.KNNCtx(ctx, sh.Tree, p, t, k, &sh.Counters)
 		parts[i] = nbs
 		return err
@@ -80,6 +84,15 @@ func (e *Engine) SelfJoin(delta, t float64) ([]core.JoinPair, error) {
 			slot := len(fns)
 			fns = append(fns, func() error {
 				a, b := e.shards[i], e.shards[j]
+				// Both shard locks, in ascending shard order (i <= j):
+				// with writers holding at most one shard lock and every
+				// multi-shard reader ordering ascending, no cycle forms.
+				a.mu.RLock()
+				defer a.mu.RUnlock()
+				if j != i {
+					b.mu.RLock()
+					defer b.mu.RUnlock()
+				}
 				pairs, err := core.DistanceJoin(a.Tree, b.Tree, delta, t, &a.Counters)
 				parts[slot] = pairs
 				return err
@@ -113,6 +126,11 @@ func (e *Engine) CrossJoin(other *Engine, delta, t float64) ([]core.JoinPair, er
 		for j := 0; j < m; j++ {
 			i, j := i, j
 			fns = append(fns, func() error {
+				// No shard locks here: two engines have no common lock
+				// order (JoinWith can run in both directions at once), so
+				// taking both could deadlock. The trees' own whole-search
+				// locks keep the join memory-safe; what it can observe is
+				// a concurrent batch half-applied to the OTHER engine.
 				a, b := e.shards[i], other.shards[j]
 				pairs, err := core.DistanceJoin(a.Tree, b.Tree, delta, t, &a.Counters)
 				parts[i*m+j] = pairs
@@ -137,6 +155,8 @@ func (e *Engine) CrossJoin(other *Engine, delta, t float64) ([]core.JoinPair, er
 func (e *Engine) CountSeries(traj *trajectory.Trajectory, times []float64) ([]int, error) {
 	parts := make([][]int, len(e.shards))
 	err := e.fanOut(func(i int, sh *Shard) error {
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
 		cs, err := core.ContinuousCount(sh.Tree, traj, times, &sh.Counters)
 		parts[i] = cs
 		return err

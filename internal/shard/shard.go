@@ -29,6 +29,7 @@ import (
 	"sync"
 	"time"
 
+	"dynq/internal/geom"
 	"dynq/internal/obs"
 	"dynq/internal/pager"
 	"dynq/internal/rtree"
@@ -65,10 +66,19 @@ func (o Options) withDefaults() (Options, error) {
 
 // Shard is one partition: an R-tree over its own store, with its own cost
 // counters so per-shard load is observable.
+//
+// mu serializes writers per shard and isolates readers from half-applied
+// write batches: point writes and ApplyBatch sub-batches hold it
+// exclusively, single-shard query tasks hold it shared. Because every
+// writer holds at most ONE shard lock at a time and multi-shard readers
+// (self joins) acquire theirs in ascending shard order, no lock cycle
+// can form — which is what lets a write on shard 3 proceed while reads
+// drain shard 7.
 type Shard struct {
 	Tree     *rtree.Tree
 	Counters stats.Counters
 	store    pager.Store
+	mu       sync.RWMutex
 }
 
 // Engine is the sharded query engine. All methods are safe for concurrent
@@ -158,23 +168,78 @@ func (e *Engine) ShardFor(id rtree.ObjectID) int {
 	return int(mix(uint64(id)) % uint64(len(e.shards)))
 }
 
-// Insert routes one motion update to its owner shard.
+// Insert routes one motion update to its owner shard, locking only that
+// shard: writes on one partition run concurrently with queries and
+// writes on every other.
 func (e *Engine) Insert(en rtree.LeafEntry) error {
 	sh := e.shards[e.ShardFor(en.ID)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	return sh.Tree.Insert(en.ID, en.Seg)
 }
 
 // Delete removes the segment of an object starting at t0 from its owner
 // shard. It returns rtree.ErrNotFound when no such segment is indexed.
 func (e *Engine) Delete(id rtree.ObjectID, t0 float64) error {
-	return e.shards[e.ShardFor(id)].Tree.Delete(id, t0)
+	sh := e.shards[e.ShardFor(id)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.Tree.Delete(id, t0)
+}
+
+// Update is one element of an ApplyBatch write batch: an insertion, or
+// (with Delete set) the removal of the object's segment starting at T0.
+type Update struct {
+	ID     rtree.ObjectID
+	Seg    geom.Segment
+	T0     float64
+	Delete bool
+}
+
+// ApplyBatch partitions a write batch by owner shard and applies every
+// per-shard sub-batch in parallel, each under ONE shard-lock
+// acquisition: relative order within a shard is preserved (an object's
+// delete-then-reinsert works, because both route to the same shard), and
+// readers of a shard never observe a half-applied sub-batch. Cross-shard
+// visibility is not atomic — shards finish independently.
+//
+// A delete of a missing segment fails its shard's sub-batch with
+// rtree.ErrNotFound; the first error in shard order is returned, and
+// other shards may have applied their sub-batches fully.
+func (e *Engine) ApplyBatch(updates []Update) error {
+	parts := make([][]Update, len(e.shards))
+	for _, u := range updates {
+		i := e.ShardFor(u.ID)
+		parts[i] = append(parts[i], u)
+	}
+	return e.fanOut(func(i int, sh *Shard) error {
+		if len(parts[i]) == 0 {
+			return nil
+		}
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		for _, u := range parts[i] {
+			if u.Delete {
+				if err := sh.Tree.Delete(u.ID, u.T0); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := sh.Tree.Insert(u.ID, u.Seg); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 }
 
 // Size returns the total number of indexed segments.
 func (e *Engine) Size() int {
 	n := 0
 	for _, sh := range e.shards {
+		sh.mu.RLock()
 		n += sh.Tree.Size()
+		sh.mu.RUnlock()
 	}
 	return n
 }
@@ -194,6 +259,8 @@ func (e *Engine) BulkLoad(entries []rtree.LeafEntry) error {
 		parts[i] = append(parts[i], en)
 	}
 	return e.fanOut(func(i int, sh *Shard) error {
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
 		tree, err := rtree.BulkLoad(e.cfg, sh.store, parts[i])
 		if err != nil {
 			return err
@@ -233,6 +300,8 @@ func (e *Engine) ResetCost() {
 func (e *Engine) Stats() ([]rtree.TreeStats, error) {
 	out := make([]rtree.TreeStats, len(e.shards))
 	err := e.fanOut(func(i int, sh *Shard) error {
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
 		st, err := sh.Tree.Stats()
 		out[i] = st
 		return err
@@ -242,7 +311,11 @@ func (e *Engine) Stats() ([]rtree.TreeStats, error) {
 
 // Validate checks every shard's structural invariants.
 func (e *Engine) Validate() error {
-	return e.fanOut(func(_ int, sh *Shard) error { return sh.Tree.Validate() })
+	return e.fanOut(func(_ int, sh *Shard) error {
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		return sh.Tree.Validate()
+	})
 }
 
 // Close shuts the worker pool down and closes every shard's store.

@@ -12,7 +12,7 @@ import (
 // knownOps enumerates the protocol operations, in declaration order, for
 // per-op metric pre-registration (lock-free lookup on the request path).
 var knownOps = []Op{
-	OpSnapshot, OpInsert, OpKNN,
+	OpSnapshot, OpInsert, OpApplyUpdates, OpKNN,
 	OpPDQStart, OpPDQFetch,
 	OpNPDQ, OpNPDQReset,
 	OpAdaptiveStart, OpAdaptiveFrame,
@@ -152,7 +152,7 @@ func engineFor(op Op) (string, bool) {
 		return "npdq", true
 	case OpAdaptiveFrame:
 		return "adaptive", true
-	case OpInsert:
+	case OpInsert, OpApplyUpdates:
 		return "insert", true
 	}
 	return "", false

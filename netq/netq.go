@@ -42,10 +42,12 @@ import (
 //	1  original gob request/response stream, no handshake (implicit)
 //	2  hello/ack handshake; Request carries TraceID/SpanID.
 //	   Later additions within 2: the telemetry op and the
-//	   Response.Telemetry field. Both are additive and gob-compatible
-//	   (gob ignores unknown fields), and the handshake already demands
-//	   exact version equality, so they did not warrant a bump; a v2
-//	   server without the op answers it with a typed UnknownOpError.
+//	   Response.Telemetry field, then the apply-updates op with the
+//	   Request.Updates/Durability fields. All are additive and
+//	   gob-compatible (gob ignores unknown fields), and the handshake
+//	   already demands exact version equality, so they did not warrant
+//	   a bump; a v2 server without an op answers it with a typed
+//	   UnknownOpError.
 const ProtocolVersion = 2
 
 // protocolMagic distinguishes a netq peer from an arbitrary TCP
@@ -74,6 +76,7 @@ type Op string
 const (
 	OpSnapshot      Op = "snapshot"       // independent snapshot query
 	OpInsert        Op = "insert"         // motion update
+	OpApplyUpdates  Op = "apply-updates"  // batched motion updates (one round trip)
 	OpKNN           Op = "knn"            // k nearest neighbors at a time instant
 	OpPDQStart      Op = "pdq-start"      // register a trajectory (one per conn)
 	OpPDQFetch      Op = "pdq-fetch"      // fetch newly visible objects
@@ -109,6 +112,11 @@ type Request struct {
 	ID        dynq.ObjectID
 	Segment   dynq.Segment
 	Adaptive  dynq.AdaptiveOptions
+	// Updates and Durability carry the apply-updates op: a write batch
+	// applied as one database write, with the requested dynq.Durability
+	// level (meaningful when the server's database has a WAL armed).
+	Updates    []dynq.MotionUpdate
+	Durability dynq.Durability
 }
 
 // Response is one server→client message.
@@ -497,6 +505,11 @@ func (s *Server) dispatch(ctx context.Context, sess *connSessions, req Request) 
 		return Response{Results: rs}
 	case OpInsert:
 		if err := s.db.Insert(req.ID, req.Segment); err != nil {
+			return fail(err)
+		}
+		return Response{}
+	case OpApplyUpdates:
+		if err := s.db.ApplyUpdates(ctx, req.Updates, dynq.WriteOptions{Durability: req.Durability}); err != nil {
 			return fail(err)
 		}
 		return Response{}
@@ -1025,6 +1038,23 @@ func (c *Client) Insert(id dynq.ObjectID, seg dynq.Segment) error {
 // InsertCtx is Insert with cooperative cancellation.
 func (c *Client) InsertCtx(ctx context.Context, id dynq.ObjectID, seg dynq.Segment) error {
 	_, err := c.roundTrip(ctx, Request{Op: OpInsert, ID: id, Segment: seg})
+	return err
+}
+
+// ApplyUpdates sends a batch of motion updates applied as ONE database
+// write on the server: one round trip, one lock acquisition, one WAL
+// record — the high-rate ingest path. Updates apply in slice order.
+func (c *Client) ApplyUpdates(updates []dynq.MotionUpdate) error {
+	return c.ApplyUpdatesCtx(context.Background(), updates, dynq.DurabilityGroupCommit)
+}
+
+// ApplyUpdatesCtx is ApplyUpdates with cooperative cancellation and an
+// explicit durability level (meaningful when the server database has a
+// WAL armed). Like every write it is never auto-retried: a transport
+// failure surfaces as ErrConnectionLost and the batch may or may not
+// have been applied.
+func (c *Client) ApplyUpdatesCtx(ctx context.Context, updates []dynq.MotionUpdate, d dynq.Durability) error {
+	_, err := c.roundTrip(ctx, Request{Op: OpApplyUpdates, Updates: updates, Durability: d})
 	return err
 }
 

@@ -95,6 +95,60 @@ func TestSnapshotOverTheWire(t *testing.T) {
 	}
 }
 
+// TestApplyUpdatesOverTheWire drives the batched write op: inserts and
+// deletes in one round trip, in slice order, against both backends.
+func TestApplyUpdatesOverTheWire(t *testing.T) {
+	sharded, err := dynq.OpenSharded(dynq.ShardOptions{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sharded.Close() })
+	for name, db := range map[string]dynq.Database{
+		"single":  testDB(t),
+		"sharded": sharded,
+	} {
+		t.Run(name, func(t *testing.T) {
+			addr, stop := startServer(t, db)
+			defer stop()
+			cl, err := Dial(addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cl.Close()
+
+			seg := func(x float64) dynq.Segment {
+				return dynq.Segment{T0: 0, T1: 1, From: []float64{x, x}, To: []float64{x, x}}
+			}
+			// One batch: insert three objects, then delete-and-reinsert the
+			// middle one (order within the batch must hold).
+			batch := []dynq.MotionUpdate{
+				{ID: 1001, Segment: seg(200)},
+				{ID: 1002, Segment: seg(201)},
+				{ID: 1003, Segment: seg(202)},
+				{ID: 1002, Segment: dynq.Segment{T0: 0}, Delete: true},
+				{ID: 1002, Segment: seg(203)},
+			}
+			if err := cl.ApplyUpdates(batch); err != nil {
+				t.Fatal(err)
+			}
+			rs, err := cl.Snapshot(dynq.Rect{Min: []float64{199, 199}, Max: []float64{204, 204}}, 0, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rs) != 3 {
+				t.Fatalf("snapshot after batch found %d objects, want 3: %v", len(rs), rs)
+			}
+			// A delete of a missing segment fails the batch server-side.
+			err = cl.ApplyUpdatesCtx(context.Background(),
+				[]dynq.MotionUpdate{{ID: 424242, Segment: dynq.Segment{T0: 5}, Delete: true}},
+				dynq.DurabilitySync)
+			if err == nil {
+				t.Fatal("deleting a missing segment over the wire should fail")
+			}
+		})
+	}
+}
+
 func TestPredictiveSessionOverTheWire(t *testing.T) {
 	db := testDB(t)
 	addr, stop := startServer(t, db)

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"dynq/internal/obs"
 	"dynq/internal/pager"
 	"dynq/internal/rtree"
 )
@@ -11,7 +12,7 @@ import (
 // The database's shape metadata is stored in the page file's header so a
 // file-backed database can be reopened:
 //
-//	offset 0  1 byte  format version (1)
+//	offset 0  1 byte  format version (2)
 //	offset 1  1 byte  spatial dimensionality
 //	offset 2  1 byte  dual-time flag
 //	offset 3  1 byte  split policy
@@ -19,9 +20,17 @@ import (
 //	offset 8  4 bytes height
 //	offset 12 8 bytes segment count
 //	offset 20 8 bytes modification sequence
+//	offset 28 8 bytes applied WAL LSN (version 2; every update with an
+//	                  LSN at or below it is captured by the page commit,
+//	                  so recovery replays only records above it)
+//
+// Version 1 files (28 bytes, no LSN field) remain readable: they predate
+// the WAL, so their applied LSN is implicitly 0.
 const (
-	metaVersion = 1
-	metaLen     = 28
+	metaVersion1 = 1
+	metaVersion  = 2
+	metaLenV1    = 28
+	metaLen      = 36
 )
 
 // maxMetaSegments bounds the plausible persisted segment count; a page
@@ -29,7 +38,7 @@ const (
 // 32-bit, so anything near 2^40 is corruption, not data.
 const maxMetaSegments = 1 << 40
 
-func encodeMeta(m rtree.Meta) []byte {
+func encodeMeta(m rtree.Meta, appliedLSN uint64) []byte {
 	buf := make([]byte, metaLen)
 	buf[0] = metaVersion
 	buf[1] = byte(m.Config.Dims)
@@ -41,50 +50,60 @@ func encodeMeta(m rtree.Meta) []byte {
 	binary.LittleEndian.PutUint32(buf[8:], uint32(m.Height))
 	binary.LittleEndian.PutUint64(buf[12:], uint64(m.Size))
 	binary.LittleEndian.PutUint64(buf[20:], m.ModSeq)
+	binary.LittleEndian.PutUint64(buf[28:], appliedLSN)
 	return buf
 }
 
 // decodeMeta parses and VALIDATES persisted metadata. Every field is
 // range-checked and cross-checked before an rtree.Config is built from
 // it, so corrupt bytes surface as a descriptive error wrapping
-// ErrCorrupt instead of a bogus tree shape.
-func decodeMeta(buf []byte) (rtree.Meta, error) {
+// ErrCorrupt instead of a bogus tree shape. The second return is the
+// applied WAL LSN (0 for version-1 files, which predate the WAL).
+func decodeMeta(buf []byte) (rtree.Meta, uint64, error) {
 	if len(buf) == 0 {
-		return rtree.Meta{}, fmt.Errorf("%w: page file carries no database metadata", ErrCorrupt)
+		return rtree.Meta{}, 0, fmt.Errorf("%w: page file carries no database metadata", ErrCorrupt)
 	}
-	if len(buf) < metaLen {
-		return rtree.Meta{}, fmt.Errorf("%w: metadata truncated (%d bytes, want %d)", ErrCorrupt, len(buf), metaLen)
+	if len(buf) < metaLenV1 {
+		return rtree.Meta{}, 0, fmt.Errorf("%w: metadata truncated (%d bytes, want %d)", ErrCorrupt, len(buf), metaLenV1)
 	}
-	if buf[0] != metaVersion {
-		return rtree.Meta{}, fmt.Errorf("%w: unsupported metadata version %d (want %d)", ErrCorrupt, buf[0], metaVersion)
+	var appliedLSN uint64
+	switch buf[0] {
+	case metaVersion1:
+	case metaVersion:
+		if len(buf) < metaLen {
+			return rtree.Meta{}, 0, fmt.Errorf("%w: metadata truncated (%d bytes, version 2 wants %d)", ErrCorrupt, len(buf), metaLen)
+		}
+		appliedLSN = binary.LittleEndian.Uint64(buf[28:])
+	default:
+		return rtree.Meta{}, 0, fmt.Errorf("%w: unsupported metadata version %d (want %d or %d)", ErrCorrupt, buf[0], metaVersion1, metaVersion)
 	}
 	dims := int(buf[1])
 	if dims < 1 || dims > 8 {
-		return rtree.Meta{}, fmt.Errorf("%w: spatial dimensionality %d outside [1,8]", ErrCorrupt, dims)
+		return rtree.Meta{}, 0, fmt.Errorf("%w: spatial dimensionality %d outside [1,8]", ErrCorrupt, dims)
 	}
 	if buf[2] > 1 {
-		return rtree.Meta{}, fmt.Errorf("%w: dual-time flag byte %d is not 0 or 1", ErrCorrupt, buf[2])
+		return rtree.Meta{}, 0, fmt.Errorf("%w: dual-time flag byte %d is not 0 or 1", ErrCorrupt, buf[2])
 	}
 	split := rtree.SplitPolicy(buf[3])
 	switch split {
 	case rtree.SplitQuadratic, rtree.SplitLinear, rtree.SplitRStarAxis:
 	default:
-		return rtree.Meta{}, fmt.Errorf("%w: unknown split policy byte %d", ErrCorrupt, buf[3])
+		return rtree.Meta{}, 0, fmt.Errorf("%w: unknown split policy byte %d", ErrCorrupt, buf[3])
 	}
 	root := pager.PageID(binary.LittleEndian.Uint32(buf[4:]))
 	height := binary.LittleEndian.Uint32(buf[8:])
 	size := binary.LittleEndian.Uint64(buf[12:])
 	if height > 255 {
-		return rtree.Meta{}, fmt.Errorf("%w: index height %d implausible (node levels are 8-bit)", ErrCorrupt, height)
+		return rtree.Meta{}, 0, fmt.Errorf("%w: index height %d implausible (node levels are 8-bit)", ErrCorrupt, height)
 	}
 	if size > maxMetaSegments {
-		return rtree.Meta{}, fmt.Errorf("%w: segment count %d implausible", ErrCorrupt, size)
+		return rtree.Meta{}, 0, fmt.Errorf("%w: segment count %d implausible", ErrCorrupt, size)
 	}
 	if (root == pager.InvalidPage) != (height == 0) {
-		return rtree.Meta{}, fmt.Errorf("%w: root page %d inconsistent with height %d", ErrCorrupt, root, height)
+		return rtree.Meta{}, 0, fmt.Errorf("%w: root page %d inconsistent with height %d", ErrCorrupt, root, height)
 	}
 	if height == 0 && size != 0 {
-		return rtree.Meta{}, fmt.Errorf("%w: empty index (height 0) claims %d segments", ErrCorrupt, size)
+		return rtree.Meta{}, 0, fmt.Errorf("%w: empty index (height 0) claims %d segments", ErrCorrupt, size)
 	}
 	cfg := rtree.DefaultConfig()
 	cfg.Dims = dims
@@ -96,7 +115,7 @@ func decodeMeta(buf []byte) (rtree.Meta, error) {
 		Size:   int(size),
 		ModSeq: binary.LittleEndian.Uint64(buf[20:]),
 		Config: cfg,
-	}, nil
+	}, appliedLSN, nil
 }
 
 // auxStore is the optional store capability for persisting metadata in
@@ -110,31 +129,65 @@ type auxStore interface {
 // Sync persists index metadata and flushes pages; on a FileStore the
 // commit is atomic (dual header slots), so a crash mid-Sync leaves the
 // previous committed state intact. For a memory-backed database it is a
-// no-op. Persistent storage failures eventually degrade the database to
-// read-only (see Degraded).
+// no-op. With a WAL armed, a successful Sync also checkpoints the log:
+// the metadata commit records the highest applied LSN, so the now
+// redundant records are truncated away and recovery replays only what
+// the page commit missed.
+//
+// Persistent storage failures eventually degrade the database to
+// read-only (see Degraded) — and with a WAL armed, a single Sync failure
+// degrades immediately: the log would otherwise grow unboundedly while
+// silent retries mask a checkpoint that can never advance.
 func (db *DB) Sync() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if err := db.writeGate(); err != nil {
 		return err
 	}
+	var lsn uint64
+	if db.wal != nil {
+		lsn = db.wal.LastLSN()
+	}
 	if err := db.tree.Pool().Flush(); err != nil {
-		return db.noteWriteResult(fmt.Errorf("dynq: flush pages: %w", err))
+		return db.syncFailure("flush pages", err)
 	}
 	if s, ok := db.store.(auxStore); ok {
-		if err := s.SetAux(encodeMeta(db.tree.Meta())); err != nil {
-			return db.noteWriteResult(fmt.Errorf("dynq: stage metadata: %w", err))
+		if err := s.SetAux(encodeMeta(db.tree.Meta(), lsn)); err != nil {
+			return db.syncFailure("stage metadata", err)
 		}
 	}
 	if err := db.store.Sync(); err != nil {
-		return db.noteWriteResult(fmt.Errorf("dynq: commit: %w", err))
+		return db.syncFailure("commit", err)
+	}
+	if db.wal != nil {
+		if err := db.wal.Checkpoint(lsn); err != nil {
+			return db.syncFailure("wal checkpoint", err)
+		}
 	}
 	return db.noteWriteResult(nil)
 }
 
+// syncFailure classifies a failed Sync stage. Without a WAL it feeds the
+// ordinary consecutive-failure degradation counter. With a WAL armed it
+// degrades the database to read-only IMMEDIATELY and journals the event:
+// writers keep appending to a log whose checkpoint cannot advance, so
+// "retry later" silently trades durability for an unbounded log.
+func (db *DB) syncFailure(stage string, cause error) error {
+	err := fmt.Errorf("dynq: %s: %w", stage, cause)
+	if db.wal == nil {
+		return db.noteWriteResult(err)
+	}
+	obs.DefaultJournal().Record(obs.EventSyncFailure, obs.SeverityError,
+		"checkpoint sync failed with WAL armed; degrading to read-only",
+		map[string]string{"stage": stage, "error": cause.Error()})
+	db.health.set(true)
+	return err
+}
+
 // OpenFile reattaches a database previously created with Options.Path
 // and persisted with Sync, running the same integrity verification as
-// OpenFileRecover but discarding the report.
+// OpenFileRecover but discarding the report. A WAL sidecar at
+// "<path>.wal" is detected, replayed, and re-armed automatically.
 func OpenFile(path string) (*DB, error) {
 	db, _, err := OpenFileRecover(path)
 	return db, err

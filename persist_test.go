@@ -12,7 +12,7 @@ import (
 
 func validMetaBytes() []byte {
 	m := rtree.Meta{Root: 3, Height: 2, Size: 100, ModSeq: 7, Config: rtree.DefaultConfig()}
-	return encodeMeta(m)
+	return encodeMeta(m, 0)
 }
 
 func TestDecodeMetaRoundTrip(t *testing.T) {
@@ -21,7 +21,7 @@ func TestDecodeMetaRoundTrip(t *testing.T) {
 	cfg.DualTime = true
 	cfg.Split = rtree.SplitRStarAxis
 	in := rtree.Meta{Root: 42, Height: 4, Size: 12345, ModSeq: 99, Config: cfg}
-	out, err := decodeMeta(encodeMeta(in))
+	out, lsn, err := decodeMeta(encodeMeta(in, 777))
 	if err != nil {
 		t.Fatalf("decode: %v", err)
 	}
@@ -29,6 +29,23 @@ func TestDecodeMetaRoundTrip(t *testing.T) {
 		out.ModSeq != in.ModSeq || out.Config.Dims != 3 || !out.Config.DualTime ||
 		out.Config.Split != rtree.SplitRStarAxis {
 		t.Fatalf("round trip mismatch: %+v != %+v", out, in)
+	}
+	if lsn != 777 {
+		t.Fatalf("applied LSN = %d, want 777", lsn)
+	}
+}
+
+// TestDecodeMetaAcceptsVersion1 checks the upgrade path: a 28-byte
+// version-1 header (pre-WAL) decodes with an applied LSN of 0.
+func TestDecodeMetaAcceptsVersion1(t *testing.T) {
+	b := validMetaBytes()[:metaLenV1]
+	b[0] = metaVersion1
+	m, lsn, err := decodeMeta(b)
+	if err != nil {
+		t.Fatalf("decode v1: %v", err)
+	}
+	if lsn != 0 || m.Root != 3 || m.Height != 2 || m.Size != 100 {
+		t.Fatalf("v1 decode = (%+v, %d), want original fields with LSN 0", m, lsn)
 	}
 }
 
@@ -42,7 +59,8 @@ func TestDecodeMetaRejectsCorruption(t *testing.T) {
 		wantSub string
 	}{
 		{"empty", func(b []byte) []byte { return nil }, "no database metadata"},
-		{"truncated", func(b []byte) []byte { return b[:metaLen-1] }, "truncated"},
+		{"truncated", func(b []byte) []byte { return b[:metaLenV1-1] }, "truncated"},
+		{"truncated v2", func(b []byte) []byte { return b[:metaLen-1] }, "truncated"},
 		{"bad version", func(b []byte) []byte { b[0] = 9; return b }, "version"},
 		{"dims zero", func(b []byte) []byte { b[1] = 0; return b }, "dimensionality"},
 		{"dims huge", func(b []byte) []byte { b[1] = 200; return b }, "dimensionality"},
@@ -72,7 +90,7 @@ func TestDecodeMetaRejectsCorruption(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			_, err := decodeMeta(tc.mutate(validMetaBytes()))
+			_, _, err := decodeMeta(tc.mutate(validMetaBytes()))
 			if err == nil {
 				t.Fatal("corrupt metadata accepted")
 			}
@@ -91,22 +109,32 @@ func TestDecodeMetaRejectsCorruption(t *testing.T) {
 // range, so encode(decode(x)) must reproduce the input exactly.
 func FuzzDecodeMeta(f *testing.F) {
 	f.Add(validMetaBytes())
-	empty := encodeMeta(rtree.Meta{Root: pager.InvalidPage, Config: rtree.DefaultConfig()})
+	empty := encodeMeta(rtree.Meta{Root: pager.InvalidPage, Config: rtree.DefaultConfig()}, 0)
 	f.Add(empty)
 	f.Add([]byte{})
 	f.Add([]byte{1})
 	f.Add([]byte{2, 2, 0, 0, 3, 0, 0, 0, 1, 0, 0, 0, 5, 0, 0, 0, 0, 0, 0, 0, 9, 0, 0, 0, 0, 0, 0, 0})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		m, err := decodeMeta(data)
+		m, lsn, err := decodeMeta(data)
 		if err != nil {
 			if !errors.Is(err, ErrCorrupt) {
 				t.Fatalf("rejection not typed as ErrCorrupt: %v", err)
 			}
 			return
 		}
-		re := encodeMeta(m)
-		if len(data) < metaLen || string(re) != string(data[:metaLen]) {
-			t.Fatalf("accepted metadata does not round-trip:\n in  %x\n out %x", data, re)
+		// Acceptance means every field was in range, so re-encoding must
+		// reproduce the input. Version-1 inputs (no LSN field) re-encode
+		// as version 2: compare the shared fields and require LSN 0.
+		re := encodeMeta(m, lsn)
+		switch data[0] {
+		case metaVersion1:
+			if lsn != 0 || len(data) < metaLenV1 || string(re[1:metaLenV1]) != string(data[1:metaLenV1]) {
+				t.Fatalf("accepted v1 metadata does not round-trip:\n in  %x\n out %x", data, re)
+			}
+		default:
+			if len(data) < metaLen || string(re) != string(data[:metaLen]) {
+				t.Fatalf("accepted metadata does not round-trip:\n in  %x\n out %x", data, re)
+			}
 		}
 	})
 }

@@ -3,11 +3,15 @@ package dynq
 import (
 	"errors"
 	"fmt"
+	"os"
 	"strconv"
+	"time"
 
+	"dynq/internal/geom"
 	"dynq/internal/obs"
 	"dynq/internal/pager"
 	"dynq/internal/rtree"
+	"dynq/internal/wal"
 )
 
 // ErrCorrupt is the umbrella for every integrity failure detected when
@@ -46,6 +50,21 @@ type RecoveryReport struct {
 	// OrphanPages is the number of unreachable pages that were not on
 	// the free chain and were returned to it.
 	OrphanPages int
+	// WALArmed is true when a write-ahead log was opened (and re-armed)
+	// alongside the page file; the fields below are meaningful only then.
+	WALArmed bool
+	// WALCheckpointLSN is the log's committed checkpoint: every update at
+	// or below it was already captured by a page commit.
+	WALCheckpointLSN uint64
+	// WALRecordsReplayed and WALUpdatesReplayed count the log records
+	// (batches) and individual motion updates re-applied on top of the
+	// committed tree.
+	WALRecordsReplayed, WALUpdatesReplayed int
+	// WALTornTail is true when the log ended in a torn record — a crash
+	// mid-append or mid-group-commit — whose bytes were discarded. Only
+	// un-acknowledged writes can be torn: a record covered by a completed
+	// Sync/group-commit fsync is never part of the torn tail.
+	WALTornTail bool
 }
 
 // String renders a one-line summary for logs and tools.
@@ -58,6 +77,13 @@ func (r RecoveryReport) String() string {
 	if r.FreeListRebuilt {
 		s += fmt.Sprintf(", rebuilt free list (%d orphans)", r.OrphanPages)
 	}
+	if r.WALArmed {
+		s += fmt.Sprintf(", wal: replayed %d records (%d updates) past checkpoint %d",
+			r.WALRecordsReplayed, r.WALUpdatesReplayed, r.WALCheckpointLSN)
+		if r.WALTornTail {
+			s += ", discarded torn tail"
+		}
+	}
 	return s
 }
 
@@ -68,6 +94,35 @@ func (r RecoveryReport) String() string {
 // chain is damaged. Corruption surfaces as a typed error wrapping
 // ErrCorrupt; the returned report says what was checked and repaired.
 func OpenFileRecover(path string) (*DB, *RecoveryReport, error) {
+	return OpenFileRecoverWith(path, RecoverOptions{})
+}
+
+// RecoverOptions tune OpenFileRecoverWith; the zero value matches
+// OpenFileRecover exactly.
+type RecoverOptions struct {
+	// WALPath forces a write-ahead log at that path (created when
+	// missing, replayed when not). Empty means auto-detect: the
+	// conventional sidecar "<path>.wal" is armed iff it already exists.
+	WALPath string
+	// GroupCommitWindow is the armed log's coalescing window (see
+	// Options.GroupCommitWindow).
+	GroupCommitWindow time.Duration
+	// BufferPages enables the server-side LRU page buffer (see
+	// Options.BufferPages).
+	BufferPages int
+	// DegradeAfter is the consecutive-write-failure threshold (see
+	// Options.DegradeAfter).
+	DegradeAfter int
+}
+
+// OpenFileRecoverWith is OpenFileRecover with knobs: it can force-arm a
+// write-ahead log (dqserver -wal), set the group-commit window, and
+// restore buffer/degradation options that plain recovery leaves at their
+// defaults.
+func OpenFileRecoverWith(path string, opts RecoverOptions) (*DB, *RecoveryReport, error) {
+	if opts.BufferPages < 0 {
+		return nil, nil, fmt.Errorf("dynq: RecoverOptions.BufferPages must be >= 0, got %d", opts.BufferPages)
+	}
 	fs, err := pager.OpenFileStore(path)
 	if err != nil {
 		return nil, nil, err
@@ -77,14 +132,109 @@ func OpenFileRecover(path string) (*DB, *RecoveryReport, error) {
 		fs.Close()
 		return nil, nil, err
 	}
+	db.health.after = int32(opts.DegradeAfter)
+	walPath := opts.WALPath
+	if walPath == "" {
+		sidecar := path + ".wal"
+		if _, serr := os.Stat(sidecar); serr == nil {
+			walPath = sidecar
+		}
+	}
+	bufferPages := opts.BufferPages
+	if walPath != "" && bufferPages == 0 {
+		// Same default as Open: a logged database buffers dirty pages so
+		// crashes cannot tear the committed base the log replays onto.
+		bufferPages = defaultWALBufferPages
+	}
+	if bufferPages > 0 {
+		if err := db.tree.UseBuffer(bufferPages); err != nil {
+			db.Close()
+			return nil, nil, err
+		}
+		db.bufferPages = bufferPages
+	}
+	if walPath != "" {
+		if err := db.armWAL(walPath, opts.GroupCommitWindow, rep); err != nil {
+			db.Close()
+			return nil, nil, err
+		}
+	}
 	return db, rep, nil
+}
+
+// armWAL opens (or creates) the write-ahead log, replays every record
+// the committed page state has not yet absorbed, and attaches the log so
+// subsequent writes append to it. Replay happens before the database is
+// visible, so no locking is needed; deletes of missing segments are
+// tolerated (the segment may have died to a later record before the
+// crash). The replayed state lives in memory until the next Sync
+// checkpoints it — exactly like writes that never crashed.
+func (db *DB) armWAL(path string, window time.Duration, rep *RecoveryReport) error {
+	w, scan, err := wal.Open(path, wal.Options{GroupCommitWindow: window})
+	if err != nil {
+		return fmt.Errorf("dynq: open wal: %w", err)
+	}
+	records, updates := 0, 0
+	err = w.Replay(db.appliedLSN, func(lsn uint64, payload []byte) error {
+		ups, derr := decodeUpdates(payload, db.cfg.Dims)
+		if derr != nil {
+			return fmt.Errorf("%w: wal record %d: %v", ErrCorrupt, lsn, derr)
+		}
+		segs := make([]geom.Segment, len(ups))
+		for i, u := range ups {
+			if u.Delete {
+				continue
+			}
+			g, serr := toSegmentDims(u.Segment, db.cfg.Dims)
+			if serr != nil {
+				return fmt.Errorf("%w: wal record %d: %v", ErrCorrupt, lsn, serr)
+			}
+			segs[i] = g
+		}
+		if aerr := db.applyLocked(ups, segs, true); aerr != nil {
+			return fmt.Errorf("dynq: wal replay record %d: %w", lsn, aerr)
+		}
+		records++
+		updates += len(ups)
+		return nil
+	})
+	if err != nil {
+		w.Close()
+		return err
+	}
+	db.wal = w
+	if rep != nil {
+		rep.WALArmed = true
+		rep.WALCheckpointLSN = scan.Checkpoint
+		rep.WALRecordsReplayed = records
+		rep.WALUpdatesReplayed = updates
+		rep.WALTornTail = scan.TornTail
+	}
+	if records > 0 || scan.TornTail {
+		sev := obs.SeverityInfo
+		if scan.TornTail {
+			sev = obs.SeverityWarn
+		}
+		obs.DefaultJournal().Record(obs.EventWALReplay, sev,
+			fmt.Sprintf("wal replay: %d records (%d updates) past checkpoint %d, torn tail: %v",
+				records, updates, scan.Checkpoint, scan.TornTail),
+			map[string]string{
+				"records":     strconv.Itoa(records),
+				"updates":     strconv.Itoa(updates),
+				"checkpoint":  strconv.FormatUint(scan.Checkpoint, 10),
+				"torn_tail":   strconv.FormatBool(scan.TornTail),
+				"last_lsn":    strconv.FormatUint(scan.LastLSN, 10),
+				"applied_lsn": strconv.FormatUint(db.appliedLSN, 10),
+			})
+	}
+	return nil
 }
 
 // recoverFileStore verifies the committed state of fs and builds a DB
 // whose tree reads through treeStore — normally fs itself, but tests and
 // the fault soak pass a FaultStore wrapping it.
 func recoverFileStore(fs *pager.FileStore, treeStore pager.Store) (*DB, *RecoveryReport, error) {
-	m, err := decodeMeta(fs.Aux())
+	m, appliedLSN, err := decodeMeta(fs.Aux())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -110,7 +260,7 @@ func recoverFileStore(fs *pager.FileStore, treeStore pager.Store) (*DB, *Recover
 	if err != nil {
 		return nil, nil, err
 	}
-	db := &DB{tree: tree, cfg: m.Config, store: treeStore}
+	db := &DB{tree: tree, cfg: m.Config, store: treeStore, appliedLSN: appliedLSN}
 	tree.SetCounters(&db.counters)
 	db.recovery = rep
 	rep.journal()

@@ -133,12 +133,12 @@ func TestOpenFileRecoverDetectsMetaMismatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := decodeMeta(fs.Aux())
+	m, lsn, err := decodeMeta(fs.Aux())
 	if err != nil {
 		t.Fatal(err)
 	}
 	m.Size += 7
-	if err := fs.SetAux(encodeMeta(m)); err != nil {
+	if err := fs.SetAux(encodeMeta(m, lsn)); err != nil {
 		t.Fatal(err)
 	}
 	if err := fs.Close(); err != nil {

@@ -33,10 +33,15 @@ type ShardOptions struct {
 // mirrors the DB API (and satisfies Database), so a server can swap one
 // for the other without protocol changes.
 //
-// Concurrency: the same reader-writer discipline as DB — queries hold a
-// shared lock (their per-shard tasks additionally share the engine's
-// bounded worker pool), mutations hold the exclusive lock, stats
-// accessors are atomic, and session types are single-goroutine.
+// Concurrency: writes synchronize per shard, not per database. Data
+// mutations (Insert, Delete, ApplyUpdates) hold the database lock in
+// SHARED mode and serialize on their owner shard's lock inside the
+// engine, so a write burst on shard 3 never blocks a read on shard 7 —
+// only on shard 3, and only for the duration of that batch. Queries
+// hold the shared database lock plus per-shard read locks inside their
+// fan-out tasks. Structural operations (BulkLoad, Close) take the
+// database lock exclusively. Stats accessors are atomic, and session
+// types are single-goroutine.
 type ShardedDB struct {
 	mu     sync.RWMutex
 	engine *shard.Engine
@@ -53,6 +58,9 @@ func OpenSharded(opts ShardOptions) (*ShardedDB, error) {
 	}
 	if opts.Workers < 0 {
 		return nil, fmt.Errorf("dynq: ShardOptions.Workers must be >= 0, got %d", opts.Workers)
+	}
+	if opts.WALPath != "" {
+		return nil, fmt.Errorf("dynq: ShardOptions does not support a WAL (the sharded engine is in-memory-durable only; use a single-tree DB for logged ingest)")
 	}
 	cfg, err := opts.Options.toConfig()
 	if err != nil {
@@ -103,30 +111,104 @@ func (db *ShardedDB) ShardFor(id ObjectID) int {
 
 // Insert records one motion update for an object on its owner shard.
 func (db *ShardedDB) Insert(id ObjectID, seg Segment) error {
-	g, err := toSegmentDims(seg, db.dims)
-	if err != nil {
+	return db.InsertCtx(context.Background(), id, seg, WriteOptions{})
+}
+
+// InsertCtx is Insert with a context and per-write options.
+func (db *ShardedDB) InsertCtx(ctx context.Context, id ObjectID, seg Segment, opts WriteOptions) error {
+	return db.ApplyUpdates(ctx, []MotionUpdate{{ID: id, Segment: seg}}, opts)
+}
+
+// Delete removes the motion update of an object that started at t0 from
+// its owner shard. It returns ErrNotFound if no such segment is indexed.
+func (db *ShardedDB) Delete(id ObjectID, t0 float64) error {
+	return db.DeleteCtx(context.Background(), id, t0, WriteOptions{})
+}
+
+// DeleteCtx is Delete with a context and per-write options.
+func (db *ShardedDB) DeleteCtx(ctx context.Context, id ObjectID, t0 float64, opts WriteOptions) error {
+	return db.ApplyUpdates(ctx, []MotionUpdate{{ID: id, Segment: Segment{T0: t0}, Delete: true}}, opts)
+}
+
+// ApplyUpdates applies a batch of motion updates as one write. The batch
+// is partitioned by owner shard and each shard's portion applies under
+// that shard's lock alone, in slice order within the shard — so
+// concurrent batches touching disjoint shards proceed fully in
+// parallel, and readers of untouched shards are never blocked.
+// Cross-shard order within one batch is unspecified; per-object order
+// is preserved (an object lives on exactly one shard).
+//
+// The sharded engine has no WAL, so opts.Durability is ignored; Sync
+// does not exist here either — durability comes from rebuilding shards.
+// A delete of a missing segment fails the batch with ErrNotFound.
+func (db *ShardedDB) ApplyUpdates(ctx context.Context, updates []MotionUpdate, opts WriteOptions) error {
+	if len(updates) == 0 {
+		return nil
+	}
+	ctx, finish := opts.begin(ctx, db.engine.CostSnapshot)
+	defer finish()
+	ups := make([]shard.Update, len(updates))
+	for i, u := range updates {
+		if u.Delete {
+			ups[i] = shard.Update{ID: rtree.ObjectID(u.ID), T0: u.Segment.T0, Delete: true}
+			continue
+		}
+		g, err := toSegmentDims(u.Segment, db.dims)
+		if err != nil {
+			return err
+		}
+		ups[i] = shard.Update{ID: rtree.ObjectID(u.ID), Seg: g}
+	}
+	if err := ctx.Err(); err != nil {
 		return err
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	if err := db.health.gate(); err != nil {
 		return err
 	}
-	return db.health.note(db.engine.Insert(rtree.LeafEntry{ID: rtree.ObjectID(id), Seg: g}))
+	err := db.engine.ApplyBatch(ups)
+	if err == rtree.ErrNotFound {
+		// A missing segment is an answer, not a storage failure.
+		return ErrNotFound
+	}
+	return db.health.note(err)
 }
 
 // BulkLoad partitions the segment set by owner shard and bulk-loads every
 // shard in parallel, replacing current contents. The db must be empty.
+//
+// Deprecated: the map form loses insertion order. Use BulkLoadUpdates.
 func (db *ShardedDB) BulkLoad(segs map[ObjectID][]Segment) error {
-	var entries []rtree.LeafEntry
-	for id, list := range segs {
-		for _, s := range list {
-			g, err := toSegmentDims(s, db.dims)
-			if err != nil {
-				return err
-			}
-			entries = append(entries, rtree.LeafEntry{ID: rtree.ObjectID(id), Seg: g})
+	return db.BulkLoadUpdates(sortedUpdates(segs))
+}
+
+// BulkLoadUpdates is BulkLoadCtx without a context: the order-preserving
+// bulk load form sharing MotionUpdate with ApplyUpdates.
+func (db *ShardedDB) BulkLoadUpdates(updates []MotionUpdate) error {
+	return db.BulkLoadCtx(context.Background(), updates, WriteOptions{})
+}
+
+// BulkLoadCtx bulk-loads an ordered batch into every shard in parallel,
+// replacing current contents; the database must be empty and the batch
+// must contain no deletions. Unlike the per-shard data writes it holds
+// the database lock exclusively: every shard's tree is swapped at once.
+func (db *ShardedDB) BulkLoadCtx(ctx context.Context, updates []MotionUpdate, opts WriteOptions) error {
+	ctx, finish := opts.begin(ctx, db.engine.CostSnapshot)
+	defer finish()
+	entries := make([]rtree.LeafEntry, len(updates))
+	for i, u := range updates {
+		if u.Delete {
+			return fmt.Errorf("dynq: BulkLoad batch contains a deletion (object %d); deletions need an existing index", u.ID)
 		}
+		g, err := toSegmentDims(u.Segment, db.dims)
+		if err != nil {
+			return err
+		}
+		entries[i] = rtree.LeafEntry{ID: rtree.ObjectID(u.ID), Seg: g}
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -134,22 +216,6 @@ func (db *ShardedDB) BulkLoad(segs map[ObjectID][]Segment) error {
 		return err
 	}
 	return db.health.note(db.engine.BulkLoad(entries))
-}
-
-// Delete removes the motion update of an object that started at t0 from
-// its owner shard. It returns ErrNotFound if no such segment is indexed.
-func (db *ShardedDB) Delete(id ObjectID, t0 float64) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if err := db.health.gate(); err != nil {
-		return err
-	}
-	err := db.engine.Delete(rtree.ObjectID(id), t0)
-	if err == rtree.ErrNotFound {
-		// A missing segment is an answer, not a storage failure.
-		return ErrNotFound
-	}
-	return db.health.note(err)
 }
 
 // Snapshot answers one spatio-temporal range query across all shards.

@@ -240,7 +240,7 @@ func openFaulted(path string, plan *pager.FaultPlan, bufferPages int) (*DB, *pag
 	}
 	faults := pager.NewFaultStore(fs)
 	faults.Script(plan)
-	m, err := decodeMeta(fs.Aux())
+	m, appliedLSN, err := decodeMeta(fs.Aux())
 	if err != nil {
 		fs.Close()
 		return nil, nil, nil, err
@@ -256,7 +256,7 @@ func openFaulted(path string, plan *pager.FaultPlan, bufferPages int) (*DB, *pag
 			return nil, nil, nil, err
 		}
 	}
-	db := &DB{tree: tree, cfg: m.Config, store: faults, bufferPages: bufferPages}
+	db := &DB{tree: tree, cfg: m.Config, store: faults, bufferPages: bufferPages, appliedLSN: appliedLSN}
 	db.health.after = -1 // the soak handles failures itself
 	tree.SetCounters(&db.counters)
 	return db, fs, faults, nil

@@ -1,0 +1,440 @@
+package dynq
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"dynq/internal/pager"
+)
+
+// WALSoakOptions configure WALSoak, the crash/reopen loop behind
+// dqbench -faults -wal. Unlike FaultSoak it injects no storage faults
+// into the page file; the adversary here is the crash itself — torn
+// bytes at the tail of the write-ahead log, exactly where a real crash
+// mid-append or mid-group-commit tears.
+type WALSoakOptions struct {
+	// Cycles is the number of crash/reopen iterations (default 50).
+	Cycles int
+	// Seed drives the workload, the tear schedule, and the query mix;
+	// the same seed replays the same soak (default 1).
+	Seed int64
+	// Batch is the number of motion updates per ApplyUpdates batch
+	// (default 32).
+	Batch int
+	// AckedBatches is the number of durably acknowledged batches per
+	// cycle, spread across Writers goroutines so group commit coalesces
+	// them (default 4). Every acknowledged batch MUST survive the crash.
+	AckedBatches int
+	// AsyncBatches is the number of DurabilityAsync batches appended
+	// after the acknowledged phase (default 4). These are the torn
+	// tail's victims: a crash may keep a prefix of them, record by
+	// record, never a partial record.
+	AsyncBatches int
+	// Writers is the number of concurrent goroutines issuing the
+	// acknowledged batches (default 4).
+	Writers int
+	// BufferPages is the page-buffer capacity (default 4096). It must
+	// hold the working set: the soak relies on dirty pages staying in
+	// memory between checkpoints so the crash never tears the page file
+	// itself — that failure class is FaultSoak's department.
+	BufferPages int
+	// CheckpointEvery checkpoints (Sync) after the acknowledged phase
+	// every n-th cycle, exercising log truncation and the epoch bump
+	// (default 3; <0 disables).
+	CheckpointEvery int
+	// MaxSegments rotates to a fresh file + log once the committed set
+	// grows past it (default 8192).
+	MaxSegments int
+	// Dir is the working directory (default: a fresh temp dir).
+	Dir string
+	// Log, when set, receives one progress line per 25 cycles.
+	Log func(format string, args ...any)
+}
+
+// WALSoakReport summarizes a WALSoak run. The invariants are
+// LostAcked == 0 (no acknowledged write may vanish, whatever was torn)
+// and WrongAnswers == 0 (the recovered database answers every query
+// exactly like a replica that never crashed).
+type WALSoakReport struct {
+	Cycles          int // crash/reopen iterations executed
+	BatchesAcked    int // durably acknowledged batches (all must survive)
+	BatchesAsync    int // async batches exposed to the tear
+	AsyncSurvived   int // async batches found intact after replay
+	Tears           int // cycles whose log tail was torn or corrupted
+	TornTails       int // reopens that reported a discarded torn tail
+	Checkpoints     int // Sync checkpoints taken
+	RecordsReplayed int // WAL records re-applied across all reopens
+	UpdatesReplayed int // motion updates re-applied across all reopens
+	Rotations       int // fresh-file rotations after MaxSegments
+	LostAcked       int // acknowledged batches missing after replay (MUST be 0)
+	WrongAnswers    int // query answers differing from the replica (MUST be 0)
+	QueriesCompared int // individual query comparisons performed
+}
+
+func (r WALSoakReport) String() string {
+	return fmt.Sprintf(
+		"%d cycles: %d acked + %d async batches (%d survived), %d tears (%d torn tails discarded), %d checkpoints, replayed %d records (%d updates), %d rotations | %d lost acked, %d wrong answers (%d queries compared)",
+		r.Cycles, r.BatchesAcked, r.BatchesAsync, r.AsyncSurvived,
+		r.Tears, r.TornTails, r.Checkpoints,
+		r.RecordsReplayed, r.UpdatesReplayed, r.Rotations,
+		r.LostAcked, r.WrongAnswers, r.QueriesCompared)
+}
+
+// WALSoak runs crash/reopen cycles against a WAL-armed file database.
+// Each cycle reopens with recovery (replaying the log), verifies the
+// recovered answers against an in-memory replica fed the same batches,
+// then writes a new round: concurrently group-committed batches that
+// must survive, a checkpoint every few cycles, and a tail of
+// DurabilityAsync batches. The cycle ends in a hard crash — the page
+// file and log are abandoned without a sync — followed, most cycles, by
+// a tear: truncating or flipping bytes strictly after the last
+// acknowledged (fsynced) log offset, simulating a torn append or a
+// group commit that died mid-write. Acknowledged data is never touched,
+// because a completed fsync means those bytes survive a real crash.
+func WALSoak(opts WALSoakOptions) (WALSoakReport, error) {
+	if opts.Cycles <= 0 {
+		opts.Cycles = 50
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.Batch <= 0 {
+		opts.Batch = 32
+	}
+	if opts.AckedBatches <= 0 {
+		opts.AckedBatches = 4
+	}
+	if opts.AsyncBatches <= 0 {
+		opts.AsyncBatches = 4
+	}
+	if opts.Writers <= 0 {
+		opts.Writers = 4
+	}
+	if opts.BufferPages <= 0 {
+		opts.BufferPages = 4096
+	}
+	if opts.CheckpointEvery == 0 {
+		opts.CheckpointEvery = 3
+	}
+	if opts.MaxSegments <= 0 {
+		opts.MaxSegments = 8192
+	}
+	dir := opts.Dir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "dynq-walsoak")
+		if err != nil {
+			return WALSoakReport{}, err
+		}
+		defer os.RemoveAll(dir)
+	}
+	path := filepath.Join(dir, "walsoak.dynq")
+	walPath := path + ".wal"
+
+	var rep WALSoakReport
+	var committed []soakSeg // acknowledged state, for rotation rebuilds
+	replica, err := Open(Options{})
+	if err != nil {
+		return rep, err
+	}
+	defer func() { replica.Close() }()
+	if err := rebuildFileWAL(path, walPath, committed, opts.BufferPages); err != nil {
+		return rep, err
+	}
+
+	wrand := rand.New(rand.NewSource(opts.Seed))
+	var nextID ObjectID
+	// pendingAsync holds the async batches appended before the last
+	// crash, in append order; replay keeps a per-record prefix of them.
+	var pendingAsync [][]soakSeg
+	for cycle := 0; cycle < opts.Cycles; cycle++ {
+		rep.Cycles++
+
+		// Recovery phase: reopen, replay, reconcile the replica with the
+		// surviving async prefix, and compare answers.
+		db, rrep, err := OpenFileRecoverWith(path, RecoverOptions{BufferPages: opts.BufferPages})
+		if err != nil {
+			return rep, fmt.Errorf("cycle %d: reopen: %w", cycle, err)
+		}
+		if !rrep.WALArmed {
+			db.Close()
+			return rep, fmt.Errorf("cycle %d: reopen did not arm the wal sidecar", cycle)
+		}
+		rep.RecordsReplayed += rrep.WALRecordsReplayed
+		rep.UpdatesReplayed += rrep.WALUpdatesReplayed
+		if rrep.WALTornTail {
+			rep.TornTails++
+		}
+		survived, err := reconcileAsync(db, replica, &committed, pendingAsync)
+		if err != nil {
+			db.Close()
+			return rep, fmt.Errorf("cycle %d: %w", cycle, err)
+		}
+		if survived < 0 {
+			rep.LostAcked++
+			survived = 0
+		}
+		rep.AsyncSurvived += survived
+		pendingAsync = nil
+		qrand := rand.New(rand.NewSource(opts.Seed ^ (int64(cycle)+1)*0x5DEECE66D))
+		wrong, compared, err := compareAnswers(db, replica, qrand)
+		if err != nil {
+			db.Close()
+			return rep, fmt.Errorf("cycle %d: query comparison: %w", cycle, err)
+		}
+		rep.WrongAnswers += wrong
+		rep.QueriesCompared += compared
+
+		// Acknowledged write phase: concurrent batches, group-committed.
+		// Batches use disjoint fresh ids, so they commute — the replica
+		// can apply them in any order and still answer identically. A
+		// third of the batches carry churn (delete + reinsert of their
+		// own first segment) so replay exercises the delete path without
+		// changing the final state.
+		acked := make([][]soakSeg, opts.AckedBatches)
+		ackedUps := make([][]MotionUpdate, opts.AckedBatches)
+		for i := range acked {
+			acked[i] = genSoakBatch(wrand, opts.Batch, &nextID)
+			ackedUps[i] = toUpdates(acked[i])
+			if wrand.Intn(3) == 0 {
+				ackedUps[i] = withChurn(ackedUps[i])
+			}
+		}
+		var wg sync.WaitGroup
+		errs := make([]error, opts.Writers)
+		for w := 0; w < opts.Writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(ackedUps); i += opts.Writers {
+					d := DurabilityGroupCommit
+					if i%5 == 4 {
+						d = DurabilitySync
+					}
+					if err := db.ApplyUpdates(context.Background(), ackedUps[i], WriteOptions{Durability: d}); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				db.Close()
+				return rep, fmt.Errorf("cycle %d: acked batch: %w", cycle, err)
+			}
+		}
+		rep.BatchesAcked += len(acked)
+		for _, b := range acked {
+			committed = append(committed, b...)
+			for _, s := range b {
+				if err := replica.Insert(s.id, s.seg); err != nil {
+					db.Close()
+					return rep, fmt.Errorf("cycle %d: replica insert: %w", cycle, err)
+				}
+			}
+		}
+
+		if opts.CheckpointEvery > 0 && cycle%opts.CheckpointEvery == opts.CheckpointEvery-1 {
+			if err := db.Sync(); err != nil {
+				db.Close()
+				return rep, fmt.Errorf("cycle %d: checkpoint: %w", cycle, err)
+			}
+			rep.Checkpoints++
+		}
+
+		// The durable boundary: every log byte on disk right now is
+		// covered by a completed fsync (the soak is quiescent), so the
+		// tear must land strictly beyond this offset.
+		ackedSize, err := fileSize(walPath)
+		if err != nil {
+			db.Close()
+			return rep, fmt.Errorf("cycle %d: %w", cycle, err)
+		}
+
+		// Async tail: appended, applied in memory, never awaited.
+		for i := 0; i < opts.AsyncBatches; i++ {
+			b := genSoakBatch(wrand, opts.Batch, &nextID)
+			if err := db.ApplyUpdates(context.Background(), toUpdates(b), WriteOptions{Durability: DurabilityAsync}); err != nil {
+				db.Close()
+				return rep, fmt.Errorf("cycle %d: async batch: %w", cycle, err)
+			}
+			pendingAsync = append(pendingAsync, b)
+		}
+		rep.BatchesAsync += len(pendingAsync)
+
+		if err := crashDB(db); err != nil {
+			return rep, fmt.Errorf("cycle %d: crash: %w", cycle, err)
+		}
+		torn, err := tearWALTail(walPath, ackedSize, wrand)
+		if err != nil {
+			return rep, fmt.Errorf("cycle %d: tear: %w", cycle, err)
+		}
+		if torn {
+			rep.Tears++
+		}
+
+		if len(committed) >= opts.MaxSegments {
+			committed = committed[:0]
+			pendingAsync = nil
+			replica.Close()
+			if replica, err = Open(Options{}); err != nil {
+				return rep, err
+			}
+			if err := rebuildFileWAL(path, walPath, committed, opts.BufferPages); err != nil {
+				return rep, err
+			}
+			rep.Rotations++
+		}
+		if opts.Log != nil && (cycle+1)%25 == 0 {
+			opts.Log("wal soak cycle %d/%d: %s", cycle+1, opts.Cycles, rep)
+		}
+	}
+	return rep, nil
+}
+
+// reconcileAsync determines, from the recovered database's size, how
+// many of the pre-crash async batches survived replay (the log keeps a
+// record-aligned prefix), applies exactly those to the replica, and
+// returns the count. A negative return means acknowledged data is
+// missing — the invariant violation the soak exists to catch.
+func reconcileAsync(db, replica *DB, committed *[]soakSeg, pendingAsync [][]soakSeg) (int, error) {
+	base := replica.Len()
+	got := db.Len()
+	if got < base {
+		return -1, nil
+	}
+	extra := got - base
+	if len(pendingAsync) == 0 {
+		if extra != 0 {
+			return 0, fmt.Errorf("recovered %d unexplained segments (no async batches were pending)", extra)
+		}
+		return 0, nil
+	}
+	per := len(pendingAsync[0]) // async batches are insert-only, fixed size
+	if per == 0 || extra%per != 0 || extra/per > len(pendingAsync) {
+		return 0, fmt.Errorf("recovered %d extra segments, not a record-aligned prefix of %d async batches of %d",
+			extra, len(pendingAsync), per)
+	}
+	survived := extra / per
+	for _, b := range pendingAsync[:survived] {
+		*committed = append(*committed, b...)
+		for _, s := range b {
+			if err := replica.Insert(s.id, s.seg); err != nil {
+				return 0, fmt.Errorf("replica insert: %w", err)
+			}
+		}
+	}
+	return survived, nil
+}
+
+// toUpdates converts a generated batch to the ApplyUpdates form.
+func toUpdates(batch []soakSeg) []MotionUpdate {
+	ups := make([]MotionUpdate, len(batch))
+	for i, s := range batch {
+		ups[i] = MotionUpdate{ID: s.id, Segment: s.seg}
+	}
+	return ups
+}
+
+// withChurn appends a delete and an identical reinsert of the batch's
+// first segment, so replay exercises deletion while the batch's final
+// state stays exactly that of the plain inserts.
+func withChurn(ups []MotionUpdate) []MotionUpdate {
+	u := ups[0]
+	return append(ups,
+		MotionUpdate{ID: u.ID, Segment: Segment{T0: u.Segment.T0}, Delete: true},
+		u)
+}
+
+// crashDB abandons the database without flushing: the page store and
+// the log are closed as a real crash would leave them — no final sync,
+// buffered pages lost, log ending wherever the last append stopped.
+func crashDB(db *DB) error {
+	db.wal.Crash()
+	if fs, ok := db.store.(*pager.FileStore); ok {
+		return fs.Crash()
+	}
+	return db.store.Close()
+}
+
+// tearWALTail damages the crash-exposed region of the log — the bytes
+// past the last completed fsync. Three moves, chosen by the schedule:
+// truncate into the region (a torn append: the OS persisted a prefix of
+// a record), truncate deeper (a group commit that died after its first
+// record hit the platter), or flip a byte mid-region (a sector that
+// persisted garbage). About a quarter of cycles leave the tail intact,
+// covering the every-byte-made-it crash.
+func tearWALTail(walPath string, ackedSize int64, r *rand.Rand) (bool, error) {
+	total, err := fileSize(walPath)
+	if err != nil {
+		return false, err
+	}
+	exposed := total - ackedSize
+	if exposed <= 0 || r.Float64() < 0.25 {
+		return false, nil
+	}
+	f, err := os.OpenFile(walPath, os.O_RDWR, 0)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	switch r.Intn(3) {
+	case 0: // tear the final record: cut 1..min(64, exposed) bytes
+		cut := int64(1 + r.Intn(int(min64(64, exposed))))
+		return true, f.Truncate(total - cut)
+	case 1: // tear deep: cut anywhere into the exposed region
+		cut := int64(1 + r.Intn(int(exposed)))
+		return true, f.Truncate(total - cut)
+	default: // flip one byte somewhere in the exposed region
+		off := ackedSize + int64(r.Intn(int(exposed)))
+		var b [1]byte
+		if _, err := f.ReadAt(b[:], off); err != nil {
+			return false, err
+		}
+		b[0] ^= 0x40
+		_, err := f.WriteAt(b[:], off)
+		return true, err
+	}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func fileSize(path string) (int64, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// rebuildFileWAL recreates the page file from the committed sequence
+// and leaves a clean (checkpointed) log beside it, so the next
+// recovering open arms the sidecar with nothing to replay.
+func rebuildFileWAL(path, walPath string, committed []soakSeg, bufferPages int) error {
+	db, err := Open(Options{Path: path, WALPath: walPath, BufferPages: bufferPages})
+	if err != nil {
+		return err
+	}
+	for _, s := range committed {
+		if err := db.Insert(s.id, s.seg); err != nil {
+			db.Close()
+			return err
+		}
+	}
+	if err := db.Sync(); err != nil {
+		db.Close()
+		return err
+	}
+	return db.Close()
+}

@@ -1,0 +1,378 @@
+package dynq
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"dynq/internal/geom"
+	"dynq/internal/rtree"
+	"dynq/internal/stats"
+)
+
+// MotionUpdate is one element of a write batch: an insertion of a motion
+// segment, or — with Delete set — the removal of the object's segment
+// that starts at Segment.T0 (the other segment fields are ignored for
+// deletions). A dead-reckoning re-announcement is its canonical source:
+// delete the old prediction, insert the corrected one, in one batch.
+type MotionUpdate struct {
+	ID      ObjectID
+	Segment Segment
+	Delete  bool
+}
+
+// Durability says how hard ApplyUpdates must try before returning, when
+// a write-ahead log is armed (Options.WALPath). Without a WAL every
+// level behaves the same: the update is in memory and Sync persists it.
+type Durability int
+
+const (
+	// DurabilityGroupCommit (the default) returns once the batch's WAL
+	// record is fsynced, coalescing with concurrent writers: the first
+	// waiter leads a commit round, waits the group-commit window for
+	// others to pile in, and one fsync covers them all. Throughput of
+	// batched fsyncs, latency of at most one window plus one fsync.
+	DurabilityGroupCommit Durability = iota
+	// DurabilitySync returns once the batch's WAL record is fsynced,
+	// without waiting the coalescing window (it still shares an fsync
+	// with any round already forming). Lowest latency per write.
+	DurabilitySync
+	// DurabilityAsync returns as soon as the batch is applied in memory
+	// and appended to the WAL's OS buffer; a crash may lose it. A later
+	// synchronous write or Sync makes it durable retroactively (the log
+	// is sequential: fsyncing record n covers every record before it).
+	DurabilityAsync
+)
+
+// WriteOptions carries per-write knobs for the context-aware write entry
+// points (ApplyUpdates, InsertCtx, DeleteCtx, BulkLoadCtx), mirroring
+// the read path's QueryOptions. The zero value — group-commit
+// durability, no deadline, no stats — matches the plain methods exactly.
+type WriteOptions struct {
+	// Durability selects how durable the write must be before the call
+	// returns; see the Durability constants. Ignored without a WAL.
+	Durability Durability
+	// Deadline, when positive, bounds the write's admission: the context
+	// is wrapped with this timeout and checked before the batch is
+	// applied. Once the batch is logged it applies in full — a deadline
+	// cannot tear a batch in half — so the timeout covers lock
+	// acquisition, not the fsync.
+	Deadline time.Duration
+	// Stats, when non-nil, receives the write's cost-counter delta (page
+	// reads and writes, node splits surface as writes) when it completes.
+	// Under concurrent operations the delta may include work charged by
+	// overlapping operations.
+	Stats func(stats.Snapshot)
+}
+
+// begin mirrors QueryOptions.begin: apply the deadline, arm the stats
+// sink; finish must be called (deferred) when the write completes.
+func (o WriteOptions) begin(ctx context.Context, snap func() stats.Snapshot) (context.Context, func()) {
+	cancel := func() {}
+	if o.Deadline > 0 {
+		ctx, cancel = context.WithTimeout(ctx, o.Deadline)
+	}
+	if o.Stats == nil {
+		return ctx, cancel
+	}
+	before := snap()
+	return ctx, func() {
+		o.Stats(snap().Sub(before))
+		cancel()
+	}
+}
+
+// ApplyUpdates applies a batch of motion updates as one write: one lock
+// acquisition, one WAL record, one durability wait — the high-rate
+// ingest path for dead-reckoning bursts. Updates apply in slice order,
+// so a delete-then-reinsert of the same object works within one batch.
+//
+// With a WAL armed the record is appended BEFORE the updates touch the
+// index (write-ahead), then the call waits according to
+// opts.Durability. The batch is atomic across crashes: recovery replays
+// either the whole record or none of it. It is NOT atomic against
+// in-process errors — an invalid update detected during validation
+// fails the whole batch upfront, but a storage error mid-apply leaves
+// the earlier updates applied (and logged, so a crash-recovery converges
+// on the same prefix-applied state).
+//
+// A delete of a missing segment fails the batch with ErrNotFound, like
+// Delete.
+func (db *DB) ApplyUpdates(ctx context.Context, updates []MotionUpdate, opts WriteOptions) error {
+	if len(updates) == 0 {
+		return nil
+	}
+	ctx, finish := opts.begin(ctx, db.counters.Snapshot)
+	defer finish()
+	// Validate and convert every update before taking the lock, so a bad
+	// batch costs nothing and a logged batch never fails validation on
+	// replay.
+	segs := make([]geom.Segment, len(updates))
+	for i, u := range updates {
+		if u.Delete {
+			continue
+		}
+		g, err := db.toSegment(u.Segment)
+		if err != nil {
+			return err
+		}
+		segs[i] = g
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	if err := db.writeGate(); err != nil {
+		db.mu.Unlock()
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		db.mu.Unlock()
+		return err
+	}
+	var lsn uint64
+	if db.wal != nil {
+		var err error
+		if lsn, err = db.wal.Append(encodeUpdates(db.cfg.Dims, updates)); err != nil {
+			err = db.noteWriteResult(fmt.Errorf("dynq: wal append: %w", err))
+			db.mu.Unlock()
+			return err
+		}
+	}
+	err := db.applyLocked(updates, segs, false)
+	db.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	// The durability wait runs OUTSIDE the database lock: an fsync never
+	// blocks readers, and concurrent writers can pile into the same
+	// group-commit round.
+	if db.wal != nil && opts.Durability != DurabilityAsync {
+		var werr error
+		if opts.Durability == DurabilitySync {
+			werr = db.wal.SyncNow(lsn)
+		} else {
+			werr = db.wal.Sync(lsn)
+		}
+		if werr != nil {
+			return db.noteWriteResult(fmt.Errorf("dynq: wal commit: %w", werr))
+		}
+	}
+	return nil
+}
+
+// applyLocked applies converted updates to the index under the held
+// write lock. segs[i] holds the pre-converted geometry for insert
+// updates. In replay mode a delete of a missing segment is skipped
+// rather than failed: the segment may have been removed by a later
+// replayed record the first time around, then checkpointed.
+func (db *DB) applyLocked(updates []MotionUpdate, segs []geom.Segment, replay bool) error {
+	for i, u := range updates {
+		if u.Delete {
+			err := db.tree.Delete(rtree.ObjectID(u.ID), u.Segment.T0)
+			if err == rtree.ErrNotFound {
+				if replay {
+					continue
+				}
+				// A missing segment is an answer, not a storage failure.
+				return ErrNotFound
+			}
+			if err != nil {
+				return db.noteWriteResult(err)
+			}
+			continue
+		}
+		if err := db.tree.Insert(rtree.ObjectID(u.ID), segs[i]); err != nil {
+			return db.noteWriteResult(err)
+		}
+	}
+	return db.noteWriteResult(nil)
+}
+
+// InsertCtx is Insert with a context and per-write options.
+func (db *DB) InsertCtx(ctx context.Context, id ObjectID, seg Segment, opts WriteOptions) error {
+	return db.ApplyUpdates(ctx, []MotionUpdate{{ID: id, Segment: seg}}, opts)
+}
+
+// DeleteCtx is Delete with a context and per-write options.
+func (db *DB) DeleteCtx(ctx context.Context, id ObjectID, t0 float64, opts WriteOptions) error {
+	return db.ApplyUpdates(ctx, []MotionUpdate{{ID: id, Segment: Segment{T0: t0}, Delete: true}}, opts)
+}
+
+// BulkLoadCtx builds the index from an ordered batch at a 0.5 fill
+// factor, replacing any current contents; the database must be empty and
+// the batch must contain no deletions. It is far faster than repeated
+// inserts for large historical loads. The load itself is NOT WAL-logged
+// (a log entry per bulk segment would defeat the point); call Sync to
+// make it durable, exactly as before the WAL existed.
+func (db *DB) BulkLoadCtx(ctx context.Context, updates []MotionUpdate, opts WriteOptions) error {
+	ctx, finish := opts.begin(ctx, db.counters.Snapshot)
+	defer finish()
+	entries := make([]rtree.LeafEntry, len(updates))
+	for i, u := range updates {
+		if u.Delete {
+			return fmt.Errorf("dynq: BulkLoad batch contains a deletion (object %d); deletions need an existing index", u.ID)
+		}
+		g, err := db.toSegment(u.Segment)
+		if err != nil {
+			return err
+		}
+		entries[i] = rtree.LeafEntry{ID: rtree.ObjectID(u.ID), Seg: g}
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.writeGate(); err != nil {
+		return err
+	}
+	if db.tree.Size() != 0 {
+		return fmt.Errorf("dynq: BulkLoad requires an empty database")
+	}
+	tree, err := rtree.BulkLoad(db.tree.Config(), db.store, entries)
+	if err != nil {
+		return db.noteWriteResult(err)
+	}
+	db.noteWriteResult(nil)
+	if db.bufferPages > 0 {
+		if err := tree.UseBuffer(db.bufferPages); err != nil {
+			return err
+		}
+	}
+	tree.SetCounters(&db.counters)
+	db.tree = tree
+	return nil
+}
+
+// BulkLoadUpdates is BulkLoadCtx without a context: the order-preserving
+// bulk load form sharing MotionUpdate with ApplyUpdates and WAL replay.
+func (db *DB) BulkLoadUpdates(updates []MotionUpdate) error {
+	return db.BulkLoadCtx(context.Background(), updates, WriteOptions{})
+}
+
+// sortedUpdates flattens the legacy map form into the ordered form,
+// sorted by (object, start time) for determinism.
+func sortedUpdates(segs map[ObjectID][]Segment) []MotionUpdate {
+	ids := make([]ObjectID, 0, len(segs))
+	for id := range segs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var updates []MotionUpdate
+	for _, id := range ids {
+		list := append([]Segment(nil), segs[id]...)
+		sort.Slice(list, func(i, j int) bool { return list[i].T0 < list[j].T0 })
+		for _, s := range list {
+			updates = append(updates, MotionUpdate{ID: id, Segment: s})
+		}
+	}
+	return updates
+}
+
+// WAL record payload: a batch of motion updates in slice order.
+//
+//	offset 0  1 byte  payload version (1)
+//	offset 1  1 byte  spatial dimensionality
+//	offset 2  4 bytes update count
+//	then per update:
+//	  1 byte  flags (bit 0 = delete)
+//	  8 bytes object id
+//	  8 bytes t0
+//	  inserts only: 8 bytes t1, dims×8 bytes from, dims×8 bytes to
+const updatesPayloadVersion = 1
+
+func encodeUpdates(dims int, updates []MotionUpdate) []byte {
+	size := 6
+	for _, u := range updates {
+		size += 1 + 8 + 8
+		if !u.Delete {
+			size += 8 + 2*8*dims
+		}
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, updatesPayloadVersion, byte(dims))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(updates)))
+	for _, u := range updates {
+		var flags byte
+		if u.Delete {
+			flags |= 1
+		}
+		buf = append(buf, flags)
+		buf = binary.LittleEndian.AppendUint64(buf, u.ID)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(u.Segment.T0))
+		if u.Delete {
+			continue
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(u.Segment.T1))
+		for _, v := range u.Segment.From {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+		for _, v := range u.Segment.To {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+	}
+	return buf
+}
+
+// decodeUpdates parses a WAL batch payload, validating it against the
+// database's dimensionality. The record-level checksum already caught
+// random corruption; this guards the logical layer.
+func decodeUpdates(payload []byte, wantDims int) ([]MotionUpdate, error) {
+	if len(payload) < 6 {
+		return nil, fmt.Errorf("batch payload truncated (%d bytes)", len(payload))
+	}
+	if payload[0] != updatesPayloadVersion {
+		return nil, fmt.Errorf("unsupported batch payload version %d", payload[0])
+	}
+	dims := int(payload[1])
+	if dims != wantDims {
+		return nil, fmt.Errorf("batch has %d dims, database has %d", dims, wantDims)
+	}
+	count := int(binary.LittleEndian.Uint32(payload[2:]))
+	if count > len(payload) { // each update takes ≥ 17 bytes
+		return nil, fmt.Errorf("batch claims %d updates in %d bytes", count, len(payload))
+	}
+	readF64 := func(off int) float64 {
+		return math.Float64frombits(binary.LittleEndian.Uint64(payload[off:]))
+	}
+	updates := make([]MotionUpdate, 0, count)
+	off := 6
+	for i := 0; i < count; i++ {
+		if off+17 > len(payload) {
+			return nil, fmt.Errorf("update %d truncated", i)
+		}
+		del := payload[off]&1 == 1
+		u := MotionUpdate{ID: binary.LittleEndian.Uint64(payload[off+1:]), Delete: del}
+		u.Segment.T0 = readF64(off + 9)
+		off += 17
+		if del {
+			updates = append(updates, u)
+			continue
+		}
+		need := 8 + 2*8*dims
+		if off+need > len(payload) {
+			return nil, fmt.Errorf("update %d truncated", i)
+		}
+		u.Segment.T1 = readF64(off)
+		off += 8
+		u.Segment.From = make([]float64, dims)
+		u.Segment.To = make([]float64, dims)
+		for d := 0; d < dims; d++ {
+			u.Segment.From[d] = readF64(off)
+			off += 8
+		}
+		for d := 0; d < dims; d++ {
+			u.Segment.To[d] = readF64(off)
+			off += 8
+		}
+		updates = append(updates, u)
+	}
+	if off != len(payload) {
+		return nil, fmt.Errorf("batch carries %d trailing bytes", len(payload)-off)
+	}
+	return updates, nil
+}
