@@ -79,6 +79,44 @@ func (t *Tree) Delete(id ObjectID, tStart float64) error {
 	return nil
 }
 
+// Contains reports whether a segment with the given object id and
+// validity start time is indexed — the read-only twin of Delete's
+// descent, used by the write path to validate deletions before they are
+// WAL-logged.
+func (t *Tree) Contains(id ObjectID, tStart float64) (bool, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.root == pager.InvalidPage {
+		return false, nil
+	}
+	return t.containsRec(t.root, id, float64(float32(tStart)))
+}
+
+func (t *Tree) containsRec(page pager.PageID, id ObjectID, tStart float64) (bool, error) {
+	n, err := t.load(page, nil)
+	if err != nil {
+		return false, err
+	}
+	if n.Leaf() {
+		for _, e := range n.Entries {
+			if e.ID == id && e.Seg.T.Lo == tStart {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	for _, ch := range n.Children {
+		if ch.Box[t.cfg.Dims].Lo > tStart || ch.Box[t.cfg.Dims].Hi < tStart {
+			continue
+		}
+		found, err := t.containsRec(ch.ID, id, tStart)
+		if err != nil || found {
+			return found, err
+		}
+	}
+	return false, nil
+}
+
 // deleteRec removes the target from the subtree rooted at page. It
 // returns whether the target was found and the subtree's updated MBR
 // (empty if the node dissolved into orphans).

@@ -283,6 +283,18 @@ func (l *Log) readHeader() error {
 // the append tail after the last valid one, and physically truncates any
 // torn bytes beyond it.
 func (l *Log) scanTail(size int64, rep *ScanReport) error {
+	if size < recordsStart {
+		// A crash during Create can persist one header slot and nothing
+		// else, leaving the file shorter than the header region. readHeader
+		// already validated a slot, so treat it as a torn create: no
+		// records, and the file is restored to the record-region start so
+		// appends land where the header says they do.
+		rep.TornTail = true
+		if err := l.f.Truncate(recordsStart); err != nil {
+			return err
+		}
+		size = recordsStart
+	}
 	data := make([]byte, size-recordsStart)
 	if len(data) > 0 {
 		if _, err := l.f.ReadAt(data, recordsStart); err != nil {
@@ -305,14 +317,22 @@ func (l *Log) scanTail(size int64, rep *ScanReport) error {
 	rep.LastLSN = last
 	l.tail = recordsStart + int64(off)
 	l.appended.Store(last)
-	l.durable = last // everything surviving the scan is on disk
-	if last >= l.nextLSN {
-		l.nextLSN = last + 1
-	}
 	if rep.TornTail {
 		if err := l.f.Truncate(l.tail); err != nil {
 			return err
 		}
+	}
+	// The scan proves the surviving records are readable, not that any
+	// pre-crash fsync ever covered them — they may have been served from
+	// the OS cache. One fsync here (also covering the tail truncate) makes
+	// the durable promise true before any Sync(lsn) for a replayed record
+	// returns without issuing its own.
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.durable = last
+	if last >= l.nextLSN {
+		l.nextLSN = last + 1
 	}
 	return nil
 }

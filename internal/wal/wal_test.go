@@ -351,3 +351,92 @@ func TestOpenEmptyPathCreates(t *testing.T) {
 		t.Fatalf("first Append = (%d, %v), want LSN 1", lsn, err)
 	}
 }
+
+// TestOpenTornCreate: a crash during Create can leave the file shorter
+// than the header region — e.g. only slot 0's 512 bytes persisted. Open
+// must reopen it as an empty log (or reject garbage cleanly), never
+// panic on the negative record-region size.
+func TestOpenTornCreate(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "torn-create.wal")
+	l, err := Create(path, immediate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, headerSlotSize); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rep, err := Open(path, immediate)
+	if err != nil {
+		t.Fatalf("Open after torn create: %v", err)
+	}
+	if !rep.TornTail || rep.Records != 0 || rep.LastLSN != 0 {
+		t.Fatalf("torn-create scan report = %+v, want torn and empty", rep)
+	}
+	// The recovered log is fully usable: append, sync, reopen, replay.
+	if _, err := l2.Append([]byte("alive")); err != nil {
+		t.Fatalf("Append after torn create: %v", err)
+	}
+	appendSync(t, l2, "alive2")
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l3, rep3, err := Open(path, immediate)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l3.Close()
+	if rep3.Records != 2 {
+		t.Fatalf("reopen scanned %d records, want 2 (%+v)", rep3.Records, rep3)
+	}
+	got := collect(t, l3, 0)
+	if got[1] != "alive" || got[2] != "alive2" {
+		t.Fatalf("replay after torn-create recovery = %v", got)
+	}
+
+	// A stub too short to hold any valid header slot errors, not panics.
+	stub := filepath.Join(dir, "stub.wal")
+	if err := os.WriteFile(stub, make([]byte, 100), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(stub, immediate); !errors.Is(err, ErrCorruptRecord) {
+		t.Fatalf("Open on headerless stub: %v, want ErrCorruptRecord", err)
+	}
+}
+
+// TestOpenFsyncsBeforePromisingDurable: after Open, Sync on a replayed
+// LSN must return success having actually been covered by an fsync —
+// the scan issues one — rather than trusting bytes that may only have
+// reached the OS cache before the crash.
+func TestOpenFsyncsBeforePromisingDurable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "durable.wal")
+	l, err := Create(path, immediate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("unsynced")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Crash(); err != nil { // close WITHOUT fsync
+		t.Fatal(err)
+	}
+	l2, rep, err := Open(path, immediate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if rep.Records != 1 {
+		t.Fatalf("scanned %d records, want 1", rep.Records)
+	}
+	if got := l2.DurableLSN(); got != rep.LastLSN {
+		t.Fatalf("DurableLSN = %d, want %d", got, rep.LastLSN)
+	}
+	// The promise must be backed by a real fsync during Open.
+	if err := l2.Sync(rep.LastLSN); err != nil {
+		t.Fatalf("Sync on replayed LSN: %v", err)
+	}
+}

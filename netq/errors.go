@@ -15,6 +15,7 @@ const (
 	ErrKindNoSession  = "no_session"
 	ErrKindOverloaded = "overloaded"
 	ErrKindReadOnly   = "read_only"
+	ErrKindNotFound   = "not_found"
 )
 
 // ErrNoTracker is returned (and matched with errors.Is on both sides of
@@ -75,6 +76,8 @@ func errKind(err error) string {
 		return ErrKindOverloaded
 	case errors.Is(err, dynq.ErrReadOnly):
 		return ErrKindReadOnly
+	case errors.Is(err, dynq.ErrNotFound):
+		return ErrKindNotFound
 	}
 	return ""
 }
@@ -102,6 +105,8 @@ func typedError(req Request, resp Response) error {
 		return &wireError{msg: resp.Err, sentinel: ErrOverloaded}
 	case ErrKindReadOnly:
 		return &wireError{msg: resp.Err, sentinel: dynq.ErrReadOnly}
+	case ErrKindNotFound:
+		return &wireError{msg: resp.Err, sentinel: dynq.ErrNotFound}
 	}
 	return errors.New(resp.Err)
 }

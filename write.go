@@ -90,17 +90,20 @@ func (o WriteOptions) begin(ctx context.Context, snap func() stats.Snapshot) (co
 // ingest path for dead-reckoning bursts. Updates apply in slice order,
 // so a delete-then-reinsert of the same object works within one batch.
 //
+// The batch is validated upfront, before anything is applied or logged:
+// a malformed segment, or a delete with no matching segment (in the
+// index or earlier in the batch), fails the whole batch — the latter
+// with ErrNotFound — and nothing of it survives a crash.
+//
 // With a WAL armed the record is appended BEFORE the updates touch the
 // index (write-ahead), then the call waits according to
 // opts.Durability. The batch is atomic across crashes: recovery replays
-// either the whole record or none of it. It is NOT atomic against
-// in-process errors — an invalid update detected during validation
-// fails the whole batch upfront, but a storage error mid-apply leaves
-// the earlier updates applied (and logged, so a crash-recovery converges
-// on the same prefix-applied state).
-//
-// A delete of a missing segment fails the batch with ErrNotFound, like
-// Delete.
+// either the whole record or none of it. The one non-atomic case is a
+// storage error mid-apply: the earlier updates stay applied and, because
+// the record is already logged, crash recovery replays the WHOLE batch —
+// possibly more of it than was applied in-process. Storage errors also
+// count toward degraded read-only mode, so the database does not keep
+// accepting writes onto a diverging index.
 func (db *DB) ApplyUpdates(ctx context.Context, updates []MotionUpdate, opts WriteOptions) error {
 	if len(updates) == 0 {
 		return nil
@@ -133,6 +136,10 @@ func (db *DB) ApplyUpdates(ctx context.Context, updates []MotionUpdate, opts Wri
 		db.mu.Unlock()
 		return err
 	}
+	if err := db.validateDeletesLocked(updates); err != nil {
+		db.mu.Unlock()
+		return err
+	}
 	var lsn uint64
 	if db.wal != nil {
 		var err error
@@ -160,6 +167,56 @@ func (db *DB) ApplyUpdates(ctx context.Context, updates []MotionUpdate, opts Wri
 		if werr != nil {
 			return db.noteWriteResult(fmt.Errorf("dynq: wal commit: %w", werr))
 		}
+	}
+	return nil
+}
+
+// validateDeletesLocked checks, under the held write lock, that every
+// deletion in the batch has a segment to remove — already indexed, or
+// inserted earlier in the batch and not yet consumed — so ErrNotFound
+// surfaces BEFORE the batch is WAL-logged. Without this check a batch
+// the caller saw fail would still replay in full after a crash,
+// durably resurrecting a write that was never acknowledged.
+func (db *DB) validateDeletesLocked(updates []MotionUpdate) error {
+	hasDelete := false
+	for _, u := range updates {
+		if u.Delete {
+			hasDelete = true
+			break
+		}
+	}
+	if !hasDelete {
+		return nil
+	}
+	type segKey struct {
+		id ObjectID
+		t0 float64
+	}
+	// avail tracks the batch's net balance per key on top of the index,
+	// which holds at most one segment per (object, start time).
+	avail := make(map[segKey]int)
+	for _, u := range updates {
+		k := segKey{u.ID, float64(float32(u.Segment.T0))} // match on-disk quantization
+		if !u.Delete {
+			avail[k]++
+			continue
+		}
+		if avail[k] > 0 {
+			avail[k]--
+			continue
+		}
+		if avail[k] < 0 {
+			// An earlier delete already consumed the index's only copy.
+			return ErrNotFound
+		}
+		ok, err := db.tree.Contains(rtree.ObjectID(u.ID), u.Segment.T0)
+		if err != nil {
+			return db.noteWriteResult(err)
+		}
+		if !ok {
+			return ErrNotFound
+		}
+		avail[k]--
 	}
 	return nil
 }
@@ -333,7 +390,10 @@ func decodeUpdates(payload []byte, wantDims int) ([]MotionUpdate, error) {
 		return nil, fmt.Errorf("batch has %d dims, database has %d", dims, wantDims)
 	}
 	count := int(binary.LittleEndian.Uint32(payload[2:]))
-	if count > len(payload) { // each update takes ≥ 17 bytes
+	// Bound the claim by the real minimum update size (17 bytes) before
+	// sizing the slice, so a corrupt-but-checksummed count cannot force a
+	// multi-gigabyte allocation.
+	if count > (len(payload)-6)/17 {
 		return nil, fmt.Errorf("batch claims %d updates in %d bytes", count, len(payload))
 	}
 	readF64 := func(off int) float64 {

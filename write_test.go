@@ -2,6 +2,7 @@ package dynq
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"os"
 	"path/filepath"
@@ -93,6 +94,13 @@ func TestEncodeDecodeUpdatesRoundTrip(t *testing.T) {
 	// Trailing garbage is rejected.
 	if _, err := decodeUpdates(append(b, 0xFF), 2); err == nil {
 		t.Fatal("trailing bytes accepted")
+	}
+	// An inflated count claim is rejected by the minimum-size bound
+	// before it can drive a huge pre-allocation.
+	inflated := append([]byte(nil), b...)
+	binary.LittleEndian.PutUint32(inflated[2:], uint32(len(inflated))) // > (len-6)/17, old bound passed it
+	if _, err := decodeUpdates(inflated, 2); err == nil {
+		t.Fatal("inflated update count accepted")
 	}
 }
 
@@ -398,5 +406,77 @@ func TestWALSoakSmoke(t *testing.T) {
 	}
 	if rep.Tears == 0 || rep.QueriesCompared == 0 {
 		t.Fatalf("soak exercised nothing: %s", rep)
+	}
+}
+
+// TestFailedBatchNotReplayed: a batch the caller saw fail with
+// ErrNotFound must never be WAL-logged — crash recovery must not
+// resurrect any part of it, or the durable state diverges from what was
+// acknowledged.
+func TestFailedBatchNotReplayed(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "faildel.dynq")
+	db, err := Open(Options{Path: path, WALPath: path + ".wal"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := db.InsertCtx(ctx, 1, seg2(0, 10, 1, 1), WriteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// The delete of a missing segment fails the batch upfront: the
+	// preceding insert in the same batch must not apply...
+	err = db.ApplyUpdates(ctx, []MotionUpdate{
+		{ID: 2, Segment: seg2(0, 10, 2, 2)},
+		{ID: 3, Segment: Segment{T0: 5}, Delete: true},
+	}, WriteOptions{})
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("batch with missing delete: %v, want ErrNotFound", err)
+	}
+	if db.Len() != 1 {
+		t.Fatalf("failed batch applied a prefix: Len = %d, want 1", db.Len())
+	}
+	// ...and a double delete of the index's only copy fails the same way.
+	err = db.ApplyUpdates(ctx, []MotionUpdate{
+		{ID: 1, Segment: Segment{T0: 0}, Delete: true},
+		{ID: 1, Segment: Segment{T0: 0}, Delete: true},
+	}, WriteOptions{})
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete: %v, want ErrNotFound", err)
+	}
+	if db.Len() != 1 {
+		t.Fatalf("failed double delete applied a prefix: Len = %d, want 1", db.Len())
+	}
+	// A delete consuming an insert earlier in the same batch still passes.
+	err = db.ApplyUpdates(ctx, []MotionUpdate{
+		{ID: 4, Segment: seg2(0, 10, 4, 4)},
+		{ID: 4, Segment: Segment{T0: 0}, Delete: true},
+	}, WriteOptions{})
+	if err != nil {
+		t.Fatalf("in-batch insert+delete rejected: %v", err)
+	}
+
+	if err := crashDB(db); err != nil {
+		t.Fatal(err)
+	}
+	rdb, rep, err := OpenFileRecover(path)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	defer rdb.Close()
+	// Replay sees the first insert and the in-batch insert+delete record
+	// — nothing from the two failed batches.
+	if rep.WALRecordsReplayed != 2 {
+		t.Fatalf("replayed %d records, want 2 (%s)", rep.WALRecordsReplayed, rep)
+	}
+	if rdb.Len() != 1 {
+		t.Fatalf("recovered Len = %d, want 1", rdb.Len())
+	}
+	rs, err := rdb.Snapshot(Rect{Min: []float64{0, 0}, Max: []float64{10, 10}}, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0].ID != 1 {
+		t.Fatalf("recovered answer = %v, want exactly object 1", rs)
 	}
 }
