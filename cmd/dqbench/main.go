@@ -389,8 +389,8 @@ func runIngest(cfg bench.Config, report *bench.Report) error {
 		return err
 	}
 	report.AddIngestCells(cells)
-	fmt.Printf("%-10s | %-6s | %-8s | %-12s | %-12s | %s\n",
-		"durability", "batch", "updates", "wall", "updates/s", "speedup")
+	fmt.Printf("%-10s | %-6s | %-8s | %-12s | %-12s | %-7s | %-10s | %s\n",
+		"durability", "batch", "updates", "wall", "updates/s", "speedup", "op p99", "fsync p99")
 	base := map[bool]float64{}
 	for _, c := range cells {
 		if c.Batch == 1 {
@@ -406,8 +406,13 @@ func runIngest(cfg bench.Config, report *bench.Report) error {
 		if b := base[c.WAL]; b > 0 {
 			speedup = c.UPS() / b
 		}
-		fmt.Printf("%-10s | %6d | %8d | %12v | %12.0f | %6.2fx\n",
-			mode, c.Batch, c.Updates, c.Wall.Round(time.Microsecond), c.UPS(), speedup)
+		fsync := "-"
+		if c.FsyncP99 > 0 {
+			fsync = time.Duration(c.FsyncP99 * float64(time.Second)).Round(time.Microsecond).String()
+		}
+		fmt.Printf("%-10s | %6d | %8d | %12v | %12.0f | %6.2fx | %10v | %s\n",
+			mode, c.Batch, c.Updates, c.Wall.Round(time.Microsecond), c.UPS(), speedup,
+			time.Duration(c.WindowP99*float64(time.Second)).Round(time.Microsecond), fsync)
 	}
 	return nil
 }

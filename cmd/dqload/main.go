@@ -164,11 +164,29 @@ func inspect(path string) error {
 	}
 	defer db.Close()
 	fmt.Printf("recovery:        %s\n", rep)
+	if info, ok := db.WALInfo(); ok {
+		fmt.Printf("wal:             %s (epoch %d, %s)\n", info.Path, info.Epoch, sizeofBytes(info.Size))
+		fmt.Printf("  lsn:           last %d, durable %d, checkpoint %d\n",
+			info.LastLSN, info.DurableLSN, info.CheckpointLSN)
+		fmt.Printf("  live:          %d records (%d bytes) since last checkpoint\n",
+			info.LiveRecords, info.LiveBytes)
+	}
 	if err := db.Validate(); err != nil {
 		return fmt.Errorf("index validation FAILED: %w", err)
 	}
 	fmt.Println("index validation OK")
 	return printStats(db)
+}
+
+// sizeofBytes renders a byte count compactly for the inspect report.
+func sizeofBytes(b int64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", b)
 }
 
 func printStats(db *dynq.DB) error {

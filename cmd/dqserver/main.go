@@ -9,7 +9,8 @@
 //	                  buffer-pool hit ratio, runtime gauges, ...)
 //	/debug/vars       the same metrics as expvar-style JSON
 //	/debug/trace      recent query spans (per-stage cost deltas) as JSONL
-//	/debug/slow       queries that exceeded -slow-query, spans included
+//	/debug/slow       operations that exceeded -slow-query (reads) or
+//	                  -slow-write (writes), spans included; ?op= filters
 //	/debug/events     the operational event journal (recovery, degraded
 //	                  mode, overload bursts, checksum failures)
 //	/debug/runtime    the runtime collector's time series
@@ -36,7 +37,8 @@
 //
 //	dqserver [-addr :7207] [-metrics :7208] [-db db.dynq | -scale F -seed N [-dual] [-shards N]]
 //	         [-wal] [-group-commit-window 2ms]
-//	         [-slow-query 250ms] [-slo-latency 100ms] [-slo-window 5m]
+//	         [-slow-query 250ms] [-slow-write 250ms]
+//	         [-slo-latency 100ms] [-slo-write-latency 50ms] [-slo-window 5m]
 //	         [-log-level info] [-log-format text]
 package main
 
@@ -76,9 +78,11 @@ func main() {
 		maxConc = flag.Int("max-concurrent", 0, "max concurrently executing read queries (0 = GOMAXPROCS, <0 = unlimited)")
 		maxQue  = flag.Int("max-queue", 0, "max read queries waiting for a slot before rejection (0 = 4x max-concurrent)")
 
-		slowQuery  = flag.Duration("slow-query", obs.DefSlowThreshold, "capture queries slower than this into /debug/slow (negative disables)")
-		sloLatency = flag.Duration("slo-latency", 100*time.Millisecond, "latency SLO target per request")
-		sloWindow  = flag.Duration("slo-window", 5*time.Minute, "window over which SLO attainment is computed")
+		slowQuery       = flag.Duration("slow-query", obs.DefSlowThreshold, "capture queries slower than this into /debug/slow (negative disables)")
+		slowWrite       = flag.Duration("slow-write", obs.DefSlowThreshold, "capture writes slower than this into /debug/slow (negative disables)")
+		sloLatency      = flag.Duration("slo-latency", 100*time.Millisecond, "latency SLO target per read request")
+		sloWriteLatency = flag.Duration("slo-write-latency", 50*time.Millisecond, "durability-wait latency SLO target per acknowledged write")
+		sloWindow       = flag.Duration("slo-window", 5*time.Minute, "window over which SLO attainment is computed")
 
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error (debug logs every request)")
 		logFormat = flag.String("log-format", "text", "log format: text or json")
@@ -127,7 +131,9 @@ func main() {
 	srv := netq.NewServer(db)
 	srv.WithLogger(logger)
 	srv.WithSlowQueryThreshold(*slowQuery)
+	srv.WithSlowWriteThreshold(*slowWrite)
 	srv.WithSLO(obs.SLOConfig{Window: *sloWindow, LatencyTarget: *sloLatency})
+	srv.WithWriteSLO(obs.SLOConfig{Window: *sloWindow, LatencyTarget: *sloWriteLatency})
 	if recovery != nil {
 		srv.WithRecoveryReport(recovery)
 		logger.Info("recovery-on-open", "report", recovery.String())

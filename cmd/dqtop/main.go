@@ -1,8 +1,10 @@
 // Command dqtop renders a live terminal view of one or more dqserver
 // instances, polled over the netq telemetry op (no HTTP endpoint
 // needed): per-op rolling-window and cumulative latency percentiles,
-// SLO attainment and error-budget burn, runtime health, and recent
-// operational events.
+// SLO attainment and error-budget burn, runtime health, recent
+// operational events, and — when the server has a WAL armed — an ingest
+// panel (appends/s, bytes/s, fsync p50/p99, coalesce ratio, batch size,
+// checkpoint lag, log size).
 //
 // The telemetry op bypasses the server's read admission control, so
 // dqtop keeps reporting while a server is shedding query load — which
@@ -10,11 +12,14 @@
 //
 // Usage:
 //
-//	dqtop [-refresh 2s] [-once] [-probe] [-events 5] addr [addr...]
+//	dqtop [-refresh 2s] [-once] [-probe] [-write-probe] [-events 5] addr [addr...]
 //
 // -once prints a single snapshot and exits (for scripts and CI
 // artifacts); -probe issues one stats query per refresh against each
-// server so an otherwise idle server still shows live windows.
+// server so an otherwise idle server still shows live windows;
+// -write-probe additionally sends a small self-canceling write batch per
+// refresh, exercising the full durable write path (WAL append, group
+// commit, tree apply) so the ingest panel shows live fsync windows.
 package main
 
 import (
@@ -25,20 +30,22 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"dynq"
 	"dynq/netq"
 )
 
 func main() {
 	var (
-		refresh = flag.Duration("refresh", 2*time.Second, "poll and redraw interval")
-		once    = flag.Bool("once", false, "print one snapshot and exit")
-		probe   = flag.Bool("probe", false, "issue a stats query per refresh so idle servers show live windows")
-		events  = flag.Int("events", 5, "recent journal events to show per server")
+		refresh    = flag.Duration("refresh", 2*time.Second, "poll and redraw interval")
+		once       = flag.Bool("once", false, "print one snapshot and exit")
+		probe      = flag.Bool("probe", false, "issue a stats query per refresh so idle servers show live windows")
+		writeProbe = flag.Bool("write-probe", false, "send a self-canceling write batch per refresh so the ingest panel shows live windows")
+		events     = flag.Int("events", 5, "recent journal events to show per server")
 	)
 	flag.Parse()
 	addrs := flag.Args()
 	if len(addrs) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: dqtop [-refresh 2s] [-once] [-probe] [-events 5] addr [addr...]")
+		fmt.Fprintln(os.Stderr, "usage: dqtop [-refresh 2s] [-once] [-probe] [-write-probe] [-events 5] addr [addr...]")
 		os.Exit(2)
 	}
 
@@ -57,7 +64,7 @@ func main() {
 		fmt.Fprintf(&out, "dqtop  %s  %d server(s)  refresh %v\n",
 			time.Now().Format("15:04:05"), len(addrs), *refresh)
 		for _, addr := range addrs {
-			tel, err := poll(clients, addr, *probe)
+			tel, err := poll(clients, addr, *probe, *writeProbe)
 			if err != nil {
 				fmt.Fprintf(&out, "\n── %s ", addr)
 				out.WriteString(strings.Repeat("─", max(1, 64-len(addr))))
@@ -76,7 +83,7 @@ func main() {
 
 // poll fetches one server's telemetry, dialing (or redialing) lazily so
 // a server that restarts mid-session comes back on the next refresh.
-func poll(clients map[string]*netq.Client, addr string, probe bool) (netq.Telemetry, error) {
+func poll(clients map[string]*netq.Client, addr string, probe, writeProbe bool) (netq.Telemetry, error) {
 	c := clients[addr]
 	if c == nil {
 		var err error
@@ -95,6 +102,12 @@ func poll(clients map[string]*netq.Client, addr string, probe bool) (netq.Teleme
 			return netq.Telemetry{}, err
 		}
 	}
+	if writeProbe {
+		// A server-side rejection (degraded read-only mode, a dims
+		// mismatch) is the server's answer, not a transport failure:
+		// keep polling, and let the per-op error counts show it.
+		writeProbeBatch(c)
+	}
 	tel, err := c.Telemetry()
 	if err != nil {
 		c.Close()
@@ -102,6 +115,26 @@ func poll(clients map[string]*netq.Client, addr string, probe bool) (netq.Teleme
 		return netq.Telemetry{}, err
 	}
 	return tel, nil
+}
+
+// writeProbeBatch sends the -write-probe payload: paired insert+delete
+// updates for a reserved id range, applied in one batch. The deletes
+// consume the batch's own inserts, so the index is logically unchanged
+// while the write still runs the full durable path — one WAL record,
+// one group-commit wait, real tree churn.
+func writeProbeBatch(c *netq.Client) error {
+	const n = 8
+	const probeBase = uint64(1) << 60
+	ups := make([]dynq.MotionUpdate, 0, 2*n)
+	for i := uint64(0); i < n; i++ {
+		ups = append(ups, dynq.MotionUpdate{ID: probeBase + i, Segment: dynq.Segment{
+			T0: 0, T1: 1, From: []float64{0, 0}, To: []float64{1, 1},
+		}})
+	}
+	for i := uint64(0); i < n; i++ {
+		ups = append(ups, dynq.MotionUpdate{ID: probeBase + i, Segment: dynq.Segment{T0: 0}, Delete: true})
+	}
+	return c.ApplyUpdates(ups)
 }
 
 func render(out *strings.Builder, addr string, tel netq.Telemetry, eventLimit int) {
@@ -145,6 +178,35 @@ func render(out *strings.Builder, addr string, tel netq.Telemetry, eventLimit in
 			fmt.Fprintln(tw)
 		}
 		tw.Flush()
+	}
+
+	if w := tel.WAL; w != nil {
+		// Throughput comes from the shortest append-bytes window: count
+		// per second and byte sum per second over that span.
+		var appendsPerSec, bytesPerSec float64
+		if len(w.AppendBytes.Windows) > 0 {
+			win := w.AppendBytes.Windows[0]
+			if secs := win.Window.Seconds(); secs > 0 {
+				appendsPerSec = float64(win.Count) / secs
+				bytesPerSec = win.Sum / secs
+			}
+		}
+		// Prefer the live window's quantiles; an idle window falls back
+		// to the cumulative picture so the panel never goes blank.
+		fsyncP50, fsyncP99 := w.FsyncLatency.P50, w.FsyncLatency.P99
+		if len(w.FsyncLatency.Windows) > 0 && w.FsyncLatency.Windows[0].Count > 0 {
+			fsyncP50, fsyncP99 = w.FsyncLatency.Windows[0].P50, w.FsyncLatency.Windows[0].P99
+		}
+		batchP50 := w.BatchSize.P50
+		if len(w.BatchSize.Windows) > 0 && w.BatchSize.Windows[0].Count > 0 {
+			batchP50 = w.BatchSize.Windows[0].P50
+		}
+		fmt.Fprintf(out, "  wal %s (%d live recs)  %.1f appends/s  %s/s  fsync p50 %s p99 %s\n",
+			sizeof(uint64(w.LogBytes)), w.CheckpointLag,
+			appendsPerSec, sizeof(uint64(bytesPerSec)), ms(fsyncP50), ms(fsyncP99))
+		fmt.Fprintf(out, "      coalesce %.0f%%  batch p50 %.1f  ckpts %d  lsn %d (durable %d, ckpt %d)\n",
+			w.CoalesceRatio*100, batchP50, w.Checkpoints,
+			w.LastLSN, w.DurableLSN, w.CheckpointLSN)
 	}
 
 	for _, slo := range tel.SLOs {

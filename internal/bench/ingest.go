@@ -26,6 +26,13 @@ type IngestCell struct {
 	WAL     bool
 	Updates int
 	Wall    time.Duration
+
+	// Server-side telemetry captured after the row's stream drained (the
+	// row runs against a fresh server, so cumulative = this row):
+	// latency quantiles of the row's wire op, and — on WAL rows — the
+	// log's fsync-latency quantiles. All in seconds.
+	WindowP50, WindowP99 float64
+	FsyncP50, FsyncP99   float64
 }
 
 // UPS returns the row's sustained update throughput (updates/sec).
@@ -165,5 +172,22 @@ func runIngestRow(updates []dynq.MotionUpdate, batch int, withWAL bool, serialCa
 		return IngestCell{}, fmt.Errorf("bench: ingest row (batch %d, wal %v) left %d segments indexed, sent %d",
 			batch, withWAL, st.Segments, n)
 	}
-	return IngestCell{Batch: batch, WAL: withWAL, Updates: n, Wall: wall}, nil
+	cell := IngestCell{Batch: batch, WAL: withWAL, Updates: n, Wall: wall}
+	tel, err := cl.Telemetry()
+	if err != nil {
+		return IngestCell{}, err
+	}
+	op := "apply-updates"
+	if batch == 1 {
+		op = "insert"
+	}
+	for _, ot := range tel.Ops {
+		if ot.Op == op {
+			cell.WindowP50, cell.WindowP99 = ot.P50, ot.P99
+		}
+	}
+	if w := tel.WAL; w != nil {
+		cell.FsyncP50, cell.FsyncP99 = w.FsyncLatency.P50, w.FsyncLatency.P99
+	}
+	return cell, nil
 }

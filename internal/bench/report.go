@@ -149,6 +149,13 @@ type IngestCellReport struct {
 	WallNS  int64   `json:"wall_ns"`
 	UPS     float64 `json:"ups"`
 	Speedup float64 `json:"speedup"` // vs the serial row with the same durability
+
+	// Server-side telemetry for the row (seconds): wire-op latency
+	// quantiles, and WAL fsync quantiles on the durable rows.
+	WindowP50 float64 `json:"window_p50,omitempty"`
+	WindowP99 float64 `json:"window_p99,omitempty"`
+	FsyncP50  float64 `json:"fsync_p50,omitempty"`
+	FsyncP99  float64 `json:"fsync_p99,omitempty"`
 }
 
 // NewReport stamps a report with the environment and the run's workload
@@ -248,12 +255,16 @@ func (r *Report) AddIngestCells(cells []IngestCell) {
 			speedup = c.UPS() / b
 		}
 		r.IngestCells = append(r.IngestCells, IngestCellReport{
-			Batch:   c.Batch,
-			WAL:     c.WAL,
-			Updates: c.Updates,
-			WallNS:  c.Wall.Nanoseconds(),
-			UPS:     c.UPS(),
-			Speedup: speedup,
+			Batch:     c.Batch,
+			WAL:       c.WAL,
+			Updates:   c.Updates,
+			WallNS:    c.Wall.Nanoseconds(),
+			UPS:       c.UPS(),
+			Speedup:   speedup,
+			WindowP50: c.WindowP50,
+			WindowP99: c.WindowP99,
+			FsyncP50:  c.FsyncP50,
+			FsyncP99:  c.FsyncP99,
 		})
 	}
 }

@@ -20,6 +20,7 @@ const (
 	EventServerStop      EventType = "server_stop"      // netq server shut down
 	EventWALReplay       EventType = "wal_replay"       // open-time WAL replay re-applied records
 	EventSyncFailure     EventType = "sync_failure"     // checkpoint sync failed with a WAL armed
+	EventCheckpoint      EventType = "checkpoint"       // Sync checkpointed and truncated the WAL
 )
 
 // Event severities.

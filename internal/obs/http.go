@@ -91,7 +91,7 @@ func writeJSON(w http.ResponseWriter, doc any) {
 //	/healthz          liveness probe (503 while unhealthy)
 //	/debug/vars       expvar-style JSON (metrics + runtime memstats)
 //	/debug/trace      recent query spans (?trace=<id>, ?format=json, ?limit=N)
-//	/debug/slow       captured slow queries with full spans (?limit=N)
+//	/debug/slow       captured slow operations with full spans (?limit=N, ?op=NAME)
 //	/debug/events     the operational event journal (?limit=N, ?since=SEQ)
 //	/debug/runtime    runtime collector time series (?limit=N)
 //	/debug/telemetry  the full stats snapshot served over netq
@@ -130,11 +130,16 @@ func NewHandler(cfg HandlerConfig) http.Handler {
 			if !ok {
 				return
 			}
-			writeJSON(w, map[string]any{
+			op := r.URL.Query().Get("op")
+			doc := map[string]any{
 				"threshold_ns": cfg.SlowLog.Threshold(),
 				"captured":     cfg.SlowLog.Captured(),
-				"entries":      cfg.SlowLog.Recent(limit),
-			})
+				"entries":      cfg.SlowLog.RecentOp(op, limit),
+			}
+			if op != "" {
+				doc["op"] = op
+			}
+			writeJSON(w, doc)
 		})
 	}
 	if cfg.Journal != nil {

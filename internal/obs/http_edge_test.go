@@ -143,3 +143,47 @@ func TestDebugSlowEventsRuntimeEndpoints(t *testing.T) {
 		t.Errorf("/debug/telemetry: %d %v", code, doc)
 	}
 }
+
+// TestDebugSlowOpFilter checks /debug/slow?op=: the response keeps only
+// matching entries, echoes the filter, and an unknown op yields an
+// empty list (not an error).
+func TestDebugSlowOpFilter(t *testing.T) {
+	slow := NewSlowLog(8, time.Millisecond)
+	slow.Record(Span{Op: "snapshot", WallNS: int64(40 * time.Millisecond)})
+	slow.Record(Span{Op: "apply-updates", WallNS: int64(60 * time.Millisecond)})
+	slow.Record(Span{Op: "apply-updates", WallNS: int64(80 * time.Millisecond)})
+
+	hs := httptest.NewServer(NewHandler(HandlerConfig{SlowLog: slow}))
+	defer hs.Close()
+
+	code, doc := getJSON(t, hs.URL, "/debug/slow?op=apply-updates")
+	if code != 200 {
+		t.Fatalf("/debug/slow?op=: %d %v", code, doc)
+	}
+	if doc["op"] != "apply-updates" {
+		t.Errorf("response does not echo the filter: %v", doc["op"])
+	}
+	entries := doc["entries"].([]any)
+	if len(entries) != 2 {
+		t.Fatalf("filtered entries = %d, want 2: %v", len(entries), entries)
+	}
+	for _, e := range entries {
+		span := e.(map[string]any)["span"].(map[string]any)
+		if span["op"] != "apply-updates" {
+			t.Errorf("filter leaked op %v", span["op"])
+		}
+	}
+
+	if code, doc := getJSON(t, hs.URL, "/debug/slow?op=missing"); code != 200 || len(doc["entries"].([]any)) != 0 {
+		t.Errorf("unknown op: %d %v, want 200 with empty entries", code, doc)
+	}
+
+	// Unfiltered view still shows every class, and omits the op key.
+	code, doc = getJSON(t, hs.URL, "/debug/slow")
+	if code != 200 || len(doc["entries"].([]any)) != 3 {
+		t.Errorf("unfiltered: %d %v, want 3 entries", code, doc)
+	}
+	if _, ok := doc["op"]; ok {
+		t.Errorf("unfiltered response carries an op key: %v", doc)
+	}
+}

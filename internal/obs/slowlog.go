@@ -6,10 +6,10 @@ import (
 	"time"
 )
 
-// DefSlowThreshold is the default slow-query capture threshold.
+// DefSlowThreshold is the default slow-operation capture threshold.
 const DefSlowThreshold = 250 * time.Millisecond
 
-// SlowEntry is one captured slow query: the full span (trace ids,
+// SlowEntry is one captured slow operation: the full span (trace ids,
 // parameters, per-stage cost deltas) plus the threshold it exceeded.
 type SlowEntry struct {
 	Seq         uint64        `json:"seq"`
@@ -17,10 +17,13 @@ type SlowEntry struct {
 	ThresholdNS time.Duration `json:"threshold_ns"`
 }
 
-// SlowLog ring-buffers every query whose wall time met or exceeded a
-// configurable threshold, keeping the query's full trace span (per-stage
-// cost deltas, view parameters, trace ids) for post-hoc diagnosis.
-// Safe for concurrent use; the threshold can be adjusted at runtime.
+// SlowLog ring-buffers every operation — read queries and writes alike —
+// whose wall time met or exceeded a configurable threshold, keeping the
+// operation's full trace span (per-stage cost deltas, view parameters,
+// trace ids) for post-hoc diagnosis. One ring can serve several
+// operation classes with distinct bars via RecordAt; entries are
+// filterable by op name with RecentOp. Safe for concurrent use; the
+// threshold can be adjusted at runtime.
 type SlowLog struct {
 	threshold atomic.Int64 // nanoseconds; <=0 disables capture
 
@@ -55,10 +58,21 @@ func (l *SlowLog) Threshold() time.Duration {
 	return time.Duration(l.threshold.Load())
 }
 
-// Record captures the span if its wall time meets the threshold,
+// Record captures the span if its wall time meets the log's threshold,
 // reporting whether it was kept.
 func (l *SlowLog) Record(s Span) bool {
-	th := l.threshold.Load()
+	return l.RecordAt(s, time.Duration(l.threshold.Load()))
+}
+
+// RecordAt is Record with an explicit threshold, letting one shared ring
+// apply per-class bars (e.g. a tighter slow-write threshold alongside
+// the query threshold). Zero falls back to the log's own threshold;
+// negative disables capture for this span.
+func (l *SlowLog) RecordAt(s Span, threshold time.Duration) bool {
+	th := int64(threshold)
+	if th == 0 {
+		th = l.threshold.Load()
+	}
 	if th < 0 || s.WallNS < th {
 		return false
 	}
@@ -84,6 +98,13 @@ func (l *SlowLog) Captured() uint64 {
 // Recent returns up to limit buffered entries, newest first (limit <= 0
 // means all buffered).
 func (l *SlowLog) Recent(limit int) []SlowEntry {
+	return l.RecentOp("", limit)
+}
+
+// RecentOp returns up to limit buffered entries whose span op matches,
+// newest first. An empty op matches everything; limit <= 0 means all
+// buffered.
+func (l *SlowLog) RecentOp(op string, limit int) []SlowEntry {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	n := uint64(len(l.ring))
@@ -91,12 +112,17 @@ func (l *SlowLog) Recent(limit int) []SlowEntry {
 	if count > n {
 		count = n
 	}
-	if limit > 0 && uint64(limit) < count {
-		count = uint64(limit)
+	max := count
+	if limit > 0 && uint64(limit) < max {
+		max = uint64(limit)
 	}
-	out := make([]SlowEntry, 0, count)
-	for i := uint64(0); i < count; i++ {
-		out = append(out, l.ring[(l.next-1-i)%n])
+	out := make([]SlowEntry, 0, max)
+	for i := uint64(0); i < count && uint64(len(out)) < max; i++ {
+		e := l.ring[(l.next-1-i)%n]
+		if op != "" && e.Span.Op != op {
+			continue
+		}
+		out = append(out, e)
 	}
 	return out
 }

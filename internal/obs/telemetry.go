@@ -39,6 +39,10 @@ type Telemetry struct {
 	Ops  []OpTelemetry `json:"ops,omitempty"`
 	SLOs []SLOStatus   `json:"slos,omitempty"`
 
+	// WAL is the write-ahead-log section, present only when the server's
+	// database has a log armed.
+	WAL *WALTelemetry `json:"wal,omitempty"`
+
 	Runtime *RuntimeSample `json:"runtime,omitempty"`
 
 	SlowThreshold time.Duration `json:"slow_threshold_ns"`
@@ -46,4 +50,60 @@ type Telemetry struct {
 
 	EventsTotal uint64  `json:"events_total"`
 	Events      []Event `json:"events,omitempty"` // newest first
+}
+
+// HistSummary is one histogram's snapshot: cumulative since-boot stats
+// plus rolling windows, shortest first.
+type HistSummary struct {
+	Count   int64            `json:"count"`
+	Sum     float64          `json:"sum"`
+	P50     float64          `json:"p50"`
+	P95     float64          `json:"p95"`
+	P99     float64          `json:"p99"`
+	Windows []WindowSnapshot `json:"windows,omitempty"`
+}
+
+// SummarizeWindowed snapshots a windowed histogram into a HistSummary
+// over the given rolling windows.
+func SummarizeWindowed(w *WindowedHistogram, windows []time.Duration) HistSummary {
+	cum := w.Cumulative()
+	s := HistSummary{
+		Count: cum.Count(),
+		Sum:   cum.Sum(),
+		P50:   cum.Quantile(0.50),
+		P95:   cum.Quantile(0.95),
+		P99:   cum.Quantile(0.99),
+	}
+	for _, win := range windows {
+		s.Windows = append(s.Windows, w.Snapshot(win))
+	}
+	return s
+}
+
+// WALTelemetry is the write-ahead-log section of a Telemetry snapshot:
+// group-commit behaviour (fsync latency, batch sizes, coalescing),
+// append throughput, and checkpoint state. Counters are since boot;
+// histogram summaries carry rolling windows alongside the cumulative
+// picture.
+type WALTelemetry struct {
+	Path string `json:"path,omitempty"`
+
+	Appends       int64   `json:"appends"`
+	AppendedBytes int64   `json:"appended_bytes"`
+	Fsyncs        int64   `json:"fsyncs"`
+	Coalesced     int64   `json:"coalesced"`
+	CoalesceRatio float64 `json:"coalesce_ratio"` // coalesced / (coalesced + fsyncs)
+	Checkpoints   int64   `json:"checkpoints"`
+
+	LastLSN       uint64 `json:"last_lsn"`
+	DurableLSN    uint64 `json:"durable_lsn"`
+	CheckpointLSN uint64 `json:"checkpoint_lsn"`
+	CheckpointLag uint64 `json:"checkpoint_lag"` // records appended but not yet checkpointed
+	LogBytes      int64  `json:"log_bytes"`      // current file size, headers included
+	LiveBytes     int64  `json:"live_bytes"`     // record bytes since the last checkpoint
+
+	FsyncLatency       HistSummary `json:"fsync_latency"`       // seconds per group-commit fsync
+	BatchSize          HistSummary `json:"batch_size"`          // records made durable per fsync round
+	AppendBytes        HistSummary `json:"append_bytes"`        // encoded record bytes per append
+	CheckpointDuration HistSummary `json:"checkpoint_duration"` // seconds per checkpoint
 }

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTelemetryJSONRoundTripWithWAL checks the wire shape of the WAL
+// section: populated fields survive a marshal/unmarshal cycle, and the
+// section vanishes entirely when no log is armed.
+func TestTelemetryJSONRoundTripWithWAL(t *testing.T) {
+	tel := Telemetry{
+		Time:          time.Unix(1_700_000_000, 0).UTC(),
+		UptimeSeconds: 12.5,
+		WAL: &WALTelemetry{
+			Path:          "/tmp/db.wal",
+			Appends:       42,
+			AppendedBytes: 4096,
+			Fsyncs:        7,
+			Coalesced:     35,
+			CoalesceRatio: 35.0 / 42.0,
+			Checkpoints:   2,
+			LastLSN:       42,
+			DurableLSN:    42,
+			CheckpointLSN: 40,
+			CheckpointLag: 2,
+			LogBytes:      5120,
+			LiveBytes:     4096,
+			FsyncLatency: HistSummary{
+				Count: 7, Sum: 0.014, P50: 0.002, P95: 0.003, P99: 0.003,
+				Windows: []WindowSnapshot{{Window: time.Minute, Count: 7, Sum: 0.014, P50: 0.002, P95: 0.003, P99: 0.003}},
+			},
+			BatchSize: HistSummary{Count: 7, Sum: 42, P50: 6},
+		},
+	}
+
+	raw, err := json.Marshal(tel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		`"wal"`, `"appends":42`, `"coalesce_ratio"`, `"checkpoint_lag":2`,
+		`"fsync_latency"`, `"batch_size"`, `"log_bytes":5120`,
+	} {
+		if !strings.Contains(string(raw), key) {
+			t.Errorf("marshaled telemetry missing %s: %s", key, raw)
+		}
+	}
+
+	var back Telemetry
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.WAL == nil {
+		t.Fatal("WAL section lost in round trip")
+	}
+	if back.WAL.Appends != 42 || back.WAL.CheckpointLag != 2 {
+		t.Errorf("counters lost: %+v", back.WAL)
+	}
+	if len(back.WAL.FsyncLatency.Windows) != 1 || back.WAL.FsyncLatency.Windows[0].Count != 7 {
+		t.Errorf("fsync windows lost: %+v", back.WAL.FsyncLatency)
+	}
+	if back.WAL.BatchSize.Sum != 42 {
+		t.Errorf("batch-size summary lost: %+v", back.WAL.BatchSize)
+	}
+
+	// No WAL armed: the key must be absent, and a round trip must keep
+	// the pointer nil so dqtop's nil-gate works.
+	raw, err = json.Marshal(Telemetry{Time: tel.Time})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), `"wal"`) {
+		t.Errorf("nil WAL section still marshaled: %s", raw)
+	}
+	back = Telemetry{}
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.WAL != nil {
+		t.Errorf("nil WAL section materialized in round trip: %+v", back.WAL)
+	}
+}
+
+// TestSummarizeWindowed checks the histogram-to-summary conversion used
+// by the telemetry snapshot: cumulative stats plus one snapshot per
+// requested window.
+func TestSummarizeWindowed(t *testing.T) {
+	w := NewWindowedHistogram(nil, 0, 0)
+	for i := 0; i < 10; i++ {
+		w.Observe(0.005)
+	}
+	s := SummarizeWindowed(w, DefWindows())
+	if s.Count != 10 {
+		t.Errorf("Count = %d, want 10", s.Count)
+	}
+	if s.Sum < 0.049 || s.Sum > 0.051 {
+		t.Errorf("Sum = %v, want ~0.05", s.Sum)
+	}
+	if len(s.Windows) != len(DefWindows()) {
+		t.Fatalf("Windows = %d, want %d", len(s.Windows), len(DefWindows()))
+	}
+	if s.Windows[0].Count != 10 {
+		t.Errorf("1m window count = %d, want 10 (all observations recent)", s.Windows[0].Count)
+	}
+	if s.P50 <= 0 || s.P99 < s.P50 {
+		t.Errorf("quantiles look wrong: p50=%v p99=%v", s.P50, s.P99)
+	}
+}

@@ -9,11 +9,20 @@ import (
 	"dynq/internal/stats"
 )
 
-// StageDelta is the portion of a query's cost attributable to one stage
-// of the stack (pager, rtree, or the query engine that drove them).
+// StageDelta is the portion of an operation's cost attributable to one
+// stage of the stack. Read stages carry counter deltas (pager, rtree,
+// engine); write stages carry wall-time attribution instead (validate,
+// wal-append, fsync-wait, tree-apply).
 type StageDelta struct {
-	Stage string         `json:"stage"`
-	Delta stats.Snapshot `json:"delta"`
+	Stage  string         `json:"stage"`
+	WallNS int64          `json:"wall_ns,omitempty"`
+	Delta  stats.Snapshot `json:"delta"`
+}
+
+// TimedStage builds a stage delta attributing wall time to one stage of
+// a write's pipeline.
+func TimedStage(stage string, d time.Duration) StageDelta {
+	return StageDelta{Stage: stage, WallNS: d.Nanoseconds()}
 }
 
 // Stages decomposes a per-query stats.Snapshot delta into the pipeline's

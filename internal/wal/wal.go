@@ -149,6 +149,11 @@ type Log struct {
 	syncErr error  // sticky fsync failure; cleared only by reopening
 
 	stAppends, stBytes, stFsyncs, stCoalesced, stCheckpoints atomic.Int64
+
+	// Instrumentation (metrics.go). nowFn is the injectable time source
+	// behind duration measurements; set via WithClock before use.
+	nowFn func() time.Time
+	met   walMetrics
 }
 
 // Create creates (or truncates) a log at path with a fresh header.
@@ -216,8 +221,9 @@ func Open(path string, opts Options) (*Log, *ScanReport, error) {
 }
 
 func newLog(path string, f *os.File, opts Options) *Log {
-	l := &Log{path: path, f: f, window: opts.window()}
+	l := &Log{path: path, f: f, window: opts.window(), nowFn: time.Now}
 	l.gcCond = sync.NewCond(&l.gcMu)
+	l.met = newWALMetrics()
 	return l
 }
 
@@ -396,6 +402,7 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	l.appended.Store(lsn)
 	l.stAppends.Add(1)
 	l.stBytes.Add(int64(len(rec)))
+	l.met.appendBytes.Observe(float64(len(rec)))
 	return lsn, nil
 }
 
@@ -431,13 +438,21 @@ func (l *Log) waitDurable(lsn uint64, window time.Duration) error {
 			time.Sleep(window)
 		}
 		high := l.appended.Load()
+		start := l.nowFn()
 		err := l.fsync()
+		elapsed := l.nowFn().Sub(start)
 		l.gcMu.Lock()
 		l.syncing = false
 		if err != nil {
 			l.syncErr = err
-		} else if high > l.durable {
-			l.durable = high
+		} else {
+			l.met.fsync.ObserveDuration(elapsed)
+			if high > l.durable {
+				// Records newly covered by this round's fsync: the batch
+				// the group commit amortized into one syscall.
+				l.met.batch.Observe(float64(high - l.durable))
+				l.durable = high
+			}
 		}
 		l.gcCond.Broadcast()
 	}
@@ -463,6 +478,7 @@ func (l *Log) fsync() error {
 // caller must guarantee no concurrent Append (dynq holds the database
 // writer lock across its page commit and this call).
 func (l *Log) Checkpoint(lsn uint64) error {
+	start := l.nowFn()
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
@@ -487,6 +503,7 @@ func (l *Log) Checkpoint(lsn uint64) error {
 		return fmt.Errorf("wal: checkpoint commit: %w", err)
 	}
 	l.stCheckpoints.Add(1)
+	l.met.checkpoint.ObserveDuration(l.nowFn().Sub(start))
 	l.mu.Unlock()
 
 	// A checkpointed LSN is durable in the base file — stronger than

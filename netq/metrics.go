@@ -135,7 +135,30 @@ func newServerMetrics(reg *obs.Registry, db dynq.Database) *serverMetrics {
 	if sdb, ok := db.(*dynq.ShardedDB); ok {
 		sdb.RegisterMetrics(reg)
 	}
+	// A database with a WAL armed exposes the log's group-commit
+	// instrumentation (fsync latency, batch sizes, checkpoint lag).
+	if wdb, ok := db.(walMetricsSource); ok {
+		wdb.RegisterWALMetrics(reg)
+	}
 	return m
+}
+
+// walMetricsSource is the optional Database capability registering an
+// armed write-ahead log's metrics (*dynq.DB implements it; registration
+// is a no-op when no WAL is armed).
+type walMetricsSource interface {
+	RegisterWALMetrics(reg *obs.Registry) bool
+}
+
+// isWriteOp classifies the ops that mutate the index through the batched
+// write path, for separate SLO tracking and slow-write capture. Tracker
+// updates mutate only the in-memory tracker and stay in the read class.
+func isWriteOp(op Op) bool {
+	switch op {
+	case OpInsert, OpApplyUpdates:
+		return true
+	}
+	return false
 }
 
 // engineFor names the query engine behind an op, for the tracer's stage

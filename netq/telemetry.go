@@ -30,15 +30,18 @@ const telemetryEventLimit = 16
 const overloadBurstInterval = 10 * time.Second
 
 // serverTelemetry is the server's rolling-window observability state:
-// per-op windowed latency, SLO attainment, the slow-query log, the
-// operational event journal, and the runtime collector. It lives beside
-// the cumulative serverMetrics, which feed /metrics since boot.
+// per-op windowed latency, SLO attainment (reads and writes tracked
+// against separate objectives), the slow-op log, the operational event
+// journal, and the runtime collector. It lives beside the cumulative
+// serverMetrics, which feed /metrics since boot.
 type serverTelemetry struct {
 	started   time.Time
 	winSpans  []time.Duration
 	windows   map[Op]*obs.WindowedHistogram
-	slo       *obs.SLOTracker
-	slowLog   *obs.SlowLog
+	slo       *obs.SLOTracker // read/query objectives
+	sloWrite  *obs.SLOTracker // write objectives (availability + durability-wait latency)
+	slowLog   *obs.SlowLog    // one shared ring; writes use their own bar
+	slowWrite atomic.Int64    // slow-write capture threshold, nanoseconds
 	journal   *obs.Journal
 	collector *obs.Collector
 	recovery  *dynq.RecoveryReport
@@ -62,14 +65,16 @@ func newServerTelemetry(s *Server) *serverTelemetry {
 		winSpans: obs.DefWindows(),
 		windows:  make(map[Op]*obs.WindowedHistogram, len(knownOps)),
 		slo:      obs.NewSLOTracker(obs.SLOConfig{}),
+		sloWrite: obs.NewSLOTracker(obs.SLOConfig{}),
 		slowLog:  obs.NewSlowLog(SlowLogCapacity, obs.DefSlowThreshold),
 		journal:  obs.DefaultJournal(),
 	}
+	t.slowWrite.Store(int64(obs.DefSlowThreshold))
 	maxWin := t.winSpans[len(t.winSpans)-1]
 	reg := s.reg
 	reg.SetHelp("netq_request_window_seconds",
 		"Rolling-window request latency quantiles in seconds, by op, window, and quantile.")
-	reg.SetHelp("netq_slow_queries_total", "Queries captured by the slow-query log.")
+	reg.SetHelp("netq_slow_queries_total", "Operations (read queries and writes) captured by the slow-op log.")
 	reg.SetHelp("netq_journal_events_total", "Operational events recorded in the journal.")
 	for _, op := range knownOps {
 		w := obs.NewWindowedHistogram(nil, obs.DefWindowInterval, maxWin)
@@ -114,14 +119,28 @@ func newServerTelemetry(s *Server) *serverTelemetry {
 }
 
 // record folds one finished request into the rolling-window state:
-// windowed latency, SLO accounting, and — past the threshold — the
-// slow-query log, span (with its per-stage cost deltas) included.
+// windowed latency, SLO accounting against the op class's objectives,
+// and — past the class's threshold — the slow-op log, span (with its
+// per-stage cost deltas) included. Writes are tracked separately from
+// reads: their own SLO tracker and their own slow capture bar.
 func (t *serverTelemetry) record(op Op, elapsed time.Duration, failed bool, span obs.Span) {
 	if w := t.windows[op]; w != nil {
 		w.ObserveDuration(elapsed)
 	}
+	if isWriteOp(op) {
+		t.sloWrite.Record(string(op), elapsed, failed)
+		t.slowLog.RecordAt(span, time.Duration(t.slowWrite.Load()))
+		return
+	}
 	t.slo.Record(string(op), elapsed, failed)
 	t.slowLog.Record(span)
+}
+
+// walTelemetrySource is the optional Database capability exposing an
+// armed write-ahead log's telemetry (*dynq.DB implements it; the
+// sharded engine has no WAL yet, so its snapshots omit the section).
+type walTelemetrySource interface {
+	WALTelemetry(windows []time.Duration) (obs.WALTelemetry, bool)
 }
 
 // noteOverload aggregates admission-control rejections into journal
@@ -161,6 +180,26 @@ func (s *Server) WithSlowQueryThreshold(d time.Duration) *Server {
 // Call before Serve.
 func (s *Server) WithSLO(cfg obs.SLOConfig) *Server {
 	s.tel.slo = obs.NewSLOTracker(cfg)
+	return s
+}
+
+// WithSlowWriteThreshold sets the latency above which a WRITE op
+// (insert, apply-updates) is captured into the shared slow-op log,
+// independently of the query threshold (default obs.DefSlowThreshold;
+// negative disables write capture). Safe to call at any time.
+func (s *Server) WithSlowWriteThreshold(d time.Duration) *Server {
+	if d == 0 {
+		d = obs.DefSlowThreshold
+	}
+	s.tel.slowWrite.Store(int64(d))
+	return s
+}
+
+// WithWriteSLO replaces the write ops' service-level objectives,
+// tracked separately from reads: availability plus a durability-wait
+// latency target per acknowledged write. Call before Serve.
+func (s *Server) WithWriteSLO(cfg obs.SLOConfig) *Server {
+	s.tel.sloWrite = obs.NewSLOTracker(cfg)
 	return s
 }
 
@@ -240,7 +279,7 @@ func (s *Server) Telemetry() Telemetry {
 		ActiveConns:    int(s.metrics.activeConns.Value()),
 		InflightOps:    int(s.metrics.inflightOps.Value()),
 		ReadQueueDepth: int(s.queued.Load()),
-		SLOs:           s.tel.slo.Status(),
+		SLOs:           append(s.tel.slo.Status(), s.tel.sloWrite.Status()...),
 		SlowThreshold:  s.tel.slowLog.Threshold(),
 		SlowCaptured:   s.tel.slowLog.Captured(),
 		EventsTotal:    s.tel.journal.Total(),
@@ -251,6 +290,11 @@ func (s *Server) Telemetry() Telemetry {
 	} else {
 		sample := s.tel.collector.SampleOnce()
 		tel.Runtime = &sample
+	}
+	if src, ok := s.db.(walTelemetrySource); ok {
+		if w, ok := src.WALTelemetry(s.tel.winSpans); ok {
+			tel.WAL = &w
+		}
 	}
 	for _, op := range knownOps {
 		w := s.tel.windows[op]

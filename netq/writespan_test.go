@@ -1,0 +1,154 @@
+package netq
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"dynq"
+	"dynq/internal/obs"
+)
+
+// walTestDB opens a WAL-armed file database so the write path runs all
+// four stages: validate, wal-append, tree-apply, and fsync-wait.
+func walTestDB(t *testing.T) *dynq.DB {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "db.pages")
+	db, err := dynq.Open(dynq.Options{
+		Path:        path,
+		WALPath:     path + ".wal",
+		BufferPages: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func probeUpdates(n int) []dynq.MotionUpdate {
+	ups := make([]dynq.MotionUpdate, n)
+	for i := range ups {
+		ups[i] = dynq.MotionUpdate{ID: dynq.ObjectID(i + 1), Segment: dynq.Segment{
+			T0: 0, T1: 10,
+			From: []float64{float64(i), 0}, To: []float64{float64(i), 10},
+		}}
+	}
+	return ups
+}
+
+// findSpan returns the first span in the trace with the given op.
+func findSpan(spans []obs.Span, op string) (obs.Span, bool) {
+	for _, s := range spans {
+		if s.Op == op {
+			return s, true
+		}
+	}
+	return obs.Span{}, false
+}
+
+// TestWriteSpanTracePropagation is the write-path acceptance test: an
+// ApplyUpdates through the netq client with a caller trace context must
+// yield a server trace containing the apply-updates op span (parented
+// on the client's span) and a write.apply-updates child span carrying
+// all four stage deltas.
+func TestWriteSpanTracePropagation(t *testing.T) {
+	db := walTestDB(t)
+	srv, addr, stop := startServerKeep(t, db)
+	defer stop()
+
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	tc := obs.NewTraceContext()
+	ctx := obs.ContextWithTrace(context.Background(), tc)
+	ups := probeUpdates(16)
+	if err := cl.ApplyUpdatesCtx(ctx, ups, dynq.DurabilityGroupCommit); err != nil {
+		t.Fatal(err)
+	}
+
+	spans := srv.Tracer().Trace(tc.TraceID.String())
+	opSpan, ok := findSpan(spans, "apply-updates")
+	if !ok {
+		t.Fatalf("trace %s has no apply-updates op span; spans: %+v", tc.TraceID, spans)
+	}
+	if opSpan.ParentID != tc.SpanID.String() {
+		t.Errorf("op span parent = %q, want the client span %q", opSpan.ParentID, tc.SpanID)
+	}
+
+	ws, ok := findSpan(spans, "write.apply-updates")
+	if !ok {
+		t.Fatalf("trace %s has no write.apply-updates span; spans: %+v", tc.TraceID, spans)
+	}
+	if ws.ParentID != opSpan.SpanID {
+		t.Errorf("write span parent = %q, want the op span %q", ws.ParentID, opSpan.SpanID)
+	}
+	if ws.TraceID != tc.TraceID.String() {
+		t.Errorf("write span trace id = %q, want %q", ws.TraceID, tc.TraceID)
+	}
+	if ws.Results != len(ups) {
+		t.Errorf("write span results = %d, want %d", ws.Results, len(ups))
+	}
+	if ws.Shard != obs.NoShard {
+		t.Errorf("write span shard = %d, want NoShard", ws.Shard)
+	}
+
+	want := []string{"validate", "wal-append", "tree-apply", "fsync-wait"}
+	got := map[string]int64{}
+	for _, st := range ws.Stages {
+		got[st.Stage] = st.WallNS
+	}
+	for _, stage := range want {
+		ns, ok := got[stage]
+		if !ok {
+			t.Errorf("write span missing stage %q (have %v)", stage, ws.Stages)
+			continue
+		}
+		if ns < 0 {
+			t.Errorf("stage %q wall time = %dns, want >= 0", stage, ns)
+		}
+	}
+	if len(ws.Stages) != len(want) {
+		t.Errorf("write span has %d stages, want %d: %+v", len(ws.Stages), len(want), ws.Stages)
+	}
+}
+
+// TestWriteSpanShardedStages checks the sharded engine's write span:
+// no WAL yet, so only the validate and tree-apply stages appear.
+func TestWriteSpanShardedStages(t *testing.T) {
+	db := shardedTestDB(t, 2)
+	srv, addr, stop := startServerKeep(t, db)
+	defer stop()
+
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	tc := obs.NewTraceContext()
+	ctx := obs.ContextWithTrace(context.Background(), tc)
+	ups := probeUpdates(8)
+	for i := range ups {
+		ups[i].ID += 1000 // clear of shardedTestDB's seeded ids
+	}
+	if err := cl.ApplyUpdatesCtx(ctx, ups, dynq.DurabilityGroupCommit); err != nil {
+		t.Fatal(err)
+	}
+
+	spans := srv.Tracer().Trace(tc.TraceID.String())
+	ws, ok := findSpan(spans, "write.apply-updates")
+	if !ok {
+		t.Fatalf("trace %s has no write.apply-updates span; spans: %+v", tc.TraceID, spans)
+	}
+	var stages []string
+	for _, st := range ws.Stages {
+		stages = append(stages, st.Stage)
+	}
+	if len(stages) != 2 || stages[0] != "validate" || stages[1] != "tree-apply" {
+		t.Errorf("sharded write span stages = %v, want [validate tree-apply]", stages)
+	}
+}

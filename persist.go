@@ -3,6 +3,8 @@ package dynq
 import (
 	"encoding/binary"
 	"fmt"
+	"strconv"
+	"time"
 
 	"dynq/internal/obs"
 	"dynq/internal/pager"
@@ -160,9 +162,18 @@ func (db *DB) Sync() error {
 		return db.syncFailure("commit", err)
 	}
 	if db.wal != nil {
+		truncated := db.wal.LiveBytes()
+		start := time.Now()
 		if err := db.wal.Checkpoint(lsn); err != nil {
 			return db.syncFailure("wal checkpoint", err)
 		}
+		obs.DefaultJournal().Record(obs.EventCheckpoint, obs.SeverityInfo,
+			"wal checkpoint committed; log truncated",
+			map[string]string{
+				"lsn":             strconv.FormatUint(lsn, 10),
+				"truncated_bytes": strconv.FormatInt(truncated, 10),
+				"duration":        time.Since(start).String(),
+			})
 	}
 	return db.noteWriteResult(nil)
 }

@@ -145,8 +145,16 @@ func (db *ShardedDB) ApplyUpdates(ctx context.Context, updates []MotionUpdate, o
 	if len(updates) == 0 {
 		return nil
 	}
+	ws := beginWriteSpan(ctx)
+	err := db.applyUpdates(ctx, updates, opts, &ws)
+	ws.finish(len(updates), err)
+	return err
+}
+
+func (db *ShardedDB) applyUpdates(ctx context.Context, updates []MotionUpdate, opts WriteOptions, ws *writeSpan) error {
 	ctx, finish := opts.begin(ctx, db.engine.CostSnapshot)
 	defer finish()
+	mark := ws.now()
 	ups := make([]shard.Update, len(updates))
 	for i, u := range updates {
 		if u.Delete {
@@ -159,6 +167,7 @@ func (db *ShardedDB) ApplyUpdates(ctx context.Context, updates []MotionUpdate, o
 		}
 		ups[i] = shard.Update{ID: rtree.ObjectID(u.ID), Seg: g}
 	}
+	ws.stage(stageValidate, ws.since(mark))
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -167,7 +176,11 @@ func (db *ShardedDB) ApplyUpdates(ctx context.Context, updates []MotionUpdate, o
 	if err := db.health.gate(); err != nil {
 		return err
 	}
+	// No WAL on the sharded engine (yet), so the span carries only the
+	// validate and tree-apply stages.
+	mark = ws.now()
 	err := db.engine.ApplyBatch(ups)
+	ws.stage(stageTreeApply, ws.since(mark))
 	if err == rtree.ErrNotFound {
 		// A missing segment is an answer, not a storage failure.
 		return ErrNotFound

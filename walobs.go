@@ -1,0 +1,61 @@
+package dynq
+
+import (
+	"time"
+
+	"dynq/internal/obs"
+)
+
+// WALInfo is a point-in-time view of the armed write-ahead log's header
+// state, for inspection tools (dqload inspect prints it next to the
+// recovery report).
+type WALInfo struct {
+	Path          string
+	Epoch         uint64 // committed header sequence; stamps new records
+	LastLSN       uint64 // highest LSN appended
+	DurableLSN    uint64 // highest LSN known fsynced (or checkpointed)
+	CheckpointLSN uint64 // records at or below it live in the base file
+	LiveRecords   uint64 // records appended since the last checkpoint
+	LiveBytes     int64  // encoded bytes of those records
+	Size          int64  // total log file size, headers included
+}
+
+// WALInfo reports the armed write-ahead log's header state; ok is false
+// when the database has no WAL.
+func (db *DB) WALInfo() (WALInfo, bool) {
+	if db.wal == nil {
+		return WALInfo{}, false
+	}
+	return WALInfo{
+		Path:          db.wal.Path(),
+		Epoch:         db.wal.Epoch(),
+		LastLSN:       db.wal.LastLSN(),
+		DurableLSN:    db.wal.DurableLSN(),
+		CheckpointLSN: db.wal.CheckpointLSN(),
+		LiveRecords:   db.wal.CheckpointLag(),
+		LiveBytes:     db.wal.LiveBytes(),
+		Size:          db.wal.Size(),
+	}, true
+}
+
+// WALTelemetry snapshots the armed write-ahead log's instrumentation —
+// fsync latency, batch sizes, coalesce ratio, checkpoint state — with
+// rolling histogram windows over the given spans. ok is false when the
+// database has no WAL; the netq server uses that to omit the section.
+func (db *DB) WALTelemetry(windows []time.Duration) (obs.WALTelemetry, bool) {
+	if db.wal == nil {
+		return obs.WALTelemetry{}, false
+	}
+	return db.wal.Telemetry(windows), true
+}
+
+// RegisterWALMetrics exposes the armed write-ahead log's histograms,
+// counters, and gauges in a registry, reporting whether a WAL was
+// present to register.
+func (db *DB) RegisterWALMetrics(reg *obs.Registry) bool {
+	if db.wal == nil {
+		return false
+	}
+	db.wal.RegisterMetrics(reg)
+	return true
+}

@@ -104,15 +104,27 @@ func (o WriteOptions) begin(ctx context.Context, snap func() stats.Snapshot) (co
 // possibly more of it than was applied in-process. Storage errors also
 // count toward degraded read-only mode, so the database does not keep
 // accepting writes onto a diverging index.
+//
+// When ctx carries a tracer (netq threads one per request), the batch is
+// recorded as a traced span with validate / wal-append / tree-apply /
+// fsync-wait stage deltas, continuing any trace context in ctx.
 func (db *DB) ApplyUpdates(ctx context.Context, updates []MotionUpdate, opts WriteOptions) error {
 	if len(updates) == 0 {
 		return nil
 	}
+	ws := beginWriteSpan(ctx)
+	err := db.applyUpdates(ctx, updates, opts, &ws)
+	ws.finish(len(updates), err)
+	return err
+}
+
+func (db *DB) applyUpdates(ctx context.Context, updates []MotionUpdate, opts WriteOptions, ws *writeSpan) error {
 	ctx, finish := opts.begin(ctx, db.counters.Snapshot)
 	defer finish()
 	// Validate and convert every update before taking the lock, so a bad
 	// batch costs nothing and a logged batch never fails validation on
 	// replay.
+	mark := ws.now()
 	segs := make([]geom.Segment, len(updates))
 	for i, u := range updates {
 		if u.Delete {
@@ -124,6 +136,7 @@ func (db *DB) ApplyUpdates(ctx context.Context, updates []MotionUpdate, opts Wri
 		}
 		segs[i] = g
 	}
+	validate := ws.since(mark)
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -136,20 +149,30 @@ func (db *DB) ApplyUpdates(ctx context.Context, updates []MotionUpdate, opts Wri
 		db.mu.Unlock()
 		return err
 	}
-	if err := db.validateDeletesLocked(updates); err != nil {
+	// The validate stage spans both intervals: pre-lock conversion and
+	// the in-lock delete balance check (lock wait is not attributed).
+	mark = ws.now()
+	verr := db.validateDeletesLocked(updates)
+	ws.stage(stageValidate, validate+ws.since(mark))
+	if verr != nil {
 		db.mu.Unlock()
-		return err
+		return verr
 	}
 	var lsn uint64
 	if db.wal != nil {
+		mark = ws.now()
 		var err error
-		if lsn, err = db.wal.Append(encodeUpdates(db.cfg.Dims, updates)); err != nil {
+		lsn, err = db.wal.Append(encodeUpdates(db.cfg.Dims, updates))
+		ws.stage(stageWALAppend, ws.since(mark))
+		if err != nil {
 			err = db.noteWriteResult(fmt.Errorf("dynq: wal append: %w", err))
 			db.mu.Unlock()
 			return err
 		}
 	}
+	mark = ws.now()
 	err := db.applyLocked(updates, segs, false)
+	ws.stage(stageTreeApply, ws.since(mark))
 	db.mu.Unlock()
 	if err != nil {
 		return err
@@ -158,12 +181,14 @@ func (db *DB) ApplyUpdates(ctx context.Context, updates []MotionUpdate, opts Wri
 	// blocks readers, and concurrent writers can pile into the same
 	// group-commit round.
 	if db.wal != nil && opts.Durability != DurabilityAsync {
+		mark = ws.now()
 		var werr error
 		if opts.Durability == DurabilitySync {
 			werr = db.wal.SyncNow(lsn)
 		} else {
 			werr = db.wal.Sync(lsn)
 		}
+		ws.stage(stageFsyncWait, ws.since(mark))
 		if werr != nil {
 			return db.noteWriteResult(fmt.Errorf("dynq: wal commit: %w", werr))
 		}
