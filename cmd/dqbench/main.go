@@ -106,12 +106,15 @@ func main() {
 	if *faults > 0 && *walSoak {
 		// WAL soak mode: crash/reopen cycles that tear the write-ahead
 		// log's unsynced tail (mid-record, mid-group-commit), asserting
-		// that replay restores every acknowledged write exactly. Exits
+		// that replay restores every acknowledged write exactly. With
+		// -shards N the soak runs against the sharded engine — one log
+		// per shard, each crash tearing a random subset of them. Exits
 		// non-zero on any lost acknowledged batch or wrong answer.
-		logger.Info("wal soak starting", "cycles", *faults, "seed", *faultSeed)
+		logger.Info("wal soak starting", "cycles", *faults, "seed", *faultSeed, "shards", *shards)
 		rep, err := dynq.WALSoak(dynq.WALSoakOptions{
 			Cycles: *faults,
 			Seed:   *faultSeed,
+			Shards: *shards,
 			Log: func(format string, args ...any) {
 				logger.Info(fmt.Sprintf(format, args...))
 			},
@@ -220,7 +223,7 @@ func main() {
 		}
 	}
 	if *ingest {
-		if err := runIngest(cfg, report); err != nil {
+		if err := runIngest(cfg, *shards, report); err != nil {
 			fatal(err)
 		}
 	}
@@ -380,11 +383,14 @@ func runConcurrency(cfg bench.Config, clients int, report *bench.Report) error {
 // runIngest prints the ingest-throughput comparison: the same motion
 // update stream through a netq server as serial Insert round trips vs
 // batched ApplyUpdates requests, against the in-memory engine and a
-// WAL-armed file engine (group-commit durability). Each row's final
-// segment count is checked against what was sent.
-func runIngest(cfg bench.Config, report *bench.Report) error {
+// WAL-armed file engine (group-commit durability). With -shards N it
+// appends batched rows against a sharded database with one log per
+// shard (mode "wal-Nsh"), compared to the same serial durable
+// baseline. Each row's final segment count is checked against what was
+// sent.
+func runIngest(cfg bench.Config, shards int, report *bench.Report) error {
 	fmt.Println("\n=== Ingest: serial Insert vs batched ApplyUpdates (netq, updates/sec) ===")
-	cells, err := bench.IngestExperiment(cfg, []int{64, 256})
+	cells, err := bench.IngestExperiment(cfg, []int{64, 256}, shards)
 	if err != nil {
 		return err
 	}
@@ -401,6 +407,9 @@ func runIngest(cfg bench.Config, report *bench.Report) error {
 		mode := "memory"
 		if c.WAL {
 			mode = "wal"
+		}
+		if c.Shards > 1 {
+			mode = fmt.Sprintf("wal-%dsh", c.Shards)
 		}
 		speedup := 0.0
 		if b := base[c.WAL]; b > 0 {

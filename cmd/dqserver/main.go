@@ -31,11 +31,16 @@
 // With -wal a write-ahead log sidecar (<db>.wal) is armed: every
 // acknowledged write is durable across a crash, and the next open
 // replays whatever the last page commit missed. An existing sidecar is
-// detected and replayed even without the flag.
+// detected and replayed even without the flag. Combining -db with
+// -shards N serves a sharded on-disk database — page files
+// <db>.shard0..N-1, one log sidecar each under -wal — created fresh
+// when absent and recovered (every shard verified, every log replayed)
+// when present; the shard count must match the one the files were
+// created with.
 //
 // Usage:
 //
-//	dqserver [-addr :7207] [-metrics :7208] [-db db.dynq | -scale F -seed N [-dual] [-shards N]]
+//	dqserver [-addr :7207] [-metrics :7208] [-db db.dynq [-shards N] | -scale F -seed N [-dual] [-shards N]]
 //	         [-wal] [-group-commit-window 2ms]
 //	         [-slow-query 250ms] [-slow-write 250ms]
 //	         [-slo-latency 100ms] [-slo-write-latency 50ms] [-slo-window 5m]
@@ -72,8 +77,8 @@ func main() {
 		dual    = flag.Bool("dual", false, "dual temporal axes for the synthetic index")
 		track   = flag.Bool("track", false, "attach a current-state tracker (enables OpTrack* operations)")
 		horizon = flag.Float64("horizon", 2, "tracker anticipation horizon")
-		shards  = flag.Int("shards", 1, "partition the index across N parallel shards (>1 requires a synthetic index, not -db)")
-		walArm  = flag.Bool("wal", false, "arm a write-ahead log sidecar (<db>.wal) for durable writes; requires -db")
+		shards  = flag.Int("shards", 1, "partition the index across N parallel shards; with -db, serves the sharded file set <db>.shard<i> (created fresh or recovered)")
+		walArm  = flag.Bool("wal", false, "arm a write-ahead log for durable writes; requires -db (sidecar <db>.wal, or one <db>.shard<i>.wal per shard with -shards)")
 		gcWin   = flag.Duration("group-commit-window", 0, "WAL group-commit coalescing window (0 = 2ms default, negative fsyncs every commit round)")
 		maxConc = flag.Int("max-concurrent", 0, "max concurrently executing read queries (0 = GOMAXPROCS, <0 = unlimited)")
 		maxQue  = flag.Int("max-queue", 0, "max read queries waiting for a slot before rejection (0 = 4x max-concurrent)")
@@ -97,6 +102,13 @@ func main() {
 	fatal := func(msg string, err error) {
 		logger.Error(msg, "err", err)
 		os.Exit(1)
+	}
+
+	// Flag combinations fail before any index is built or file touched —
+	// a bad invocation should not pay for a synthetic-index setup first.
+	if err := validateFlags(*path, *shards, *walArm); err != nil {
+		fmt.Fprintln(os.Stderr, "dqserver:", err)
+		os.Exit(2)
 	}
 
 	db, recovery, err := openDB(*path, *scale, *seed, *dual, *shards, *walArm, *gcWin, logger)
@@ -223,14 +235,48 @@ func main() {
 	logger.Info("bye")
 }
 
-func openDB(path string, scale float64, seed int64, dual bool, shards int, walArm bool, gcWin time.Duration, logger *slog.Logger) (dynq.Database, *dynq.RecoveryReport, error) {
+// validateFlags rejects bad flag combinations up front, before any
+// index is built or file opened, with messages that say what to change.
+func validateFlags(path string, shards int, walArm bool) error {
 	if shards < 1 {
-		return nil, nil, fmt.Errorf("-shards must be >= 1, got %d", shards)
+		return fmt.Errorf("-shards must be >= 1, got %d", shards)
+	}
+	if walArm && path == "" {
+		return fmt.Errorf("-wal requires -db: a synthetic in-memory index has no page files for a log to recover against")
+	}
+	return nil
+}
+
+func openDB(path string, scale float64, seed int64, dual bool, shards int, walArm bool, gcWin time.Duration, logger *slog.Logger) (dynq.Database, *dynq.RecoveryReport, error) {
+	if err := validateFlags(path, shards, walArm); err != nil {
+		return nil, nil, err
+	}
+	if path != "" && shards > 1 {
+		// A sharded on-disk database: one page file and one log per shard
+		// under <path>.shard<i>. Created fresh when absent; otherwise every
+		// shard file is verified and its log replayed before serving.
+		db, reps, err := dynq.OpenShardedRecover(path, dynq.ShardRecoverOptions{
+			Shards:            shards,
+			WAL:               walArm,
+			GroupCommitWindow: gcWin,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		rep := dynq.MergeRecoveryReports(reps)
+		if db.WALArmed() {
+			args := []any{"logs", shards, "wal_pattern", path + ".shard<i>.wal"}
+			if rep != nil {
+				args = append(args,
+					"replayed_records", rep.WALRecordsReplayed,
+					"replayed_updates", rep.WALUpdatesReplayed,
+					"torn_tail", rep.WALTornTail)
+			}
+			logger.Info("per-shard write-ahead logs armed", args...)
+		}
+		return db, rep, nil
 	}
 	if path != "" {
-		if shards > 1 {
-			return nil, nil, fmt.Errorf("-shards only applies to a synthetic index; a -db file holds one pre-built tree")
-		}
 		// Open through recovery so the server never takes traffic on an
 		// unverified file; the report feeds dynq_recovery_* gauges. -wal
 		// forces a log sidecar into existence; without the flag an
@@ -251,9 +297,6 @@ func openDB(path string, scale float64, seed int64, dual bool, shards int, walAr
 				"torn_tail", rep.WALTornTail)
 		}
 		return db, rep, nil
-	}
-	if walArm {
-		return nil, nil, fmt.Errorf("-wal requires -db: a synthetic in-memory index has no page file for the log to recover against")
 	}
 	sim := motion.PaperConfig()
 	sim.Objects = int(float64(sim.Objects) * scale)

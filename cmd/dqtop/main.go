@@ -201,8 +201,12 @@ func render(out *strings.Builder, addr string, tel netq.Telemetry, eventLimit in
 		if len(w.BatchSize.Windows) > 0 && w.BatchSize.Windows[0].Count > 0 {
 			batchP50 = w.BatchSize.Windows[0].P50
 		}
-		fmt.Fprintf(out, "  wal %s (%d live recs)  %.1f appends/s  %s/s  fsync p50 %s p99 %s\n",
-			sizeof(uint64(w.LogBytes)), w.CheckpointLag,
+		logs := ""
+		if w.Logs > 1 {
+			logs = fmt.Sprintf(" (%d logs)", w.Logs)
+		}
+		fmt.Fprintf(out, "  wal%s %s (%d live recs)  %.1f appends/s  %s/s  fsync p50 %s p99 %s\n",
+			logs, sizeof(uint64(w.LogBytes)), w.CheckpointLag,
 			appendsPerSec, sizeof(uint64(bytesPerSec)), ms(fsyncP50), ms(fsyncP99))
 		fmt.Fprintf(out, "      coalesce %.0f%%  batch p50 %.1f  ckpts %d  lsn %d (durable %d, ckpt %d)\n",
 			w.CoalesceRatio*100, batchP50, w.Checkpoints,

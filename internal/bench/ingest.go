@@ -23,7 +23,11 @@ type IngestCell struct {
 	// WAL marks the durable rows: a file-backed database with a
 	// group-commit write-ahead log, so every acknowledged request
 	// survives a crash. Non-WAL rows measure the in-memory engine.
-	WAL     bool
+	WAL bool
+	// Shards > 1 marks the sharded durable rows: the same stream against
+	// a sharded database with one log per shard, touched logs fsyncing
+	// in parallel. 0 is the single-tree engine.
+	Shards  int
 	Updates int
 	Wall    time.Duration
 
@@ -56,7 +60,13 @@ func (c IngestCell) UPS() float64 {
 // of magnitude lives. The in-memory rows are the engine-bound reference
 // (on loopback a round trip costs less than an R-tree insert), showing
 // batched durable ingest approaching the no-durability ceiling.
-func IngestExperiment(cfg Config, batches []int) ([]IngestCell, error) {
+//
+// With shards > 1, batched durable rows against a sharded database (one
+// write-ahead log per shard) are appended: each batch splits across the
+// shard logs and the touched logs fsync in parallel, so the figure shows
+// what partitioned durability adds on top of batching. Their speedup
+// column compares against the same serial durable baseline.
+func IngestExperiment(cfg Config, batches []int, shards int) ([]IngestCell, error) {
 	for _, b := range batches {
 		if b < 2 {
 			return nil, fmt.Errorf("bench: ingest batch sizes must be >= 2, got %d", b)
@@ -100,7 +110,18 @@ func IngestExperiment(cfg Config, batches []int) ([]IngestCell, error) {
 			serialCap = 500
 		}
 		for _, batch := range append([]int{1}, batches...) {
-			cell, err := runIngestRow(updates, batch, withWAL, serialCap, dir)
+			cell, err := runIngestRow(updates, batch, withWAL, 0, serialCap, dir)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, cell)
+		}
+	}
+	if shards > 1 {
+		// Sharded durable rows, batched only: a serial baseline would just
+		// re-measure one group-commit window per update.
+		for _, batch := range batches {
+			cell, err := runIngestRow(updates, batch, true, shards, len(updates), dir)
 			if err != nil {
 				return nil, err
 			}
@@ -110,19 +131,32 @@ func IngestExperiment(cfg Config, batches []int) ([]IngestCell, error) {
 	return cells, nil
 }
 
-// runIngestRow times one (batch size, durability) row against a fresh
-// database and server.
-func runIngestRow(updates []dynq.MotionUpdate, batch int, withWAL bool, serialCap int, dir string) (IngestCell, error) {
+// runIngestRow times one (batch size, durability, sharding) row against
+// a fresh database and server.
+func runIngestRow(updates []dynq.MotionUpdate, batch int, withWAL bool, shards, serialCap int, dir string) (IngestCell, error) {
 	// Buffered like a production server: bufferless pass-through stores
 	// re-decode the root path on every insert, which would hide the wire
 	// and durability costs this experiment is about.
-	opts := dynq.Options{BufferPages: 4096}
-	if withWAL {
-		path := filepath.Join(dir, fmt.Sprintf("ingest-b%d.pages", batch))
-		opts.Path = path
-		opts.WALPath = path + ".wal"
+	var db dynq.Database
+	var err error
+	if shards > 1 {
+		db, err = dynq.OpenSharded(dynq.ShardOptions{
+			Options: dynq.Options{
+				Path:        filepath.Join(dir, fmt.Sprintf("ingest-s%d-b%d.pages", shards, batch)),
+				BufferPages: 4096,
+			},
+			Shards: shards,
+			WAL:    true,
+		})
+	} else {
+		opts := dynq.Options{BufferPages: 4096}
+		if withWAL {
+			path := filepath.Join(dir, fmt.Sprintf("ingest-b%d.pages", batch))
+			opts.Path = path
+			opts.WALPath = path + ".wal"
+		}
+		db, err = dynq.Open(opts)
 	}
-	db, err := dynq.Open(opts)
 	if err != nil {
 		return IngestCell{}, err
 	}
@@ -169,10 +203,10 @@ func runIngestRow(updates []dynq.MotionUpdate, batch int, withWAL bool, serialCa
 		return IngestCell{}, err
 	}
 	if st.Segments != n {
-		return IngestCell{}, fmt.Errorf("bench: ingest row (batch %d, wal %v) left %d segments indexed, sent %d",
-			batch, withWAL, st.Segments, n)
+		return IngestCell{}, fmt.Errorf("bench: ingest row (batch %d, wal %v, shards %d) left %d segments indexed, sent %d",
+			batch, withWAL, shards, st.Segments, n)
 	}
-	cell := IngestCell{Batch: batch, WAL: withWAL, Updates: n, Wall: wall}
+	cell := IngestCell{Batch: batch, WAL: withWAL, Shards: shards, Updates: n, Wall: wall}
 	tel, err := cl.Telemetry()
 	if err != nil {
 		return IngestCell{}, err

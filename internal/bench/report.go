@@ -143,8 +143,10 @@ type ConcurrencyCellReport struct {
 // same update stream as serial Insert round trips (batch 1) or batched
 // ApplyUpdates requests, against an in-memory or WAL-armed engine.
 type IngestCellReport struct {
-	Batch   int     `json:"batch"`
-	WAL     bool    `json:"wal"`
+	Batch int  `json:"batch"`
+	WAL   bool `json:"wal"`
+	// Shards > 1 marks sharded durable rows (one WAL per shard).
+	Shards  int     `json:"shards,omitempty"`
 	Updates int     `json:"updates"`
 	WallNS  int64   `json:"wall_ns"`
 	UPS     float64 `json:"ups"`
@@ -257,6 +259,7 @@ func (r *Report) AddIngestCells(cells []IngestCell) {
 		r.IngestCells = append(r.IngestCells, IngestCellReport{
 			Batch:     c.Batch,
 			WAL:       c.WAL,
+			Shards:    c.Shards,
 			Updates:   c.Updates,
 			WallNS:    c.Wall.Nanoseconds(),
 			UPS:       c.UPS(),

@@ -87,6 +87,12 @@ func SummarizeWindowed(w *WindowedHistogram, windows []time.Duration) HistSummar
 // picture.
 type WALTelemetry struct {
 	Path string `json:"path,omitempty"`
+	// Logs is the number of per-shard logs aggregated into this snapshot
+	// (0 for a single-log database). When > 1, counters and byte totals
+	// are sums across logs, the LSN triple sums each log's independent
+	// sequence, and histogram quantiles report the WORST shard (see
+	// MergeWALTelemetry).
+	Logs int `json:"logs,omitempty"`
 
 	Appends       int64   `json:"appends"`
 	AppendedBytes int64   `json:"appended_bytes"`
@@ -106,4 +112,68 @@ type WALTelemetry struct {
 	BatchSize          HistSummary `json:"batch_size"`          // records made durable per fsync round
 	AppendBytes        HistSummary `json:"append_bytes"`        // encoded record bytes per append
 	CheckpointDuration HistSummary `json:"checkpoint_duration"` // seconds per checkpoint
+}
+
+// MergeWALTelemetry folds one log's snapshot into an aggregate — the
+// sharded database's per-shard logs presented as one section. Counters,
+// byte totals, LSNs, and checkpoint lag add (each log's LSN sequence is
+// independent, so the sums read as fleet totals); histogram counts and
+// sums add while quantiles take the maximum, so the aggregate's p99 is
+// the worst shard's p99 — the number an operator acting on tail latency
+// wants. The caller sets Path and Logs on the final aggregate.
+func MergeWALTelemetry(agg, t WALTelemetry) WALTelemetry {
+	agg.Appends += t.Appends
+	agg.AppendedBytes += t.AppendedBytes
+	agg.Fsyncs += t.Fsyncs
+	agg.Coalesced += t.Coalesced
+	agg.Checkpoints += t.Checkpoints
+	if total := agg.Coalesced + agg.Fsyncs; total > 0 {
+		agg.CoalesceRatio = float64(agg.Coalesced) / float64(total)
+	}
+	agg.LastLSN += t.LastLSN
+	agg.DurableLSN += t.DurableLSN
+	agg.CheckpointLSN += t.CheckpointLSN
+	agg.CheckpointLag += t.CheckpointLag
+	agg.LogBytes += t.LogBytes
+	agg.LiveBytes += t.LiveBytes
+	agg.FsyncLatency = mergeHistSummary(agg.FsyncLatency, t.FsyncLatency)
+	agg.BatchSize = mergeHistSummary(agg.BatchSize, t.BatchSize)
+	agg.AppendBytes = mergeHistSummary(agg.AppendBytes, t.AppendBytes)
+	agg.CheckpointDuration = mergeHistSummary(agg.CheckpointDuration, t.CheckpointDuration)
+	return agg
+}
+
+func mergeHistSummary(a, b HistSummary) HistSummary {
+	out := HistSummary{
+		Count: a.Count + b.Count,
+		Sum:   a.Sum + b.Sum,
+		P50:   max(a.P50, b.P50),
+		P95:   max(a.P95, b.P95),
+		P99:   max(a.P99, b.P99),
+	}
+	// Window lists come from the same rolling spans on every log, so they
+	// merge positionally; a length mismatch keeps the longer tail as-is.
+	n := len(a.Windows)
+	if len(b.Windows) > n {
+		n = len(b.Windows)
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case i >= len(a.Windows):
+			out.Windows = append(out.Windows, b.Windows[i])
+		case i >= len(b.Windows):
+			out.Windows = append(out.Windows, a.Windows[i])
+		default:
+			wa, wb := a.Windows[i], b.Windows[i]
+			out.Windows = append(out.Windows, WindowSnapshot{
+				Window: wa.Window,
+				Count:  wa.Count + wb.Count,
+				Sum:    wa.Sum + wb.Sum,
+				P50:    max(wa.P50, wb.P50),
+				P95:    max(wa.P95, wb.P95),
+				P99:    max(wa.P99, wb.P99),
+			})
+		}
+	}
+	return out
 }

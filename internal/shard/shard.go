@@ -130,8 +130,44 @@ func New(cfg rtree.Config, opts Options, storeFor func(i int) (pager.Store, erro
 		e.shards[i] = sh
 		e.latency[i] = obs.NewHistogram(nil)
 	}
-	e.workers.Add(opts.Workers)
-	for w := 0; w < opts.Workers; w++ {
+	e.startWorkers()
+	return e, nil
+}
+
+// NewFromShards builds an engine over pre-built trees and their stores —
+// the recovery path, where each shard's tree was restored from its own
+// verified file rather than created empty. trees[i] must already read
+// through stores[i]; opts.Shards must match len(trees). The engine wires
+// each shard's counters into its tree, exactly as New does.
+func NewFromShards(cfg rtree.Config, opts Options, trees []*rtree.Tree, stores []pager.Store) (*Engine, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if len(trees) != opts.Shards || len(stores) != opts.Shards {
+		return nil, fmt.Errorf("shard: NewFromShards got %d trees and %d stores for %d shards",
+			len(trees), len(stores), opts.Shards)
+	}
+	e := &Engine{
+		cfg:     cfg,
+		opts:    opts,
+		shards:  make([]*Shard, opts.Shards),
+		latency: make([]*obs.Histogram, opts.Shards),
+		tasks:   make(chan func()),
+	}
+	for i := range e.shards {
+		sh := &Shard{Tree: trees[i], store: stores[i]}
+		trees[i].SetCounters(&sh.Counters)
+		e.shards[i] = sh
+		e.latency[i] = obs.NewHistogram(nil)
+	}
+	e.startWorkers()
+	return e, nil
+}
+
+func (e *Engine) startWorkers() {
+	e.workers.Add(e.opts.Workers)
+	for w := 0; w < e.opts.Workers; w++ {
 		go func() {
 			defer e.workers.Done()
 			for fn := range e.tasks {
@@ -139,7 +175,6 @@ func New(cfg rtree.Config, opts Options, storeFor func(i int) (pager.Store, erro
 			}
 		}()
 	}
-	return e, nil
 }
 
 // Config returns the shared tree configuration.
@@ -154,6 +189,10 @@ func (e *Engine) Workers() int { return e.opts.Workers }
 // Shard exposes partition i (tests, metrics).
 func (e *Engine) Shard(i int) *Shard { return e.shards[i] }
 
+// Store exposes the shard's page store — the recovery and checkpoint
+// paths need it to stage metadata and commit pages per shard.
+func (sh *Shard) Store() pager.Store { return sh.store }
+
 // mix is the splitmix64 finalizer: object ids are often sequential, and
 // a plain modulo would put entire id ranges on one shard.
 func mix(x uint64) uint64 {
@@ -163,9 +202,18 @@ func mix(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
+// Place returns the partition owning an object under a given shard
+// count. Placement is a pure function of (id, shards) — it must be, so
+// a reopened database routes every object exactly as the run that wrote
+// it, and a WAL replay can detect records logged under a different
+// shard count.
+func Place(id rtree.ObjectID, shards int) int {
+	return int(mix(uint64(id)) % uint64(shards))
+}
+
 // ShardFor returns the partition owning an object's segments.
 func (e *Engine) ShardFor(id rtree.ObjectID) int {
-	return int(mix(uint64(id)) % uint64(len(e.shards)))
+	return Place(id, len(e.shards))
 }
 
 // Insert routes one motion update to its owner shard, locking only that
@@ -231,6 +279,34 @@ func (e *Engine) ApplyBatch(updates []Update) error {
 		}
 		return nil
 	})
+}
+
+// UpdateShards runs fn once per shard where touched[i] is true, on the
+// worker pool, each invocation holding that shard's exclusive lock and
+// timed into its latency histogram. It is the primitive behind
+// WAL-logged batch writes: the caller partitions the batch itself and
+// must append each sub-batch to the shard's log under the SAME lock
+// acquisition that applies it, so the log's record order matches the
+// order mutations became visible on that shard. Like ApplyBatch,
+// cross-shard visibility is not atomic; the first error in shard order
+// is returned and other shards may have completed.
+func (e *Engine) UpdateShards(touched []bool, fn func(i int, sh *Shard) error) error {
+	fns := make([]func() error, 0, len(e.shards))
+	for i := range e.shards {
+		if i >= len(touched) || !touched[i] {
+			continue
+		}
+		i := i
+		fns = append(fns, func() error {
+			sh := e.shards[i]
+			start := time.Now()
+			defer func() { e.latency[i].ObserveDuration(time.Since(start)) }()
+			sh.mu.Lock()
+			defer sh.mu.Unlock()
+			return fn(i, sh)
+		})
+	}
+	return e.run(fns)
 }
 
 // Size returns the total number of indexed segments.
@@ -320,9 +396,17 @@ func (e *Engine) Validate() error {
 
 // Close shuts the worker pool down and closes every shard's store.
 func (e *Engine) Close() error {
+	e.Shutdown()
+	return e.closeStores()
+}
+
+// Shutdown stops the worker pool without touching the stores — the
+// crash-simulation path, where the caller has already abandoned the
+// stores mid-write and a clean Close would mask the simulated failure.
+// The engine must not be used afterwards.
+func (e *Engine) Shutdown() {
 	close(e.tasks)
 	e.workers.Wait()
-	return e.closeStores()
 }
 
 func (e *Engine) closeStores() error {

@@ -135,32 +135,40 @@ func (l *Log) Telemetry(windows []time.Duration) obs.WALTelemetry {
 // cumulative histograms, counter totals, and live gauges, plus rolling
 // fsync-latency quantiles matching the netq per-op window gauges.
 func (l *Log) RegisterMetrics(reg *obs.Registry) {
+	l.RegisterMetricsLabeled(reg)
+}
+
+// RegisterMetricsLabeled is RegisterMetrics with extra labels stamped on
+// every series — a sharded database registers each shard's log with a
+// {shard="i"} label, so the dynq_wal_* families carry one series per
+// log instead of colliding on the same name.
+func (l *Log) RegisterMetricsLabeled(reg *obs.Registry, labels ...obs.Label) {
 	reg.SetHelp("dynq_wal_fsync_seconds", "Group-commit fsync latency in seconds.")
 	reg.SetHelp("dynq_wal_batch_records", "Records made durable per group-commit fsync round.")
 	reg.SetHelp("dynq_wal_append_bytes", "Encoded record bytes per WAL append.")
 	reg.SetHelp("dynq_wal_checkpoint_seconds", "WAL checkpoint (truncate + header commit) duration in seconds.")
-	reg.AttachHistogram("dynq_wal_fsync_seconds", l.met.fsync.Cumulative())
-	reg.AttachHistogram("dynq_wal_batch_records", l.met.batch.Cumulative())
-	reg.AttachHistogram("dynq_wal_append_bytes", l.met.appendBytes.Cumulative())
-	reg.AttachHistogram("dynq_wal_checkpoint_seconds", l.met.checkpoint.Cumulative())
+	reg.AttachHistogram("dynq_wal_fsync_seconds", l.met.fsync.Cumulative(), labels...)
+	reg.AttachHistogram("dynq_wal_batch_records", l.met.batch.Cumulative(), labels...)
+	reg.AttachHistogram("dynq_wal_append_bytes", l.met.appendBytes.Cumulative(), labels...)
+	reg.AttachHistogram("dynq_wal_checkpoint_seconds", l.met.checkpoint.Cumulative(), labels...)
 
 	reg.SetHelp("dynq_wal_appends_total", "Records appended to the WAL.")
-	reg.GaugeFunc("dynq_wal_appends_total", func() float64 { return float64(l.stAppends.Load()) })
+	reg.GaugeFunc("dynq_wal_appends_total", func() float64 { return float64(l.stAppends.Load()) }, labels...)
 	reg.SetHelp("dynq_wal_appended_bytes_total", "Record bytes appended to the WAL (headers excluded).")
-	reg.GaugeFunc("dynq_wal_appended_bytes_total", func() float64 { return float64(l.stBytes.Load()) })
+	reg.GaugeFunc("dynq_wal_appended_bytes_total", func() float64 { return float64(l.stBytes.Load()) }, labels...)
 	reg.SetHelp("dynq_wal_fsyncs_total", "Fsync syscalls issued by group-commit rounds.")
-	reg.GaugeFunc("dynq_wal_fsyncs_total", func() float64 { return float64(l.stFsyncs.Load()) })
+	reg.GaugeFunc("dynq_wal_fsyncs_total", func() float64 { return float64(l.stFsyncs.Load()) }, labels...)
 	reg.SetHelp("dynq_wal_coalesced_total", "Durability waits satisfied by another writer's fsync.")
-	reg.GaugeFunc("dynq_wal_coalesced_total", func() float64 { return float64(l.stCoalesced.Load()) })
+	reg.GaugeFunc("dynq_wal_coalesced_total", func() float64 { return float64(l.stCoalesced.Load()) }, labels...)
 	reg.SetHelp("dynq_wal_checkpoints_total", "WAL checkpoint truncations.")
-	reg.GaugeFunc("dynq_wal_checkpoints_total", func() float64 { return float64(l.stCheckpoints.Load()) })
+	reg.GaugeFunc("dynq_wal_checkpoints_total", func() float64 { return float64(l.stCheckpoints.Load()) }, labels...)
 
 	reg.SetHelp("dynq_wal_coalesce_ratio", "Fraction of durability waits satisfied by another writer's fsync.")
-	reg.GaugeFunc("dynq_wal_coalesce_ratio", func() float64 { return coalesceRatio(l.Stats()) })
+	reg.GaugeFunc("dynq_wal_coalesce_ratio", func() float64 { return coalesceRatio(l.Stats()) }, labels...)
 	reg.SetHelp("dynq_wal_log_bytes", "Current WAL file size in bytes, headers included.")
-	reg.GaugeFunc("dynq_wal_log_bytes", func() float64 { return float64(l.Size()) })
+	reg.GaugeFunc("dynq_wal_log_bytes", func() float64 { return float64(l.Size()) }, labels...)
 	reg.SetHelp("dynq_wal_checkpoint_lag_records", "Records appended but not yet checkpointed into the base file.")
-	reg.GaugeFunc("dynq_wal_checkpoint_lag_records", func() float64 { return float64(l.CheckpointLag()) })
+	reg.GaugeFunc("dynq_wal_checkpoint_lag_records", func() float64 { return float64(l.CheckpointLag()) }, labels...)
 
 	reg.SetHelp("dynq_wal_fsync_window_seconds", "Rolling-window group-commit fsync latency quantiles.")
 	for _, win := range obs.DefWindows() {
@@ -174,9 +182,11 @@ func (l *Log) RegisterMetrics(reg *obs.Registry) {
 			{"0.99", func(s obs.WindowSnapshot) float64 { return s.P99 }},
 		} {
 			q := q
+			series := append(append([]obs.Label(nil), labels...),
+				obs.L("window", win.String()), obs.L("quantile", q.name))
 			reg.GaugeFunc("dynq_wal_fsync_window_seconds",
 				func() float64 { return q.pick(l.met.fsync.Snapshot(win)) },
-				obs.L("window", win.String()), obs.L("quantile", q.name))
+				series...)
 		}
 	}
 }

@@ -16,6 +16,7 @@ const (
 	ErrKindOverloaded = "overloaded"
 	ErrKindReadOnly   = "read_only"
 	ErrKindNotFound   = "not_found"
+	ErrKindNoWAL      = "no_wal"
 )
 
 // ErrNoTracker is returned (and matched with errors.Is on both sides of
@@ -78,6 +79,8 @@ func errKind(err error) string {
 		return ErrKindReadOnly
 	case errors.Is(err, dynq.ErrNotFound):
 		return ErrKindNotFound
+	case errors.Is(err, dynq.ErrNoWAL):
+		return ErrKindNoWAL
 	}
 	return ""
 }
@@ -107,6 +110,8 @@ func typedError(req Request, resp Response) error {
 		return &wireError{msg: resp.Err, sentinel: dynq.ErrReadOnly}
 	case ErrKindNotFound:
 		return &wireError{msg: resp.Err, sentinel: dynq.ErrNotFound}
+	case ErrKindNoWAL:
+		return &wireError{msg: resp.Err, sentinel: dynq.ErrNoWAL}
 	}
 	return errors.New(resp.Err)
 }

@@ -1043,9 +1043,13 @@ func (c *Client) InsertCtx(ctx context.Context, id dynq.ObjectID, seg dynq.Segme
 
 // ApplyUpdates sends a batch of motion updates applied as ONE database
 // write on the server: one round trip, one lock acquisition, one WAL
-// record — the high-rate ingest path. Updates apply in slice order.
+// record — the high-rate ingest path. Updates apply in slice order. It
+// requests DurabilityDefault: group-commit durable when the server has
+// a log armed, plain in-memory otherwise. Callers that must not be
+// acked by a WAL-less server pass an explicit level via
+// ApplyUpdatesCtx and handle dynq.ErrNoWAL.
 func (c *Client) ApplyUpdates(updates []dynq.MotionUpdate) error {
-	return c.ApplyUpdatesCtx(context.Background(), updates, dynq.DurabilityGroupCommit)
+	return c.ApplyUpdatesCtx(context.Background(), updates, dynq.DurabilityDefault)
 }
 
 // ApplyUpdatesCtx is ApplyUpdates with cooperative cancellation and an

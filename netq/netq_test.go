@@ -2,6 +2,7 @@ package netq
 
 import (
 	"context"
+	"errors"
 	"net"
 	"sync"
 	"testing"
@@ -141,9 +142,53 @@ func TestApplyUpdatesOverTheWire(t *testing.T) {
 			// A delete of a missing segment fails the batch server-side.
 			err = cl.ApplyUpdatesCtx(context.Background(),
 				[]dynq.MotionUpdate{{ID: 424242, Segment: dynq.Segment{T0: 5}, Delete: true}},
-				dynq.DurabilitySync)
+				dynq.DurabilityDefault)
 			if err == nil {
 				t.Fatal("deleting a missing segment over the wire should fail")
+			}
+			if !errors.Is(err, dynq.ErrNotFound) {
+				t.Fatalf("deleting a missing segment = %v, want ErrNotFound", err)
+			}
+		})
+	}
+}
+
+// TestDurabilityWithoutWALOverTheWire: a client requesting an explicit
+// durability level from a WAL-less server must get the typed ErrNoWAL
+// back across the wire — not a silent in-memory ack — against both
+// backends. The adaptive default still succeeds.
+func TestDurabilityWithoutWALOverTheWire(t *testing.T) {
+	sharded, err := dynq.OpenSharded(dynq.ShardOptions{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sharded.Close() })
+	for name, db := range map[string]dynq.Database{
+		"single":  testDB(t),
+		"sharded": sharded,
+	} {
+		t.Run(name, func(t *testing.T) {
+			addr, stop := startServer(t, db)
+			defer stop()
+			cl, err := Dial(addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cl.Close()
+
+			batch := []dynq.MotionUpdate{{ID: 5001, Segment: dynq.Segment{
+				T0: 0, T1: 1, From: []float64{300, 300}, To: []float64{300, 300},
+			}}}
+			err = cl.ApplyUpdatesCtx(context.Background(), batch, dynq.DurabilityGroupCommit)
+			if !errors.Is(err, dynq.ErrNoWAL) {
+				t.Fatalf("group-commit against a WAL-less server = %v, want ErrNoWAL", err)
+			}
+			err = cl.ApplyUpdatesCtx(context.Background(), batch, dynq.DurabilitySync)
+			if !errors.Is(err, dynq.ErrNoWAL) {
+				t.Fatalf("sync against a WAL-less server = %v, want ErrNoWAL", err)
+			}
+			if err := cl.ApplyUpdates(batch); err != nil {
+				t.Fatalf("default durability against a WAL-less server = %v, want nil", err)
 			}
 		})
 	}

@@ -137,8 +137,11 @@ func (t *serverTelemetry) record(op Op, elapsed time.Duration, failed bool, span
 }
 
 // walTelemetrySource is the optional Database capability exposing an
-// armed write-ahead log's telemetry (*dynq.DB implements it; the
-// sharded engine has no WAL yet, so its snapshots omit the section).
+// armed write-ahead log's telemetry. *dynq.DB implements it for its
+// single log; *dynq.ShardedDB implements it by aggregating the
+// per-shard logs (totals summed, quantiles from the worst shard, with
+// Logs saying how many were merged). Databases without a log return
+// ok=false and their snapshots omit the section.
 type walTelemetrySource interface {
 	WALTelemetry(windows []time.Duration) (obs.WALTelemetry, bool)
 }

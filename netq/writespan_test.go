@@ -117,7 +117,8 @@ func TestWriteSpanTracePropagation(t *testing.T) {
 }
 
 // TestWriteSpanShardedStages checks the sharded engine's write span:
-// no WAL yet, so only the validate and tree-apply stages appear.
+// memory-backed, so no logs are armed and only the validate and
+// tree-apply stages appear.
 func TestWriteSpanShardedStages(t *testing.T) {
 	db := shardedTestDB(t, 2)
 	srv, addr, stop := startServerKeep(t, db)
@@ -135,7 +136,7 @@ func TestWriteSpanShardedStages(t *testing.T) {
 	for i := range ups {
 		ups[i].ID += 1000 // clear of shardedTestDB's seeded ids
 	}
-	if err := cl.ApplyUpdatesCtx(ctx, ups, dynq.DurabilityGroupCommit); err != nil {
+	if err := cl.ApplyUpdatesCtx(ctx, ups, dynq.DurabilityDefault); err != nil {
 		t.Fatal(err)
 	}
 

@@ -234,29 +234,7 @@ func (db *DB) armWAL(path string, window time.Duration, rep *RecoveryReport) err
 // whose tree reads through treeStore — normally fs itself, but tests and
 // the fault soak pass a FaultStore wrapping it.
 func recoverFileStore(fs *pager.FileStore, treeStore pager.Store) (*DB, *RecoveryReport, error) {
-	m, appliedLSN, err := decodeMeta(fs.Aux())
-	if err != nil {
-		return nil, nil, err
-	}
-	rep := &RecoveryReport{
-		HeaderSeq:          fs.CommittedSeq(),
-		TornHeaderRepaired: !fs.BothHeaderSlotsValid(),
-	}
-	reachable, err := verifyTree(fs, m, rep)
-	if err != nil {
-		return nil, nil, err
-	}
-	if err := recoverFreeList(fs, reachable, rep); err != nil {
-		return nil, nil, err
-	}
-	if rep.TornHeaderRepaired && !rep.FreeListRebuilt {
-		// Re-commit so the stale header slot is rewritten and the file
-		// tolerates another torn commit.
-		if err := fs.Sync(); err != nil {
-			return nil, nil, fmt.Errorf("dynq: repair torn header: %w", err)
-		}
-	}
-	tree, err := rtree.Restore(m.Config, treeStore, m.Root, m.Height, m.Size, m.ModSeq)
+	tree, m, appliedLSN, rep, err := recoverStoreTree(fs, treeStore)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -265,6 +243,45 @@ func recoverFileStore(fs *pager.FileStore, treeStore pager.Store) (*DB, *Recover
 	db.recovery = rep
 	rep.journal()
 	return db, rep, nil
+}
+
+// recoverStoreTree is the tree-level half of recovery, shared by the
+// single-tree and sharded reopen paths: it verifies the committed state
+// of fs (checksums, epochs, structure, free list), repairs what it can,
+// and restores the tree reading through treeStore. The returned
+// applied-LSN is the committed metadata's WAL watermark — replay starts
+// past it.
+func recoverStoreTree(fs *pager.FileStore, treeStore pager.Store) (*rtree.Tree, rtree.Meta, uint64, *RecoveryReport, error) {
+	fail := func(err error) (*rtree.Tree, rtree.Meta, uint64, *RecoveryReport, error) {
+		return nil, rtree.Meta{}, 0, nil, err
+	}
+	m, appliedLSN, err := decodeMeta(fs.Aux())
+	if err != nil {
+		return fail(err)
+	}
+	rep := &RecoveryReport{
+		HeaderSeq:          fs.CommittedSeq(),
+		TornHeaderRepaired: !fs.BothHeaderSlotsValid(),
+	}
+	reachable, err := verifyTree(fs, m, rep)
+	if err != nil {
+		return fail(err)
+	}
+	if err := recoverFreeList(fs, reachable, rep); err != nil {
+		return fail(err)
+	}
+	if rep.TornHeaderRepaired && !rep.FreeListRebuilt {
+		// Re-commit so the stale header slot is rewritten and the file
+		// tolerates another torn commit.
+		if err := fs.Sync(); err != nil {
+			return fail(fmt.Errorf("dynq: repair torn header: %w", err))
+		}
+	}
+	tree, err := rtree.Restore(m.Config, treeStore, m.Root, m.Height, m.Size, m.ModSeq)
+	if err != nil {
+		return fail(err)
+	}
+	return tree, m, appliedLSN, rep, nil
 }
 
 // journal leaves a queryable record of the recovery in the process-wide

@@ -3,7 +3,10 @@ package dynq
 import (
 	"context"
 	"fmt"
+	"os"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"dynq/internal/core"
 	"dynq/internal/geom"
@@ -12,6 +15,7 @@ import (
 	"dynq/internal/rtree"
 	"dynq/internal/shard"
 	"dynq/internal/stats"
+	"dynq/internal/wal"
 )
 
 // ShardOptions configure a sharded database: the single-tree Options plus
@@ -25,6 +29,13 @@ type ShardOptions struct {
 	// Workers bounds how many per-shard query tasks run concurrently
 	// across ALL queries on the database (default GOMAXPROCS).
 	Workers int
+	// WAL arms a write-ahead log sidecar per shard ("<Path>.shard<i>.wal"):
+	// each shard's sub-batch is logged as one crash-atomic record under
+	// that shard's write lock, and Sync checkpoints every log against its
+	// shard's committed metadata. Requires Options.Path (the logs recover
+	// against the shard page files). Options.WALPath is rejected here —
+	// a sharded database has one log PER SHARD, not one log total.
+	WAL bool
 }
 
 // ShardedDB partitions the object population across Shards independent
@@ -47,11 +58,32 @@ type ShardedDB struct {
 	engine *shard.Engine
 	dims   int
 	health degradeState
+
+	// wals holds the per-shard write-ahead logs, index-aligned with the
+	// engine's shards; nil when the database runs without logs. The slice
+	// is immutable after open: either every shard has a log or none does.
+	wals     []*wal.Log
+	path     string
+	recovery []*RecoveryReport
 }
 
-// OpenSharded creates a sharded database. With Options.Path set, each
-// shard stores its pages in its own file "<Path>.shard<i>", created fresh
-// (truncating any existing file); otherwise all shards live in memory.
+// shardFilePath names shard i's page file under a sharded database path.
+func shardFilePath(path string, i int) string {
+	return fmt.Sprintf("%s.shard%d", path, i)
+}
+
+// shardWALPath names shard i's write-ahead log sidecar.
+func shardWALPath(path string, i int) string {
+	return shardFilePath(path, i) + ".wal"
+}
+
+// OpenSharded creates a NEW sharded database. With Options.Path set,
+// each shard stores its pages in its own file "<Path>.shard<i>"; the
+// files must not already exist — reopening an existing sharded database
+// goes through OpenShardedRecover, which verifies each shard file and
+// replays its log instead of truncating it. Without a path all shards
+// live in memory. With ShardOptions.WAL set each shard also gets a log
+// sidecar "<Path>.shard<i>.wal" armed from the start.
 func OpenSharded(opts ShardOptions) (*ShardedDB, error) {
 	if opts.Shards < 1 {
 		return nil, fmt.Errorf("dynq: ShardOptions.Shards must be >= 1, got %d", opts.Shards)
@@ -60,33 +92,133 @@ func OpenSharded(opts ShardOptions) (*ShardedDB, error) {
 		return nil, fmt.Errorf("dynq: ShardOptions.Workers must be >= 0, got %d", opts.Workers)
 	}
 	if opts.WALPath != "" {
-		return nil, fmt.Errorf("dynq: ShardOptions does not support a WAL (the sharded engine is in-memory-durable only; use a single-tree DB for logged ingest)")
+		return nil, fmt.Errorf("dynq: ShardOptions.WALPath is not supported: a sharded database has one log per shard, not one log total; set ShardOptions.WAL to arm \"<Path>.shard<i>.wal\" sidecars")
+	}
+	if opts.WAL && opts.Path == "" {
+		return nil, fmt.Errorf("dynq: ShardOptions.WAL requires Options.Path: per-shard logs recover against the shard page files")
 	}
 	cfg, err := opts.Options.toConfig()
 	if err != nil {
 		return nil, err
 	}
+	if opts.Path != "" {
+		// Fresh-create is explicit: silently truncating a previous run's
+		// shard files on reopen destroyed data. Any existing shard file —
+		// including one from a run with a different shard count — is a
+		// refusal, not a truncation.
+		if existing, err := existingShardFiles(opts.Path); err != nil {
+			return nil, err
+		} else if len(existing) > 0 {
+			return nil, fmt.Errorf("dynq: sharded database files already exist at %q (found %s): use OpenShardedRecover to reopen, or remove them for a fresh database", opts.Path, existing[0])
+		}
+	}
+	bufferPages := opts.BufferPages
+	if opts.WAL && bufferPages == 0 {
+		// Same rationale as the single-tree WAL default: with a log armed,
+		// an unbuffered tree would write every dirty page straight through,
+		// defeating the point of logging before checkpointing.
+		bufferPages = defaultWALBufferPages
+	}
 	storeFor := func(i int) (pager.Store, error) {
 		if opts.Path == "" {
 			return pager.NewMemStore(), nil
 		}
-		return pager.CreateFileStore(fmt.Sprintf("%s.shard%d", opts.Path, i))
+		return pager.CreateFileStore(shardFilePath(opts.Path, i))
 	}
 	engine, err := shard.New(cfg, shard.Options{
 		Shards:      opts.Shards,
 		Workers:     opts.Workers,
-		BufferPages: opts.BufferPages,
+		BufferPages: bufferPages,
 	}, storeFor)
 	if err != nil {
 		return nil, err
 	}
-	db := &ShardedDB{engine: engine, dims: cfg.Dims}
+	db := &ShardedDB{engine: engine, dims: cfg.Dims, path: opts.Path}
 	db.health.after = int32(opts.DegradeAfter)
+	if opts.WAL {
+		// Commit each shard's empty base state BEFORE arming its log, so a
+		// crash between open and the first Sync recovers an empty tree and
+		// replays the log against it — never a zero-length unrecoverable
+		// file (the same ordering Open uses for the single-tree WAL).
+		for i := 0; i < opts.Shards; i++ {
+			sh := engine.Shard(i)
+			fs, ok := sh.Store().(auxStore)
+			if !ok {
+				engine.Close()
+				return nil, fmt.Errorf("dynq: shard %d store cannot persist metadata", i)
+			}
+			if err := fs.SetAux(encodeMeta(sh.Tree.Meta(), 0)); err != nil {
+				engine.Close()
+				return nil, err
+			}
+			if err := sh.Store().Sync(); err != nil {
+				engine.Close()
+				return nil, err
+			}
+		}
+		db.wals = make([]*wal.Log, opts.Shards)
+		for i := range db.wals {
+			w, err := wal.Create(shardWALPath(opts.Path, i), wal.Options{GroupCommitWindow: opts.GroupCommitWindow})
+			if err != nil {
+				db.closeWALs()
+				engine.Close()
+				return nil, err
+			}
+			db.wals[i] = w
+		}
+	}
 	return db, nil
 }
 
-// Close shuts the worker pool down and releases every shard's store.
-func (db *ShardedDB) Close() error { return db.engine.Close() }
+// existingShardFiles lists the shard page files already present for a
+// database path, in shard order ("<path>.shard0", "<path>.shard1", ...).
+// The scan stops at the first gap; a gap with higher-numbered files
+// present is reported as an error rather than treated as absence, so a
+// partially deleted shard set is never mistaken for a fresh directory.
+func existingShardFiles(path string) ([]string, error) {
+	var files []string
+	for i := 0; ; i++ {
+		p := shardFilePath(path, i)
+		if _, err := os.Stat(p); err != nil {
+			if os.IsNotExist(err) {
+				break
+			}
+			return nil, err
+		}
+		files = append(files, p)
+	}
+	// A hole at the front (shard0 missing, shard1 present) would otherwise
+	// read as "no database here".
+	if len(files) == 0 {
+		if _, err := os.Stat(shardFilePath(path, 1)); err == nil {
+			return nil, fmt.Errorf("dynq: shard file %q exists but %q is missing: partial shard set", shardFilePath(path, 1), shardFilePath(path, 0))
+		}
+	}
+	return files, nil
+}
+
+func (db *ShardedDB) closeWALs() error {
+	var first error
+	for _, w := range db.wals {
+		if w == nil {
+			continue
+		}
+		if err := w.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Close shuts the worker pool down and releases every shard's store and
+// log.
+func (db *ShardedDB) Close() error {
+	err := db.engine.Close()
+	if werr := db.closeWALs(); werr != nil && err == nil {
+		err = werr
+	}
+	return err
+}
 
 // Dims returns the spatial dimensionality.
 func (db *ShardedDB) Dims() int { return db.dims }
@@ -138,9 +270,20 @@ func (db *ShardedDB) DeleteCtx(ctx context.Context, id ObjectID, t0 float64, opt
 // Cross-shard order within one batch is unspecified; per-object order
 // is preserved (an object lives on exactly one shard).
 //
-// The sharded engine has no WAL, so opts.Durability is ignored; Sync
-// does not exist here either — durability comes from rebuilding shards.
-// A delete of a missing segment fails the batch with ErrNotFound.
+// With per-shard WALs armed (ShardOptions.WAL) every shard's sub-batch
+// is appended to that shard's log as ONE record, under the same lock
+// acquisition that applies it to the shard's tree, then the call waits
+// according to opts.Durability — fsyncs on the touched logs run in
+// parallel. Each shard's sub-batch is crash-atomic: recovery replays
+// the whole record or none of it. Cross-shard atomicity is NOT
+// promised, across crashes or live: shards log and apply independently,
+// and an error on one shard (including ErrNotFound from a delete of a
+// missing segment) does not undo sub-batches already applied — and
+// logged — on other shards.
+//
+// Without logs, explicit DurabilityGroupCommit/DurabilitySync requests
+// fail with ErrNoWAL; DurabilityDefault and DurabilityAsync apply in
+// memory as before.
 func (db *ShardedDB) ApplyUpdates(ctx context.Context, updates []MotionUpdate, opts WriteOptions) error {
 	if len(updates) == 0 {
 		return nil
@@ -154,6 +297,19 @@ func (db *ShardedDB) ApplyUpdates(ctx context.Context, updates []MotionUpdate, o
 func (db *ShardedDB) applyUpdates(ctx context.Context, updates []MotionUpdate, opts WriteOptions, ws *writeSpan) error {
 	ctx, finish := opts.begin(ctx, db.engine.CostSnapshot)
 	defer finish()
+	// db.wals is immutable after open: requesting an explicit durability
+	// level with no logs armed fails here, before anything is applied.
+	if err := checkDurability(opts.Durability, db.wals != nil); err != nil {
+		return err
+	}
+	if db.wals == nil {
+		return db.applyUnlogged(ctx, updates, ws)
+	}
+	return db.applyLogged(ctx, updates, opts, ws)
+}
+
+// applyUnlogged is the in-memory write path: one engine batch, no log.
+func (db *ShardedDB) applyUnlogged(ctx context.Context, updates []MotionUpdate, ws *writeSpan) error {
 	mark := ws.now()
 	ups := make([]shard.Update, len(updates))
 	for i, u := range updates {
@@ -176,8 +332,6 @@ func (db *ShardedDB) applyUpdates(ctx context.Context, updates []MotionUpdate, o
 	if err := db.health.gate(); err != nil {
 		return err
 	}
-	// No WAL on the sharded engine (yet), so the span carries only the
-	// validate and tree-apply stages.
 	mark = ws.now()
 	err := db.engine.ApplyBatch(ups)
 	ws.stage(stageTreeApply, ws.since(mark))
@@ -186,6 +340,111 @@ func (db *ShardedDB) applyUpdates(ctx context.Context, updates []MotionUpdate, o
 		return ErrNotFound
 	}
 	return db.health.note(err)
+}
+
+// applyLogged is the durable write path: the batch is partitioned by
+// owner shard, and each touched shard — under its own write lock, on the
+// engine's worker pool — validates its sub-batch, appends it to its log
+// as one record (write-ahead), and applies it to its tree. The
+// durability wait runs after every shard lock is released, in parallel
+// across the touched logs.
+func (db *ShardedDB) applyLogged(ctx context.Context, updates []MotionUpdate, opts WriteOptions, ws *writeSpan) error {
+	nShards := db.engine.Shards()
+	mark := ws.now()
+	parts := make([][]MotionUpdate, nShards)
+	partSegs := make([][]geom.Segment, nShards)
+	touched := make([]bool, nShards)
+	for _, u := range updates {
+		var g geom.Segment
+		if !u.Delete {
+			var err error
+			g, err = toSegmentDims(u.Segment, db.dims)
+			if err != nil {
+				return err
+			}
+		}
+		s := shard.Place(rtree.ObjectID(u.ID), nShards)
+		parts[s] = append(parts[s], u)
+		partSegs[s] = append(partSegs[s], g)
+		touched[s] = true
+	}
+	ws.stage(stageValidate, ws.since(mark))
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	db.mu.RLock()
+	if err := db.health.gate(); err != nil {
+		db.mu.RUnlock()
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		db.mu.RUnlock()
+		return err
+	}
+	// lsns[i] records shard i's appended record (0 = shard untouched or
+	// its append failed); the durability wait below covers exactly these.
+	lsns := make([]uint64, nShards)
+	var walNS atomic.Int64
+	mark = ws.now()
+	err := db.engine.UpdateShards(touched, func(i int, sh *shard.Shard) error {
+		if err := validateDeletesOn(sh.Tree, parts[i]); err != nil {
+			return err
+		}
+		t := time.Now()
+		lsn, werr := db.wals[i].Append(encodeUpdates(db.dims, parts[i]))
+		walNS.Add(time.Since(t).Nanoseconds())
+		if werr != nil {
+			return fmt.Errorf("dynq: wal append (shard %d): %w", i, werr)
+		}
+		lsns[i] = lsn
+		return applyToTree(sh.Tree, parts[i], partSegs[i], false)
+	})
+	total := ws.since(mark)
+	walDur := time.Duration(walNS.Load())
+	ws.stage(stageWALAppend, walDur)
+	if total > walDur {
+		ws.stage(stageTreeApply, total-walDur)
+	} else {
+		ws.stage(stageTreeApply, total)
+	}
+	db.mu.RUnlock()
+	if err != nil {
+		if err == ErrNotFound || err == rtree.ErrNotFound {
+			return ErrNotFound
+		}
+		return db.health.note(err)
+	}
+	// The durability wait runs OUTSIDE every lock: an fsync never blocks
+	// readers or a checkpoint, and concurrent writers pile into each
+	// log's group-commit round. Touched logs sync in parallel — the wait
+	// is the slowest shard, not the sum.
+	if opts.Durability != DurabilityAsync {
+		mark = ws.now()
+		werrs := make([]error, nShards)
+		var wg sync.WaitGroup
+		for i := range lsns {
+			if lsns[i] == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				if opts.Durability == DurabilitySync {
+					werrs[i] = db.wals[i].SyncNow(lsns[i])
+				} else {
+					werrs[i] = db.wals[i].Sync(lsns[i])
+				}
+			}(i)
+		}
+		wg.Wait()
+		ws.stage(stageFsyncWait, ws.since(mark))
+		for i, werr := range werrs {
+			if werr != nil {
+				return db.health.note(fmt.Errorf("dynq: wal commit (shard %d): %w", i, werr))
+			}
+		}
+	}
+	return db.health.note(nil)
 }
 
 // BulkLoad partitions the segment set by owner shard and bulk-loads every

@@ -1,0 +1,455 @@
+package dynq
+
+// Per-shard write-ahead logging for the sharded engine.
+//
+// A sharded database at Path owns one page file and one log sidecar per
+// shard:
+//
+//	<Path>.shard0       <Path>.shard0.wal
+//	<Path>.shard1       <Path>.shard1.wal
+//	...                 ...
+//
+// Each log covers exactly its shard: a write batch splits by owner
+// shard, each sub-batch appends to its shard's log as one record under
+// that shard's write lock, and recovery replays each log against its
+// shard file independently. There is no cross-shard ordering in the
+// logs and none is needed — an object lives on exactly one shard, so a
+// record on shard i never depends on state held by shard j.
+//
+// Sync checkpoints the logs shard by shard with the same discipline as
+// the single-tree DB: flush the shard's dirty pages, commit its
+// metadata carrying the shard log's highest applied LSN, then truncate
+// the log to that LSN. Taking the database lock exclusively excludes
+// every writer (writers hold it shared), which is what Checkpoint's
+// no-concurrent-Append precondition requires.
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"dynq/internal/geom"
+	"dynq/internal/obs"
+	"dynq/internal/pager"
+	"dynq/internal/rtree"
+	"dynq/internal/shard"
+	"dynq/internal/wal"
+)
+
+// ShardRecoverOptions tune OpenShardedRecover. Shards is required and
+// must match the count the database was created with; everything else
+// mirrors RecoverOptions per shard.
+type ShardRecoverOptions struct {
+	// Shards is the number of partitions the database was created with.
+	// A mismatch against the on-disk shard file set is an error: objects
+	// are placed by hash-mod-shards, so opening under a different count
+	// would silently misroute every lookup.
+	Shards int
+	// Workers bounds the worker pool (see ShardOptions.Workers).
+	Workers int
+	// WAL force-arms a log sidecar per shard (created when missing,
+	// replayed when not). Without it, logs are auto-detected: if ANY
+	// "<path>.shard<i>.wal" exists, every shard is armed — a database is
+	// logged as a whole or not at all.
+	WAL bool
+	// GroupCommitWindow is each armed log's coalescing window (see
+	// Options.GroupCommitWindow).
+	GroupCommitWindow time.Duration
+	// BufferPages gives every shard its own LRU page buffer (see
+	// Options.BufferPages); defaults to the WAL buffering floor when
+	// logs are armed.
+	BufferPages int
+	// DegradeAfter is the consecutive-write-failure threshold (see
+	// Options.DegradeAfter).
+	DegradeAfter int
+}
+
+// OpenShardedRecover reopens a sharded database created by OpenSharded
+// with Options.Path, verifying each shard's page file through the same
+// recovery machinery as OpenFileRecover and replaying each shard's log
+// sidecar independently. The returned reports describe the per-shard
+// verification in shard order (MergeRecoveryReports folds them into one
+// for single-report consumers).
+//
+// When no shard files exist yet the database is created fresh — so a
+// server can point at a path and get create-or-recover semantics — and
+// the returned reports are nil.
+func OpenShardedRecover(path string, opts ShardRecoverOptions) (*ShardedDB, []*RecoveryReport, error) {
+	if path == "" {
+		return nil, nil, fmt.Errorf("dynq: OpenShardedRecover requires a path")
+	}
+	if opts.Shards < 1 {
+		return nil, nil, fmt.Errorf("dynq: ShardRecoverOptions.Shards must be >= 1, got %d", opts.Shards)
+	}
+	if opts.BufferPages < 0 {
+		return nil, nil, fmt.Errorf("dynq: ShardRecoverOptions.BufferPages must be >= 0, got %d", opts.BufferPages)
+	}
+	existing, err := existingShardFiles(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(existing) == 0 {
+		db, err := OpenSharded(ShardOptions{
+			Options: Options{
+				Path:              path,
+				GroupCommitWindow: opts.GroupCommitWindow,
+				BufferPages:       opts.BufferPages,
+				DegradeAfter:      opts.DegradeAfter,
+			},
+			Shards:  opts.Shards,
+			Workers: opts.Workers,
+			WAL:     opts.WAL,
+		})
+		return db, nil, err
+	}
+	if len(existing) != opts.Shards {
+		return nil, nil, fmt.Errorf("dynq: database at %q was created with %d shards, opened with %d: the shard count cannot change (objects are placed by hash mod shards, so a different count would misroute them); reopen with -shards %d or rebuild",
+			path, len(existing), opts.Shards, len(existing))
+	}
+
+	// Recover every shard's page file first; only then decide on logs.
+	trees := make([]*rtree.Tree, opts.Shards)
+	stores := make([]pager.Store, opts.Shards)
+	appliedLSNs := make([]uint64, opts.Shards)
+	reps := make([]*RecoveryReport, opts.Shards)
+	var cfg rtree.Config
+	closeAll := func() {
+		for _, s := range stores {
+			if s != nil {
+				s.Close()
+			}
+		}
+	}
+	for i := 0; i < opts.Shards; i++ {
+		fs, err := pager.OpenFileStore(shardFilePath(path, i))
+		if err != nil {
+			closeAll()
+			return nil, nil, fmt.Errorf("dynq: open shard %d: %w", i, err)
+		}
+		tree, m, lsn, rep, err := recoverStoreTree(fs, fs)
+		if err != nil {
+			fs.Close()
+			closeAll()
+			return nil, nil, fmt.Errorf("dynq: recover shard %d: %w", i, err)
+		}
+		if i == 0 {
+			cfg = m.Config
+		} else if m.Config != cfg {
+			fs.Close()
+			closeAll()
+			return nil, nil, fmt.Errorf("%w: shard %d config %+v disagrees with shard 0 config %+v", ErrCorrupt, i, m.Config, cfg)
+		}
+		trees[i], stores[i], appliedLSNs[i], reps[i] = tree, fs, lsn, rep
+	}
+
+	// Logs arm as a set: the WAL flag forces them, otherwise any existing
+	// sidecar arms all shards (creating the missing ones), so the write
+	// path never has to reason about a half-logged database.
+	armed := opts.WAL
+	if !armed {
+		for i := 0; i < opts.Shards && !armed; i++ {
+			if _, serr := os.Stat(shardWALPath(path, i)); serr == nil {
+				armed = true
+			}
+		}
+	}
+	bufferPages := opts.BufferPages
+	if armed && bufferPages == 0 {
+		bufferPages = defaultWALBufferPages
+	}
+	if bufferPages > 0 {
+		for _, tree := range trees {
+			if err := tree.UseBuffer(bufferPages); err != nil {
+				closeAll()
+				return nil, nil, err
+			}
+		}
+	}
+
+	var wals []*wal.Log
+	if armed {
+		wals = make([]*wal.Log, opts.Shards)
+		for i := 0; i < opts.Shards; i++ {
+			w, err := replayShardWAL(shardWALPath(path, i), opts.GroupCommitWindow,
+				trees[i], cfg.Dims, i, opts.Shards, appliedLSNs[i], reps[i])
+			if err != nil {
+				for _, lw := range wals {
+					if lw != nil {
+						lw.Close()
+					}
+				}
+				closeAll()
+				return nil, nil, err
+			}
+			wals[i] = w
+		}
+	}
+
+	engine, err := shard.NewFromShards(cfg, shard.Options{
+		Shards:      opts.Shards,
+		Workers:     opts.Workers,
+		BufferPages: bufferPages,
+	}, trees, stores)
+	if err != nil {
+		for _, w := range wals {
+			if w != nil {
+				w.Close()
+			}
+		}
+		closeAll()
+		return nil, nil, err
+	}
+	db := &ShardedDB{engine: engine, dims: cfg.Dims, path: path, wals: wals, recovery: reps}
+	db.health.after = int32(opts.DegradeAfter)
+	for _, rep := range reps {
+		rep.journal()
+	}
+	return db, reps, nil
+}
+
+// replayShardWAL opens (or creates) shard i's log, replays every record
+// past the shard's committed applied-LSN onto its tree, and returns the
+// armed log. Replay happens before the engine exists, so no locking is
+// needed. Every replayed object must place on this shard — a record
+// routing elsewhere means the log was written under a different shard
+// count, and replaying it would materialize objects on the wrong shard.
+func replayShardWAL(walPath string, window time.Duration, tree *rtree.Tree,
+	dims, shardIdx, shardCount int, appliedLSN uint64, rep *RecoveryReport) (*wal.Log, error) {
+	w, scan, err := wal.Open(walPath, wal.Options{GroupCommitWindow: window})
+	if err != nil {
+		return nil, fmt.Errorf("dynq: open wal (shard %d): %w", shardIdx, err)
+	}
+	records, updates := 0, 0
+	err = w.Replay(appliedLSN, func(lsn uint64, payload []byte) error {
+		ups, derr := decodeUpdates(payload, dims)
+		if derr != nil {
+			return fmt.Errorf("%w: shard %d wal record %d: %v", ErrCorrupt, shardIdx, lsn, derr)
+		}
+		segs := make([]geom.Segment, len(ups))
+		for i, u := range ups {
+			if got := shard.Place(rtree.ObjectID(u.ID), shardCount); got != shardIdx {
+				return fmt.Errorf("%w: shard %d wal record %d routes object %d to shard %d — log written under a different shard count?",
+					ErrCorrupt, shardIdx, lsn, u.ID, got)
+			}
+			if u.Delete {
+				continue
+			}
+			g, serr := toSegmentDims(u.Segment, dims)
+			if serr != nil {
+				return fmt.Errorf("%w: shard %d wal record %d: %v", ErrCorrupt, shardIdx, lsn, serr)
+			}
+			segs[i] = g
+		}
+		if aerr := applyToTree(tree, ups, segs, true); aerr != nil {
+			return fmt.Errorf("dynq: shard %d wal replay record %d: %w", shardIdx, lsn, aerr)
+		}
+		records++
+		updates += len(ups)
+		return nil
+	})
+	if err != nil {
+		w.Close()
+		return nil, err
+	}
+	if rep != nil {
+		rep.WALArmed = true
+		rep.WALCheckpointLSN = scan.Checkpoint
+		rep.WALRecordsReplayed = records
+		rep.WALUpdatesReplayed = updates
+		rep.WALTornTail = scan.TornTail
+	}
+	if records > 0 || scan.TornTail {
+		sev := obs.SeverityInfo
+		if scan.TornTail {
+			sev = obs.SeverityWarn
+		}
+		obs.DefaultJournal().Record(obs.EventWALReplay, sev,
+			fmt.Sprintf("shard %d wal replay: %d records (%d updates) past checkpoint %d, torn tail: %v",
+				shardIdx, records, updates, scan.Checkpoint, scan.TornTail),
+			map[string]string{
+				"shard":       strconv.Itoa(shardIdx),
+				"records":     strconv.Itoa(records),
+				"updates":     strconv.Itoa(updates),
+				"checkpoint":  strconv.FormatUint(scan.Checkpoint, 10),
+				"torn_tail":   strconv.FormatBool(scan.TornTail),
+				"last_lsn":    strconv.FormatUint(scan.LastLSN, 10),
+				"applied_lsn": strconv.FormatUint(appliedLSN, 10),
+			})
+	}
+	return w, nil
+}
+
+// MergeRecoveryReports folds per-shard reports into one database-level
+// report for consumers built around a single report (dqserver's
+// dynq_recovery_* gauges): counts sum, repair flags OR, and HeaderSeq is
+// the maximum. A nil or empty slice yields nil.
+func MergeRecoveryReports(reps []*RecoveryReport) *RecoveryReport {
+	var out *RecoveryReport
+	for _, r := range reps {
+		if r == nil {
+			continue
+		}
+		if out == nil {
+			cp := *r
+			out = &cp
+			continue
+		}
+		if r.HeaderSeq > out.HeaderSeq {
+			out.HeaderSeq = r.HeaderSeq
+		}
+		out.TornHeaderRepaired = out.TornHeaderRepaired || r.TornHeaderRepaired
+		out.PagesChecked += r.PagesChecked
+		out.LeafPages += r.LeafPages
+		out.InternalPages += r.InternalPages
+		out.Segments += r.Segments
+		out.FreePages += r.FreePages
+		out.FreeListRebuilt = out.FreeListRebuilt || r.FreeListRebuilt
+		out.OrphanPages += r.OrphanPages
+		out.WALArmed = out.WALArmed || r.WALArmed
+		out.WALCheckpointLSN += r.WALCheckpointLSN
+		out.WALRecordsReplayed += r.WALRecordsReplayed
+		out.WALUpdatesReplayed += r.WALUpdatesReplayed
+		out.WALTornTail = out.WALTornTail || r.WALTornTail
+	}
+	return out
+}
+
+// LastRecovery returns the per-shard reports from the OpenShardedRecover
+// that produced this database, nil for a fresh or in-memory database.
+func (db *ShardedDB) LastRecovery() []*RecoveryReport { return db.recovery }
+
+// WALArmed reports whether the database carries per-shard logs.
+func (db *ShardedDB) WALArmed() bool { return db.wals != nil }
+
+// Sync persists every shard and checkpoints its log, shard by shard:
+// flush the shard's dirty pages, commit its metadata carrying the
+// shard log's highest applied LSN (atomic dual-header commit), then
+// truncate the log to that LSN. The database lock is held exclusively —
+// writers hold it shared, so this exclusion is exactly Checkpoint's
+// no-concurrent-Append precondition, with no per-shard lock juggling.
+//
+// A crash between shard i's commit and shard j's leaves shard j's log
+// longer than necessary, never inconsistent: each shard's metadata and
+// log agree pairwise, and recovery replays each pair independently.
+//
+// Failures follow the single-tree rules: with logs armed, a failed
+// stage degrades the database to read-only immediately (a log whose
+// checkpoint cannot advance grows without bound behind silent retries);
+// without logs it feeds the ordinary consecutive-failure counter.
+func (db *ShardedDB) Sync() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.health.gate(); err != nil {
+		return err
+	}
+	start := time.Now()
+	var truncated int64
+	for i := 0; i < db.engine.Shards(); i++ {
+		sh := db.engine.Shard(i)
+		var lsn uint64
+		if db.wals != nil {
+			lsn = db.wals[i].LastLSN()
+		}
+		if err := sh.Tree.Pool().Flush(); err != nil {
+			return db.syncShardFailure(i, "flush pages", err)
+		}
+		if s, ok := sh.Store().(auxStore); ok {
+			if err := s.SetAux(encodeMeta(sh.Tree.Meta(), lsn)); err != nil {
+				return db.syncShardFailure(i, "stage metadata", err)
+			}
+		}
+		if err := sh.Store().Sync(); err != nil {
+			return db.syncShardFailure(i, "commit", err)
+		}
+		if db.wals != nil {
+			truncated += db.wals[i].LiveBytes()
+			if err := db.wals[i].Checkpoint(lsn); err != nil {
+				return db.syncShardFailure(i, "wal checkpoint", err)
+			}
+		}
+	}
+	if db.wals != nil {
+		obs.DefaultJournal().Record(obs.EventCheckpoint, obs.SeverityInfo,
+			"sharded wal checkpoint committed; logs truncated",
+			map[string]string{
+				"shards":          strconv.Itoa(db.engine.Shards()),
+				"truncated_bytes": strconv.FormatInt(truncated, 10),
+				"duration":        time.Since(start).String(),
+			})
+	}
+	return db.health.note(nil)
+}
+
+// syncShardFailure classifies a failed Sync stage on one shard,
+// mirroring the single-tree syncFailure rules.
+func (db *ShardedDB) syncShardFailure(i int, stage string, cause error) error {
+	err := fmt.Errorf("dynq: shard %d %s: %w", i, stage, cause)
+	if db.wals == nil {
+		return db.health.note(err)
+	}
+	obs.DefaultJournal().Record(obs.EventSyncFailure, obs.SeverityError,
+		"sharded checkpoint sync failed with WALs armed; degrading to read-only",
+		map[string]string{"shard": strconv.Itoa(i), "stage": stage, "error": cause.Error()})
+	db.health.set(true)
+	return err
+}
+
+// WALInfoByShard reports each shard log's header state in shard order;
+// ok is false when the database runs without logs.
+func (db *ShardedDB) WALInfoByShard() ([]WALInfo, bool) {
+	if db.wals == nil {
+		return nil, false
+	}
+	out := make([]WALInfo, len(db.wals))
+	for i, w := range db.wals {
+		out[i] = WALInfo{
+			Path:          w.Path(),
+			Epoch:         w.Epoch(),
+			LastLSN:       w.LastLSN(),
+			DurableLSN:    w.DurableLSN(),
+			CheckpointLSN: w.CheckpointLSN(),
+			LiveRecords:   w.CheckpointLag(),
+			LiveBytes:     w.LiveBytes(),
+			Size:          w.Size(),
+		}
+	}
+	return out, true
+}
+
+// WALTelemetry aggregates the per-shard logs into one WAL telemetry
+// section (see obs.MergeWALTelemetry for the aggregation rules: totals
+// sum, quantiles report the worst shard). ok is false without logs. It
+// satisfies the same optional capability the netq server probes on the
+// single-tree DB, so a sharded server exports the ingest panel
+// unchanged.
+func (db *ShardedDB) WALTelemetry(windows []time.Duration) (obs.WALTelemetry, bool) {
+	if db.wals == nil {
+		return obs.WALTelemetry{}, false
+	}
+	var agg obs.WALTelemetry
+	for i, w := range db.wals {
+		t := w.Telemetry(windows)
+		if i == 0 {
+			agg = t
+		} else {
+			agg = obs.MergeWALTelemetry(agg, t)
+		}
+	}
+	agg.Path = db.path + ".shard*.wal"
+	agg.Logs = len(db.wals)
+	return agg, true
+}
+
+// RegisterWALMetrics exposes every shard log's instrumentation in a
+// registry, one {shard="i"}-labeled series per log, reporting whether
+// logs were present to register.
+func (db *ShardedDB) RegisterWALMetrics(reg *obs.Registry) bool {
+	if db.wals == nil {
+		return false
+	}
+	for i, w := range db.wals {
+		w.RegisterMetricsLabeled(reg, obs.L("shard", strconv.Itoa(i)))
+	}
+	return true
+}

@@ -305,10 +305,11 @@ func genSoakBatch(r *rand.Rand, n int, nextID *ObjectID) []soakSeg {
 }
 
 // compareAnswers runs the four query types against the recovered
-// database and the replica and counts mismatches. Both trees were built
-// by the same insert sequence, so answers — including order-sensitive
-// KNN ties — must be bit-identical.
-func compareAnswers(got, want *DB, r *rand.Rand) (wrong, compared int, err error) {
+// database and the replica and counts mismatches. Both indexes were
+// built by the same insert sequence (per shard, for sharded backends),
+// so answers — including order-sensitive KNN ties — must be
+// bit-identical.
+func compareAnswers(got, want Database, r *rand.Rand) (wrong, compared int, err error) {
 	randRect := func() Rect {
 		x, y := r.Float64()*90, r.Float64()*90
 		return Rect{Min: []float64{x, y}, Max: []float64{x + 5 + r.Float64()*20, y + 5 + r.Float64()*20}}
@@ -399,7 +400,7 @@ func compareAnswers(got, want *DB, r *rand.Rand) (wrong, compared int, err error
 	return wrong, compared, nil
 }
 
-func fetchPDQ(db *DB, wps []Waypoint) ([]Result, error) {
+func fetchPDQ(db Database, wps []Waypoint) ([]Result, error) {
 	s, err := db.Predictive(wps, PredictiveOptions{})
 	if err != nil {
 		return nil, err

@@ -49,6 +49,12 @@ type WALSoakOptions struct {
 	// MaxSegments rotates to a fresh file + log once the committed set
 	// grows past it (default 8192).
 	MaxSegments int
+	// Shards > 1 runs the soak against a sharded database: one page file
+	// and one log per shard, each crash tearing a random subset of the
+	// logs independently. Acked batches must survive across ALL logs;
+	// async sub-batches survive per shard, record-aligned in that
+	// shard's log.
+	Shards int
 	// Dir is the working directory (default: a fresh temp dir).
 	Dir string
 	// Log, when set, receives one progress line per 25 cycles.
@@ -131,6 +137,9 @@ func WALSoak(opts WALSoakOptions) (WALSoakReport, error) {
 			return WALSoakReport{}, err
 		}
 		defer os.RemoveAll(dir)
+	}
+	if opts.Shards > 1 {
+		return walSoakSharded(opts, filepath.Join(dir, "walsoak.dynq"))
 	}
 	path := filepath.Join(dir, "walsoak.dynq")
 	walPath := path + ".wal"

@@ -1,0 +1,341 @@
+package dynq
+
+// The sharded variant of the WAL soak: crash/reopen cycles against a
+// sharded database with one log per shard. The workload mirrors
+// WALSoak; the adversary is stronger — each crash tears a random
+// SUBSET of the shard logs, so recovery must replay N logs that
+// diverged independently (one torn mid-record, one clean, one freshly
+// checkpointed) and still lose nothing that was acknowledged.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+
+	"dynq/internal/pager"
+)
+
+// walSoakSharded runs the crash/reopen loop against a sharded database
+// at path (".shard<i>" page files plus ".shard<i>.wal" logs). Options
+// arrive defaulted by WALSoak. Invariants match the single-tree soak:
+// zero lost acked batches, zero wrong answers — checked per shard, so
+// an acked sub-batch missing from even one shard's replay counts as
+// lost.
+func walSoakSharded(opts WALSoakOptions, path string) (WALSoakReport, error) {
+	var rep WALSoakReport
+	var committed []soakSeg
+	replica, err := OpenSharded(ShardOptions{Shards: opts.Shards})
+	if err != nil {
+		return rep, err
+	}
+	defer func() { replica.Close() }()
+	if err := rebuildShardedWAL(path, opts.Shards, opts.BufferPages, committed); err != nil {
+		return rep, err
+	}
+
+	wrand := rand.New(rand.NewSource(opts.Seed))
+	var nextID ObjectID
+	var pendingAsync [][]soakSeg
+	for cycle := 0; cycle < opts.Cycles; cycle++ {
+		rep.Cycles++
+
+		// Recovery phase: reopen all shards, replay every log, reconcile
+		// the replica with each shard's surviving async prefix, compare.
+		db, rreps, err := OpenShardedRecover(path, ShardRecoverOptions{
+			Shards:      opts.Shards,
+			WAL:         true,
+			BufferPages: opts.BufferPages,
+		})
+		if err != nil {
+			return rep, fmt.Errorf("cycle %d: reopen: %w", cycle, err)
+		}
+		tornThisCycle := false
+		for i, rrep := range rreps {
+			if !rrep.WALArmed {
+				db.Close()
+				return rep, fmt.Errorf("cycle %d: reopen did not arm shard %d's log", cycle, i)
+			}
+			rep.RecordsReplayed += rrep.WALRecordsReplayed
+			rep.UpdatesReplayed += rrep.WALUpdatesReplayed
+			tornThisCycle = tornThisCycle || rrep.WALTornTail
+		}
+		if tornThisCycle {
+			rep.TornTails++
+		}
+		survived, err := reconcileAsyncSharded(db, replica, &committed, pendingAsync)
+		if err != nil {
+			db.Close()
+			return rep, fmt.Errorf("cycle %d: %w", cycle, err)
+		}
+		if survived < 0 {
+			rep.LostAcked++
+			survived = 0
+		}
+		rep.AsyncSurvived += survived
+		pendingAsync = nil
+		qrand := rand.New(rand.NewSource(opts.Seed ^ (int64(cycle)+1)*0x5DEECE66D))
+		wrong, compared, err := compareAnswers(db, replica, qrand)
+		if err != nil {
+			db.Close()
+			return rep, fmt.Errorf("cycle %d: query comparison: %w", cycle, err)
+		}
+		rep.WrongAnswers += wrong
+		rep.QueriesCompared += compared
+
+		// Acknowledged write phase: concurrent batches spanning shards,
+		// group-committed across every touched log.
+		acked := make([][]soakSeg, opts.AckedBatches)
+		ackedUps := make([][]MotionUpdate, opts.AckedBatches)
+		for i := range acked {
+			acked[i] = genSoakBatch(wrand, opts.Batch, &nextID)
+			ackedUps[i] = toUpdates(acked[i])
+			if wrand.Intn(3) == 0 {
+				ackedUps[i] = withChurn(ackedUps[i])
+			}
+		}
+		var wg sync.WaitGroup
+		errs := make([]error, opts.Writers)
+		for w := 0; w < opts.Writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(ackedUps); i += opts.Writers {
+					d := DurabilityGroupCommit
+					if i%5 == 4 {
+						d = DurabilitySync
+					}
+					if err := db.ApplyUpdates(context.Background(), ackedUps[i], WriteOptions{Durability: d}); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				db.Close()
+				return rep, fmt.Errorf("cycle %d: acked batch: %w", cycle, err)
+			}
+		}
+		rep.BatchesAcked += len(acked)
+		for _, b := range acked {
+			committed = append(committed, b...)
+			for _, s := range b {
+				if err := replica.Insert(s.id, s.seg); err != nil {
+					db.Close()
+					return rep, fmt.Errorf("cycle %d: replica insert: %w", cycle, err)
+				}
+			}
+		}
+
+		if opts.CheckpointEvery > 0 && cycle%opts.CheckpointEvery == opts.CheckpointEvery-1 {
+			if err := db.Sync(); err != nil {
+				db.Close()
+				return rep, fmt.Errorf("cycle %d: checkpoint: %w", cycle, err)
+			}
+			rep.Checkpoints++
+		}
+
+		// The per-log durable boundaries: the soak is quiescent, so every
+		// byte of every log is fsync-covered; tears land strictly beyond.
+		ackedSizes := make([]int64, opts.Shards)
+		for i := range ackedSizes {
+			if ackedSizes[i], err = fileSize(shardWALPath(path, i)); err != nil {
+				db.Close()
+				return rep, fmt.Errorf("cycle %d: %w", cycle, err)
+			}
+		}
+
+		// Async tail: applied in memory, never awaited. Each batch leaves
+		// one record in every shard log it touches.
+		for i := 0; i < opts.AsyncBatches; i++ {
+			b := genSoakBatch(wrand, opts.Batch, &nextID)
+			if err := db.ApplyUpdates(context.Background(), toUpdates(b), WriteOptions{Durability: DurabilityAsync}); err != nil {
+				db.Close()
+				return rep, fmt.Errorf("cycle %d: async batch: %w", cycle, err)
+			}
+			pendingAsync = append(pendingAsync, b)
+		}
+		rep.BatchesAsync += len(pendingAsync)
+
+		if err := crashShardedDB(db); err != nil {
+			return rep, fmt.Errorf("cycle %d: crash: %w", cycle, err)
+		}
+		// Tear a random subset of the logs — divergence across shards is
+		// the point: one log torn mid-record, its neighbor untouched.
+		tornAny := false
+		for i := 0; i < opts.Shards; i++ {
+			torn, err := tearWALTail(shardWALPath(path, i), ackedSizes[i], wrand)
+			if err != nil {
+				return rep, fmt.Errorf("cycle %d: tear shard %d: %w", cycle, i, err)
+			}
+			tornAny = tornAny || torn
+		}
+		if tornAny {
+			rep.Tears++
+		}
+
+		if len(committed) >= opts.MaxSegments {
+			committed = committed[:0]
+			pendingAsync = nil
+			replica.Close()
+			if replica, err = OpenSharded(ShardOptions{Shards: opts.Shards}); err != nil {
+				return rep, err
+			}
+			if err := rebuildShardedWAL(path, opts.Shards, opts.BufferPages, committed); err != nil {
+				return rep, err
+			}
+			rep.Rotations++
+		}
+		if opts.Log != nil && (cycle+1)%25 == 0 {
+			opts.Log("sharded wal soak cycle %d/%d (%d shards): %s", cycle+1, opts.Cycles, opts.Shards, rep)
+		}
+	}
+	return rep, nil
+}
+
+// reconcileAsyncSharded determines, per shard, how many of the
+// pre-crash async records survived replay (each shard's log keeps a
+// record-aligned prefix of ITS OWN records, independent of the other
+// shards), applies exactly those segments to the replica, and returns
+// the number of async batches that survived on every shard they
+// touched. A negative return means a shard recovered fewer segments
+// than its acknowledged state — lost acked data, the invariant the
+// soak exists to catch.
+func reconcileAsyncSharded(db, replica *ShardedDB, committed *[]soakSeg, pendingAsync [][]soakSeg) (int, error) {
+	gotStats, err := db.StatsByShard()
+	if err != nil {
+		return 0, err
+	}
+	baseStats, err := replica.StatsByShard()
+	if err != nil {
+		return 0, err
+	}
+	n := db.Shards()
+
+	// Partition each pending batch by owner shard: subs[s] is the ordered
+	// list of this crash window's async records in shard s's log, and
+	// batchOf[s][j] says which batch record j came from.
+	subs := make([][][]soakSeg, n)
+	batchOf := make([][]int, n)
+	for b, batch := range pendingAsync {
+		parts := make([][]soakSeg, n)
+		for _, s := range batch {
+			sh := db.ShardFor(s.id)
+			parts[sh] = append(parts[sh], s)
+		}
+		for s, p := range parts {
+			if len(p) > 0 {
+				subs[s] = append(subs[s], p)
+				batchOf[s] = append(batchOf[s], b)
+			}
+		}
+	}
+
+	// Each shard's extra segments must be an exact prefix sum of its
+	// async record sizes: replay keeps whole records, in order.
+	survivedRecords := make([]int, n)
+	for s := 0; s < n; s++ {
+		extra := gotStats[s].Segments - baseStats[s].Segments
+		if extra < 0 {
+			return -1, nil
+		}
+		sum, m := 0, 0
+		for m < len(subs[s]) && sum < extra {
+			sum += len(subs[s][m])
+			m++
+		}
+		if sum != extra {
+			return 0, fmt.Errorf("shard %d recovered %d extra segments, not a record-aligned prefix of its %d async records",
+				s, extra, len(subs[s]))
+		}
+		survivedRecords[s] = m
+	}
+
+	// Fold the surviving per-shard records into the replica and the
+	// committed set; count the batches intact on every shard they touch.
+	fullBatch := make([]bool, len(pendingAsync))
+	for i := range fullBatch {
+		fullBatch[i] = true
+	}
+	for s := 0; s < n; s++ {
+		for j := 0; j < survivedRecords[s]; j++ {
+			for _, seg := range subs[s][j] {
+				*committed = append(*committed, seg)
+				if err := replica.Insert(seg.id, seg.seg); err != nil {
+					return 0, fmt.Errorf("replica insert: %w", err)
+				}
+			}
+		}
+		for j := survivedRecords[s]; j < len(subs[s]); j++ {
+			fullBatch[batchOf[s][j]] = false
+		}
+	}
+	survived := 0
+	for _, ok := range fullBatch {
+		if ok {
+			survived++
+		}
+	}
+	return survived, nil
+}
+
+// crashShardedDB abandons a sharded database without flushing: the
+// worker pool stops, then every log and page store is closed the way a
+// real crash leaves them — no final sync, buffered pages lost, each log
+// ending wherever its last append stopped.
+func crashShardedDB(db *ShardedDB) error {
+	db.engine.Shutdown()
+	for _, w := range db.wals {
+		w.Crash()
+	}
+	var first error
+	for i := 0; i < db.engine.Shards(); i++ {
+		st := db.engine.Shard(i).Store()
+		if fs, ok := st.(*pager.FileStore); ok {
+			if err := fs.Crash(); err != nil && first == nil {
+				first = err
+			}
+		} else if err := st.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// rebuildShardedWAL removes any previous shard set at path and creates
+// a fresh sharded database holding the committed sequence, checkpointed
+// so the next recovering open has nothing to replay.
+func rebuildShardedWAL(path string, shards, bufferPages int, committed []soakSeg) error {
+	for i := 0; i < shards; i++ {
+		for _, p := range []string{shardFilePath(path, i), shardWALPath(path, i)} {
+			if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+				return err
+			}
+		}
+	}
+	db, err := OpenSharded(ShardOptions{
+		Options: Options{Path: path, BufferPages: bufferPages},
+		Shards:  shards,
+		WAL:     true,
+	})
+	if err != nil {
+		return err
+	}
+	if len(committed) > 0 {
+		// One async batch, then a checkpoint: the contents are already
+		// durable by the Sync below, so per-insert fsync waits buy nothing.
+		if err := db.ApplyUpdates(context.Background(), toUpdates(committed), WriteOptions{Durability: DurabilityAsync}); err != nil {
+			db.Close()
+			return err
+		}
+	}
+	if err := db.Sync(); err != nil {
+		db.Close()
+		return err
+	}
+	return db.Close()
+}

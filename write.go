@@ -3,6 +3,7 @@ package dynq
 import (
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -24,36 +25,74 @@ type MotionUpdate struct {
 	Delete  bool
 }
 
-// Durability says how hard ApplyUpdates must try before returning, when
-// a write-ahead log is armed (Options.WALPath). Without a WAL every
-// level behaves the same: the update is in memory and Sync persists it.
+// Durability says how hard ApplyUpdates must try before returning. The
+// explicit levels are a contract: requesting DurabilityGroupCommit or
+// DurabilitySync against a backend with no write-ahead log armed fails
+// with ErrNoWAL rather than acknowledging an in-memory write as durable.
+// Only the zero value adapts to whether a log is present.
 type Durability int
 
 const (
-	// DurabilityGroupCommit (the default) returns once the batch's WAL
-	// record is fsynced, coalescing with concurrent writers: the first
-	// waiter leads a commit round, waits the group-commit window for
-	// others to pile in, and one fsync covers them all. Throughput of
-	// batched fsyncs, latency of at most one window plus one fsync.
-	DurabilityGroupCommit Durability = iota
+	// DurabilityDefault (the zero value) is the adaptive default: with a
+	// WAL armed it behaves exactly like DurabilityGroupCommit; without
+	// one the update is applied in memory and a later Sync persists it —
+	// the pre-WAL contract. It is the only level that never fails for
+	// lack of a log.
+	DurabilityDefault Durability = iota
+	// DurabilityGroupCommit returns once the batch's WAL record is
+	// fsynced, coalescing with concurrent writers: the first waiter
+	// leads a commit round, waits the group-commit window for others to
+	// pile in, and one fsync covers them all. Throughput of batched
+	// fsyncs, latency of at most one window plus one fsync. ErrNoWAL
+	// without a log.
+	DurabilityGroupCommit
 	// DurabilitySync returns once the batch's WAL record is fsynced,
 	// without waiting the coalescing window (it still shares an fsync
 	// with any round already forming). Lowest latency per write.
+	// ErrNoWAL without a log.
 	DurabilitySync
 	// DurabilityAsync returns as soon as the batch is applied in memory
 	// and appended to the WAL's OS buffer; a crash may lose it. A later
 	// synchronous write or Sync makes it durable retroactively (the log
 	// is sequential: fsyncing record n covers every record before it).
+	// Valid with or without a log.
 	DurabilityAsync
 )
 
+// ErrNoWAL reports a write that requested explicit durability
+// (DurabilityGroupCommit or DurabilitySync) against a database with no
+// write-ahead log armed. The write is NOT applied: acknowledging it
+// would silently downgrade a durability guarantee the caller asked for.
+// Use DurabilityDefault (or DurabilityAsync) for backends that may run
+// without a log, or arm one (Options.WALPath, ShardOptions.WAL).
+var ErrNoWAL = errors.New("dynq: durability requested but no write-ahead log is armed")
+
+// checkDurability enforces the Durability contract for a backend whose
+// log may be absent: explicit sync levels require a WAL, and unknown
+// levels are rejected before anything is applied.
+func checkDurability(d Durability, walArmed bool) error {
+	switch d {
+	case DurabilityDefault, DurabilityAsync:
+		return nil
+	case DurabilityGroupCommit, DurabilitySync:
+		if !walArmed {
+			return ErrNoWAL
+		}
+		return nil
+	default:
+		return fmt.Errorf("dynq: unknown durability level %d", d)
+	}
+}
+
 // WriteOptions carries per-write knobs for the context-aware write entry
 // points (ApplyUpdates, InsertCtx, DeleteCtx, BulkLoadCtx), mirroring
-// the read path's QueryOptions. The zero value — group-commit
-// durability, no deadline, no stats — matches the plain methods exactly.
+// the read path's QueryOptions. The zero value — default durability
+// (group commit when a WAL is armed), no deadline, no stats — matches
+// the plain methods exactly.
 type WriteOptions struct {
 	// Durability selects how durable the write must be before the call
-	// returns; see the Durability constants. Ignored without a WAL.
+	// returns; see the Durability constants. Explicit sync levels fail
+	// with ErrNoWAL when no log is armed.
 	Durability Durability
 	// Deadline, when positive, bounds the write's admission: the context
 	// is wrapped with this timeout and checked before the batch is
@@ -121,6 +160,12 @@ func (db *DB) ApplyUpdates(ctx context.Context, updates []MotionUpdate, opts Wri
 func (db *DB) applyUpdates(ctx context.Context, updates []MotionUpdate, opts WriteOptions, ws *writeSpan) error {
 	ctx, finish := opts.begin(ctx, db.counters.Snapshot)
 	defer finish()
+	// db.wal is immutable after open, so the durability contract can be
+	// checked before any work: an explicit sync level with no log armed
+	// must fail rather than ack an in-memory write as durable.
+	if err := checkDurability(opts.Durability, db.wal != nil); err != nil {
+		return err
+	}
 	// Validate and convert every update before taking the lock, so a bad
 	// batch costs nothing and a logged batch never fails validation on
 	// replay.
@@ -203,6 +248,17 @@ func (db *DB) applyUpdates(ctx context.Context, updates []MotionUpdate, opts Wri
 // the caller saw fail would still replay in full after a crash,
 // durably resurrecting a write that was never acknowledged.
 func (db *DB) validateDeletesLocked(updates []MotionUpdate) error {
+	err := validateDeletesOn(db.tree, updates)
+	if err != nil && err != ErrNotFound {
+		return db.noteWriteResult(err)
+	}
+	return err
+}
+
+// validateDeletesOn is the tree-level delete balance check shared by the
+// single-tree and per-shard write paths; the caller must hold the lock
+// guarding tree and attribute storage errors to its own health state.
+func validateDeletesOn(tree *rtree.Tree, updates []MotionUpdate) error {
 	hasDelete := false
 	for _, u := range updates {
 		if u.Delete {
@@ -234,9 +290,9 @@ func (db *DB) validateDeletesLocked(updates []MotionUpdate) error {
 			// An earlier delete already consumed the index's only copy.
 			return ErrNotFound
 		}
-		ok, err := db.tree.Contains(rtree.ObjectID(u.ID), u.Segment.T0)
+		ok, err := tree.Contains(rtree.ObjectID(u.ID), u.Segment.T0)
 		if err != nil {
-			return db.noteWriteResult(err)
+			return err
 		}
 		if !ok {
 			return ErrNotFound
@@ -252,9 +308,23 @@ func (db *DB) validateDeletesLocked(updates []MotionUpdate) error {
 // rather than failed: the segment may have been removed by a later
 // replayed record the first time around, then checkpointed.
 func (db *DB) applyLocked(updates []MotionUpdate, segs []geom.Segment, replay bool) error {
+	err := applyToTree(db.tree, updates, segs, replay)
+	if err != nil && err != ErrNotFound {
+		return db.noteWriteResult(err)
+	}
+	if err == nil {
+		db.noteWriteResult(nil)
+	}
+	return err
+}
+
+// applyToTree applies converted updates to one tree in slice order — the
+// shared mutation loop behind the single-tree and per-shard write paths.
+// The caller holds the lock guarding tree and owns health accounting.
+func applyToTree(tree *rtree.Tree, updates []MotionUpdate, segs []geom.Segment, replay bool) error {
 	for i, u := range updates {
 		if u.Delete {
-			err := db.tree.Delete(rtree.ObjectID(u.ID), u.Segment.T0)
+			err := tree.Delete(rtree.ObjectID(u.ID), u.Segment.T0)
 			if err == rtree.ErrNotFound {
 				if replay {
 					continue
@@ -263,15 +333,15 @@ func (db *DB) applyLocked(updates []MotionUpdate, segs []geom.Segment, replay bo
 				return ErrNotFound
 			}
 			if err != nil {
-				return db.noteWriteResult(err)
+				return err
 			}
 			continue
 		}
-		if err := db.tree.Insert(rtree.ObjectID(u.ID), segs[i]); err != nil {
-			return db.noteWriteResult(err)
+		if err := tree.Insert(rtree.ObjectID(u.ID), segs[i]); err != nil {
+			return err
 		}
 	}
-	return db.noteWriteResult(nil)
+	return nil
 }
 
 // InsertCtx is Insert with a context and per-write options.

@@ -381,8 +381,9 @@ func TestSyncFailureWithWALDegradesImmediately(t *testing.T) {
 	}
 }
 
-// TestOpenShardedRejectsWAL: the sharded engine has no log; asking for
-// one must fail loudly rather than silently dropping durability.
+// TestOpenShardedRejectsWAL: a sharded database has one log per shard,
+// so the single-log WALPath knob must fail loudly (pointing at
+// ShardOptions.WAL) rather than silently dropping durability.
 func TestOpenShardedRejectsWAL(t *testing.T) {
 	opts := ShardOptions{Shards: 2}
 	opts.WALPath = "somewhere.wal"
