@@ -1,0 +1,587 @@
+package dynq
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dynq/internal/pager"
+	"dynq/internal/wal"
+)
+
+// ChaosSoakOptions configure ChaosSoak, the combined adversary behind
+// dqbench -faults -wal -chaos: crash/reopen cycles with torn log tails
+// (WALSoak's adversary) interleaved with disk-full episodes on both the
+// page store and the log, driven against a database whose self-healing
+// maintenance loop — auto-checkpoint, degraded-mode recovery probe,
+// background scrub — is ticked manually under an injected clock so every
+// run is deterministic.
+type ChaosSoakOptions struct {
+	// Cycles is the number of crash/reopen iterations (default 60).
+	Cycles int
+	// Seed drives the workload, the fault schedule, and the query mix;
+	// the same seed replays the same soak (default 1).
+	Seed int64
+	// Batch is the number of motion updates per batch (default 24).
+	Batch int
+	// AckedBatches is the number of durably acknowledged batches per
+	// cycle (default 4). Every acknowledged batch MUST survive the crash.
+	AckedBatches int
+	// AsyncBatches is the number of DurabilityAsync batches appended
+	// before each crash (default 3); the torn tail's victims.
+	AsyncBatches int
+	// Writers is the number of concurrent goroutines issuing the
+	// acknowledged batches (default 4).
+	Writers int
+	// BufferPages is the page-buffer capacity (default 4096). As in
+	// WALSoak it must hold the working set so a crash never tears the
+	// page file itself.
+	BufferPages int
+	// MaxWALBytes is the auto-checkpoint policy's live-byte threshold
+	// (default 4 KiB, low enough that a normal cycle's appends cross it).
+	// The soak never calls Sync between fault episodes; the maintenance
+	// loop alone must keep the log under this bound.
+	MaxWALBytes int64
+	// ProbeBudget is the maximum number of maintenance ticks a degraded
+	// episode may take to heal once the fault clears (default 40);
+	// exceeding it fails the soak.
+	ProbeBudget int
+	// ScrubEvery runs a full background-scrub pass every n-th cycle
+	// (default 2; <0 disables). Committed pages are never corrupted by
+	// this soak, so any scrub finding is a false positive and fails it.
+	ScrubEvery int
+	// MaxSegments rotates to a fresh file + log once the committed set
+	// grows past it (default 8192).
+	MaxSegments int
+	// Dir is the working directory (default: a fresh temp dir).
+	Dir string
+	// Log, when set, receives one progress line per 10 cycles.
+	Log func(format string, args ...any)
+}
+
+// ChaosSoakReport summarizes a ChaosSoak run. The invariants are
+// LostAcked == 0 and WrongAnswers == 0 (WALSoak's durability and
+// correctness contracts), plus the self-healing ones: every degraded
+// episode heals within the probe budget (the run errors out otherwise),
+// WALBoundViolations == 0 (the maintenance loop alone bounds the log),
+// UntypedWriteErrors == 0 (disk-full and read-only failures carry their
+// typed sentinels), and ScrubCorruptions == 0 (no false positives on
+// clean data).
+type ChaosSoakReport struct {
+	Cycles             int // crash/reopen iterations executed
+	BatchesAcked       int // durably acknowledged batches (all must survive)
+	BatchesAsync       int // async batches exposed to the tear
+	AsyncSurvived      int // async batches found intact after replay
+	Tears              int // cycles whose log tail was torn or corrupted
+	TornTails          int // reopens that reported a discarded torn tail
+	AutoCheckpoints    int // policy-driven checkpoints by the maintenance loop
+	CheckpointFailures int // policy-driven checkpoints that failed (fault episodes)
+	WALBoundViolations int // post-tick live log bytes at/over the policy cap (MUST be 0)
+	DiskFullEpisodes   int // sticky full-volume episodes (log or page store)
+	TransientFaults    int // one-shot disk-full spikes
+	DiskFullWrites     int // writes refused while a volume was full
+	UntypedWriteErrors int // fault-path errors missing their typed sentinel (MUST be 0)
+	Degradations       int // read-only trips across all episodes
+	Probes             int // recovery probes issued by the maintenance loop
+	Heals              int // degraded episodes cleared by a successful probe
+	MaxProbesToHeal    int // worst probes-per-episode observed
+	ScrubPasses        int // complete scrub sweeps
+	ScrubPages         int // pages verified by the scrubber
+	ScrubCorruptions   int // scrub findings (MUST be 0: data is never corrupted)
+	RecordsReplayed    int // WAL records re-applied across all reopens
+	UpdatesReplayed    int // motion updates re-applied across all reopens
+	Rotations          int // fresh-file rotations after MaxSegments
+	LostAcked          int // acknowledged batches missing after replay (MUST be 0)
+	WrongAnswers       int // query answers differing from the replica (MUST be 0)
+	QueriesCompared    int // individual query comparisons performed
+}
+
+func (r ChaosSoakReport) String() string {
+	return fmt.Sprintf(
+		"%d cycles: %d acked + %d async batches (%d survived), %d tears (%d torn tails) | %d auto-checkpoints (%d failed, %d bound violations) | %d disk-full episodes + %d transients (%d writes refused, %d untyped), %d degradations healed by %d probes (%d heals, worst %d probes) | %d scrub passes (%d pages, %d corruptions) | replayed %d records (%d updates), %d rotations | %d lost acked, %d wrong answers (%d queries)",
+		r.Cycles, r.BatchesAcked, r.BatchesAsync, r.AsyncSurvived,
+		r.Tears, r.TornTails,
+		r.AutoCheckpoints, r.CheckpointFailures, r.WALBoundViolations,
+		r.DiskFullEpisodes, r.TransientFaults, r.DiskFullWrites, r.UntypedWriteErrors,
+		r.Degradations, r.Probes, r.Heals, r.MaxProbesToHeal,
+		r.ScrubPasses, r.ScrubPages, r.ScrubCorruptions,
+		r.RecordsReplayed, r.UpdatesReplayed, r.Rotations,
+		r.LostAcked, r.WrongAnswers, r.QueriesCompared)
+}
+
+// chaosClock is the injected time source: maintenance backoff and
+// checkpoint aging advance only when the soak says so.
+type chaosClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *chaosClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *chaosClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// chaosWALFault injects disk-full failures into the log's physical
+// writes: sticky (a full volume, until cleared) or a one-shot burst (a
+// transient spike that frees up on its own).
+type chaosWALFault struct {
+	sticky atomic.Bool
+	burst  atomic.Int64
+}
+
+func (f *chaosWALFault) fault(string) error {
+	if f.sticky.Load() {
+		return pager.ErrNoSpace
+	}
+	for {
+		n := f.burst.Load()
+		if n <= 0 {
+			return nil
+		}
+		if f.burst.CompareAndSwap(n, n-1) {
+			return pager.ErrNoSpace
+		}
+	}
+}
+
+// openChaos reopens the committed file with full recovery, a FaultStore
+// interposed on the page path, a fault-hooked WAL, and a manually ticked
+// maintenance loop under the injected clock.
+func openChaos(path, walPath string, bufferPages int, mopts MaintenanceOptions,
+	now func() time.Time, walFault func(string) error) (*DB, *pager.FileStore, *pager.FaultStore, *RecoveryReport, error) {
+	fail := func(err error) (*DB, *pager.FileStore, *pager.FaultStore, *RecoveryReport, error) {
+		return nil, nil, nil, nil, err
+	}
+	fs, err := pager.OpenFileStore(path)
+	if err != nil {
+		return fail(err)
+	}
+	faults := pager.NewFaultStore(fs)
+	db, rep, err := recoverFileStore(fs, faults)
+	if err != nil {
+		fs.Close()
+		return fail(err)
+	}
+	db.health.after = 2 // degrade on the second consecutive write failure
+	if bufferPages > 0 {
+		if err := db.tree.UseBuffer(bufferPages); err != nil {
+			fs.Close()
+			return fail(err)
+		}
+		db.bufferPages = bufferPages
+	}
+	if err := db.armWALWith(walPath, wal.Options{Fault: walFault}, rep); err != nil {
+		fs.Close()
+		return fail(err)
+	}
+	db.maint = startMaintainer(db, mopts)
+	if db.maint != nil {
+		db.maint.now = now
+	}
+	return db, fs, faults, rep, nil
+}
+
+// chaosCrash abandons the database as a power cut would: the log and the
+// page file are dropped without a final sync.
+func chaosCrash(db *DB, fs *pager.FileStore) error {
+	db.wal.Crash()
+	return fs.Crash()
+}
+
+// ChaosSoak runs the combined crash + disk-full + self-healing soak.
+// Each cycle reopens with recovery and verifies against a never-crashed
+// replica (WALSoak's loop), then lets the maintenance tick bound the log
+// by policy, then — on a rotating schedule — fills a volume (the log's
+// or the page store's, sticky or transient), drives the database into
+// read-only mode, clears the fault, and requires the maintenance probe
+// to heal it within the probe budget and prove the heal with a durable
+// write. Scrub passes over the committed tree must stay clean
+// throughout. The cycle ends in a hard crash and a torn log tail. It
+// returns an error for harness failures and for self-healing contract
+// violations (an episode that never heals); durability and correctness
+// violations are counted in the report.
+func ChaosSoak(opts ChaosSoakOptions) (ChaosSoakReport, error) {
+	if opts.Cycles <= 0 {
+		opts.Cycles = 60
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.Batch <= 0 {
+		opts.Batch = 24
+	}
+	if opts.AckedBatches <= 0 {
+		opts.AckedBatches = 4
+	}
+	if opts.AsyncBatches <= 0 {
+		opts.AsyncBatches = 3
+	}
+	if opts.Writers <= 0 {
+		opts.Writers = 4
+	}
+	if opts.BufferPages <= 0 {
+		opts.BufferPages = 4096
+	}
+	if opts.MaxWALBytes <= 0 {
+		opts.MaxWALBytes = 4 << 10
+	}
+	if opts.ProbeBudget <= 0 {
+		opts.ProbeBudget = 40
+	}
+	if opts.ScrubEvery == 0 {
+		opts.ScrubEvery = 2
+	}
+	if opts.MaxSegments <= 0 {
+		opts.MaxSegments = 8192
+	}
+	dir := opts.Dir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "dynq-chaossoak")
+		if err != nil {
+			return ChaosSoakReport{}, err
+		}
+		defer os.RemoveAll(dir)
+	}
+	path := filepath.Join(dir, "chaossoak.dynq")
+	walPath := path + ".wal"
+
+	mopts := MaintenanceOptions{
+		Checkpoint:       CheckpointPolicy{MaxBytes: opts.MaxWALBytes},
+		ScrubPagesPerSec: 200_000, // one tick covers the whole working set
+		ProbeBackoff:     10 * time.Millisecond,
+		Interval:         -1, // manual ticks under the injected clock
+	}
+	clk := &chaosClock{t: time.Unix(1_700_000_000, 0)}
+	hook := &chaosWALFault{}
+	ctx := context.Background()
+
+	var rep ChaosSoakReport
+	var committed []soakSeg
+	replica, err := Open(Options{})
+	if err != nil {
+		return rep, err
+	}
+	defer func() { replica.Close() }()
+	if err := rebuildFileWAL(path, walPath, committed, opts.BufferPages); err != nil {
+		return rep, err
+	}
+
+	wrand := rand.New(rand.NewSource(opts.Seed))
+	var nextID ObjectID
+	var pendingAsync [][]soakSeg
+	for cycle := 0; cycle < opts.Cycles; cycle++ {
+		rep.Cycles++
+
+		// Recovery phase: reopen, replay, reconcile, compare.
+		db, fs, faults, rrep, err := openChaos(path, walPath, opts.BufferPages, mopts, clk.Now, hook.fault)
+		if err != nil {
+			return rep, fmt.Errorf("cycle %d: reopen: %w", cycle, err)
+		}
+		if !rrep.WALArmed {
+			return rep, fmt.Errorf("cycle %d: reopen did not arm the wal sidecar", cycle)
+		}
+		rep.RecordsReplayed += rrep.WALRecordsReplayed
+		rep.UpdatesReplayed += rrep.WALUpdatesReplayed
+		if rrep.WALTornTail {
+			rep.TornTails++
+		}
+		survived, err := reconcileAsync(db, replica, &committed, pendingAsync)
+		if err != nil {
+			return rep, fmt.Errorf("cycle %d: %w", cycle, err)
+		}
+		if survived < 0 {
+			rep.LostAcked++
+			survived = 0
+		}
+		rep.AsyncSurvived += survived
+		pendingAsync = nil
+		qrand := rand.New(rand.NewSource(opts.Seed ^ (int64(cycle)+1)*0x5DEECE66D))
+		wrong, compared, err := compareAnswers(db, replica, qrand)
+		if err != nil {
+			return rep, fmt.Errorf("cycle %d: query comparison: %w", cycle, err)
+		}
+		rep.WrongAnswers += wrong
+		rep.QueriesCompared += compared
+
+		// commitBatch applies one batch durably and mirrors it into the
+		// replica — the write the soak's durability invariant covers.
+		commitBatch := func(ups []MotionUpdate, batch []soakSeg) error {
+			if err := db.ApplyUpdates(ctx, ups, WriteOptions{Durability: DurabilitySync}); err != nil {
+				return err
+			}
+			committed = append(committed, batch...)
+			for _, s := range batch {
+				if err := replica.Insert(s.id, s.seg); err != nil {
+					return fmt.Errorf("replica insert: %w", err)
+				}
+			}
+			return nil
+		}
+		// healLoop ticks the maintenance loop (faults already cleared)
+		// until the recovery probe brings the database back read-write.
+		healLoop := func() error {
+			if !db.Degraded() {
+				return nil
+			}
+			start := db.maint.probeCount.Load()
+			for t := 0; db.Degraded() && t < opts.ProbeBudget; t++ {
+				clk.Advance(500 * time.Millisecond) // past the max probe backoff
+				db.maint.tick()
+			}
+			if db.Degraded() {
+				db.maint.mu.Lock()
+				last := db.maint.lastProbeErr
+				db.maint.mu.Unlock()
+				return fmt.Errorf("database did not heal within %d probe ticks (last probe error %q)",
+					opts.ProbeBudget, last)
+			}
+			if probes := int(db.maint.probeCount.Load() - start); probes > rep.MaxProbesToHeal {
+				rep.MaxProbesToHeal = probes
+			}
+			return nil
+		}
+		// noteFaultErr checks a fault-episode write failure for its typed
+		// sentinel; anything untyped is a satellite contract violation.
+		noteFaultErr := func(err error) {
+			rep.DiskFullWrites++
+			if !errors.Is(err, ErrDiskFull) && !errors.Is(err, ErrReadOnly) {
+				rep.UntypedWriteErrors++
+			}
+		}
+
+		// Acknowledged write phase: concurrent batches, group-committed.
+		acked := make([][]soakSeg, opts.AckedBatches)
+		ackedUps := make([][]MotionUpdate, opts.AckedBatches)
+		for i := range acked {
+			acked[i] = genSoakBatch(wrand, opts.Batch, &nextID)
+			ackedUps[i] = toUpdates(acked[i])
+			if wrand.Intn(3) == 0 {
+				ackedUps[i] = withChurn(ackedUps[i])
+			}
+		}
+		var wg sync.WaitGroup
+		errs := make([]error, opts.Writers)
+		for w := 0; w < opts.Writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(ackedUps); i += opts.Writers {
+					d := DurabilityGroupCommit
+					if i%5 == 4 {
+						d = DurabilitySync
+					}
+					if err := db.ApplyUpdates(ctx, ackedUps[i], WriteOptions{Durability: d}); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return rep, fmt.Errorf("cycle %d: acked batch: %w", cycle, err)
+			}
+		}
+		rep.BatchesAcked += len(acked)
+		for _, b := range acked {
+			committed = append(committed, b...)
+			for _, s := range b {
+				if err := replica.Insert(s.id, s.seg); err != nil {
+					return rep, fmt.Errorf("cycle %d: replica insert: %w", cycle, err)
+				}
+			}
+		}
+
+		// The soak never calls Sync itself: one maintenance tick must keep
+		// the log under the checkpoint policy's byte cap.
+		clk.Advance(defaultMaintInterval)
+		db.maint.tick()
+		if db.wal.LiveBytes() >= opts.MaxWALBytes {
+			rep.WALBoundViolations++
+		}
+
+		// Fault episode, on a rotating schedule.
+		switch cycle % 5 {
+		case 1: // sticky disk-full on the log volume
+			hook.sticky.Store(true)
+			degraded := false
+			for i := 0; i < 8 && !degraded; i++ {
+				b := genSoakBatch(wrand, opts.Batch, &nextID)
+				err := db.ApplyUpdates(ctx, toUpdates(b), WriteOptions{Durability: DurabilitySync})
+				if err == nil {
+					hook.sticky.Store(false)
+					return rep, fmt.Errorf("cycle %d: durable write succeeded with the log volume full", cycle)
+				}
+				noteFaultErr(err)
+				degraded = db.Degraded()
+			}
+			if !degraded {
+				hook.sticky.Store(false)
+				return rep, fmt.Errorf("cycle %d: database did not degrade under a full log volume", cycle)
+			}
+			rep.DiskFullEpisodes++
+			rep.Degradations++
+			// The gate must refuse further writes with the typed sentinel.
+			if err := db.ApplyUpdates(ctx, toUpdates(genSoakBatch(wrand, 1, &nextID)), WriteOptions{}); !errors.Is(err, ErrReadOnly) {
+				rep.UntypedWriteErrors++
+			}
+			hook.sticky.Store(false) // space returns
+			if err := healLoop(); err != nil {
+				return rep, fmt.Errorf("cycle %d: %w", cycle, err)
+			}
+			b := genSoakBatch(wrand, opts.Batch, &nextID)
+			if err := commitBatch(toUpdates(b), b); err != nil {
+				return rep, fmt.Errorf("cycle %d: post-heal durable write: %w", cycle, err)
+			}
+
+		case 2: // transient disk-full spike on the log volume
+			hook.burst.Store(1)
+			b := genSoakBatch(wrand, opts.Batch, &nextID)
+			ups := toUpdates(b)
+			err := db.ApplyUpdates(ctx, ups, WriteOptions{Durability: DurabilitySync})
+			if err == nil {
+				return rep, fmt.Errorf("cycle %d: transient log fault did not fire", cycle)
+			}
+			noteFaultErr(err)
+			rep.TransientFaults++
+			if db.Degraded() {
+				return rep, fmt.Errorf("cycle %d: one transient failure tripped read-only (threshold is 2)", cycle)
+			}
+			// Space came back on its own; the same batch must now commit.
+			if err := commitBatch(ups, b); err != nil {
+				return rep, fmt.Errorf("cycle %d: retry after transient fault: %w", cycle, err)
+			}
+
+		case 3: // sticky disk-full on the page-store volume
+			faults.ArmNoSpace(1, true)
+			err := db.Sync()
+			if err == nil {
+				faults.DisarmNoSpace()
+				return rep, fmt.Errorf("cycle %d: checkpoint succeeded with the page volume full", cycle)
+			}
+			noteFaultErr(err)
+			if !db.Degraded() {
+				faults.DisarmNoSpace()
+				return rep, fmt.Errorf("cycle %d: failed checkpoint with WAL armed did not degrade", cycle)
+			}
+			rep.DiskFullEpisodes++
+			rep.Degradations++
+			faults.DisarmNoSpace() // space returns
+			if err := healLoop(); err != nil {
+				return rep, fmt.Errorf("cycle %d: %w", cycle, err)
+			}
+			b := genSoakBatch(wrand, opts.Batch, &nextID)
+			if err := commitBatch(toUpdates(b), b); err != nil {
+				return rep, fmt.Errorf("cycle %d: post-heal durable write: %w", cycle, err)
+			}
+
+		case 4: // transient disk-full spike on the page-store volume
+			faults.ArmNoSpace(1, false)
+			err := db.Sync()
+			if err == nil {
+				return rep, fmt.Errorf("cycle %d: transient page fault did not fire", cycle)
+			}
+			noteFaultErr(err)
+			rep.TransientFaults++
+			// A failed checkpoint with a WAL armed degrades immediately
+			// (the log cannot be allowed to grow behind silent retries);
+			// the probe must bring it back.
+			if !db.Degraded() {
+				return rep, fmt.Errorf("cycle %d: failed checkpoint with WAL armed did not degrade", cycle)
+			}
+			rep.Degradations++
+			if err := healLoop(); err != nil {
+				return rep, fmt.Errorf("cycle %d: %w", cycle, err)
+			}
+			b := genSoakBatch(wrand, opts.Batch, &nextID)
+			if err := commitBatch(toUpdates(b), b); err != nil {
+				return rep, fmt.Errorf("cycle %d: post-heal durable write: %w", cycle, err)
+			}
+		}
+
+		// Scrub phase: a full pass over the committed tree, with every
+		// fault disarmed, must find nothing.
+		if opts.ScrubEvery > 0 && cycle%opts.ScrubEvery == 0 {
+			passes := db.maint.scrubPassCount.Load()
+			for t := 0; t < 50 && db.maint.scrubPassCount.Load() == passes; t++ {
+				clk.Advance(defaultMaintInterval)
+				db.maint.tick()
+			}
+			if db.maint.scrubPassCount.Load() == passes {
+				return rep, fmt.Errorf("cycle %d: scrub pass did not complete", cycle)
+			}
+			if c := db.maint.scrubCorruptCount.Load(); c > 0 {
+				rep.ScrubCorruptions += int(c)
+				return rep, fmt.Errorf("cycle %d: scrub reported %d corruptions on clean data", cycle, c)
+			}
+		}
+
+		// Fold this open's maintenance counters into the report.
+		rep.AutoCheckpoints += int(db.maint.autoCheckpoints.Load())
+		rep.CheckpointFailures += int(db.maint.checkpointFailures.Load())
+		rep.Probes += int(db.maint.probeCount.Load())
+		rep.Heals += int(db.maint.heals.Load())
+		rep.ScrubPasses += int(db.maint.scrubPassCount.Load())
+		rep.ScrubPages += int(db.maint.scrubPageCount.Load())
+
+		// The durable boundary: every log byte on disk is fsync-covered
+		// (the soak is quiescent), so the tear lands strictly beyond it.
+		ackedSize, err := fileSize(walPath)
+		if err != nil {
+			return rep, fmt.Errorf("cycle %d: %w", cycle, err)
+		}
+
+		// Async tail: appended, applied in memory, never awaited.
+		for i := 0; i < opts.AsyncBatches; i++ {
+			b := genSoakBatch(wrand, opts.Batch, &nextID)
+			if err := db.ApplyUpdates(ctx, toUpdates(b), WriteOptions{Durability: DurabilityAsync}); err != nil {
+				return rep, fmt.Errorf("cycle %d: async batch: %w", cycle, err)
+			}
+			pendingAsync = append(pendingAsync, b)
+		}
+		rep.BatchesAsync += len(pendingAsync)
+
+		if err := chaosCrash(db, fs); err != nil {
+			return rep, fmt.Errorf("cycle %d: crash: %w", cycle, err)
+		}
+		torn, err := tearWALTail(walPath, ackedSize, wrand)
+		if err != nil {
+			return rep, fmt.Errorf("cycle %d: tear: %w", cycle, err)
+		}
+		if torn {
+			rep.Tears++
+		}
+
+		if len(committed) >= opts.MaxSegments {
+			committed = committed[:0]
+			pendingAsync = nil
+			replica.Close()
+			if replica, err = Open(Options{}); err != nil {
+				return rep, err
+			}
+			if err := rebuildFileWAL(path, walPath, committed, opts.BufferPages); err != nil {
+				return rep, err
+			}
+			rep.Rotations++
+		}
+		if opts.Log != nil && (cycle+1)%10 == 0 {
+			opts.Log("chaos soak cycle %d/%d: %s", cycle+1, opts.Cycles, rep)
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,47 @@
+package dynq
+
+import "testing"
+
+// TestChaosSoakShort runs a condensed chaos soak — crash cycles, torn
+// log tails, sticky and transient disk-full episodes on both volumes,
+// probe-driven healing, and clean scrub passes — and asserts every
+// invariant the full dqbench -chaos run enforces.
+func TestChaosSoakShort(t *testing.T) {
+	rep, err := ChaosSoak(ChaosSoakOptions{
+		Cycles: 15,
+		Dir:    t.TempDir(),
+		Log:    t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("chaos soak: %v (report: %s)", err, rep)
+	}
+	t.Logf("report: %s", rep)
+	if rep.LostAcked != 0 {
+		t.Errorf("lost %d acknowledged batches", rep.LostAcked)
+	}
+	if rep.WrongAnswers != 0 {
+		t.Errorf("%d wrong answers", rep.WrongAnswers)
+	}
+	if rep.WALBoundViolations != 0 {
+		t.Errorf("%d WAL bound violations", rep.WALBoundViolations)
+	}
+	if rep.UntypedWriteErrors != 0 {
+		t.Errorf("%d fault-path errors missing their typed sentinel", rep.UntypedWriteErrors)
+	}
+	if rep.ScrubCorruptions != 0 {
+		t.Errorf("scrub reported %d corruptions on clean data", rep.ScrubCorruptions)
+	}
+	if rep.DiskFullEpisodes == 0 || rep.TransientFaults == 0 {
+		t.Errorf("fault schedule did not run: %d sticky episodes, %d transients",
+			rep.DiskFullEpisodes, rep.TransientFaults)
+	}
+	if rep.Degradations == 0 || rep.Heals < rep.Degradations {
+		t.Errorf("healing incomplete: %d degradations, %d heals", rep.Degradations, rep.Heals)
+	}
+	if rep.AutoCheckpoints == 0 {
+		t.Errorf("maintenance loop took no auto-checkpoints")
+	}
+	if rep.ScrubPasses == 0 {
+		t.Errorf("no scrub passes completed")
+	}
+}

@@ -25,6 +25,8 @@
 //	-faults 200       crash/reopen fault-injection soak instead of benchmarks
 //	-wal              with -faults: tear the WAL tail instead of the page
 //	                  file and assert exact replay of acknowledged writes
+//	-chaos            with -faults -wal: interleave disk-full episodes and
+//	                  the self-healing maintenance loop with the crashes
 //	-json FILE        write a versioned machine-readable report (BENCH_*.json)
 //	-compare FILE     check this run against a baseline report; exits 3 on
 //	                  regression unless -compare-warn is set
@@ -67,6 +69,7 @@ func main() {
 		faults       = flag.Int("faults", 0, "run N crash/reopen fault-injection soak cycles instead of benchmarks")
 		faultSeed    = flag.Int64("fault-seed", 1, "deterministic seed for the -faults soak (workload + fault schedule)")
 		walSoak      = flag.Bool("wal", false, "with -faults: tear the write-ahead log instead of the page file (crash mid-record and mid-group-commit, assert exact replay)")
+		chaos        = flag.Bool("chaos", false, "with -faults -wal: interleave disk-full episodes and self-healing maintenance (auto-checkpoint, recovery probe, scrub) with the crash cycles")
 
 		jsonOut          = flag.String("json", "", "write a machine-readable benchmark report (BENCH_*.json) to this file")
 		comparePath      = flag.String("compare", "", "baseline BENCH_*.json to check this run against")
@@ -103,6 +106,38 @@ func main() {
 		os.Exit(130)
 	}()
 
+	if *faults > 0 && *walSoak && *chaos {
+		// Chaos soak mode: WAL crash cycles interleaved with disk-full
+		// episodes (sticky and transient, on the log and the page store),
+		// with the self-healing maintenance loop — auto-checkpoint,
+		// degraded-mode recovery probe, background scrub — driven under an
+		// injected clock. Exits non-zero on any lost acknowledged batch,
+		// wrong answer, unbounded log, untyped fault error, scrub false
+		// positive, or an episode that fails to heal.
+		logger.Info("chaos soak starting", "cycles", *faults, "seed", *faultSeed)
+		rep, err := dynq.ChaosSoak(dynq.ChaosSoakOptions{
+			Cycles: *faults,
+			Seed:   *faultSeed,
+			Log: func(format string, args ...any) {
+				logger.Info(fmt.Sprintf(format, args...))
+			},
+		})
+		if err != nil {
+			fatal(fmt.Errorf("chaos soak harness: %w (partial report: %s)", err, rep))
+		}
+		fmt.Println(rep)
+		if rep.LostAcked != 0 || rep.WrongAnswers != 0 || rep.WALBoundViolations != 0 ||
+			rep.UntypedWriteErrors != 0 || rep.ScrubCorruptions != 0 || rep.Heals < rep.Degradations {
+			fatal(fmt.Errorf("chaos soak invariant violation: %d lost acked, %d wrong answers, %d wal bound violations, %d untyped errors, %d scrub corruptions, %d/%d episodes healed",
+				rep.LostAcked, rep.WrongAnswers, rep.WALBoundViolations,
+				rep.UntypedWriteErrors, rep.ScrubCorruptions, rep.Heals, rep.Degradations))
+		}
+		logger.Info("chaos soak passed", "cycles", rep.Cycles,
+			"disk_full_episodes", rep.DiskFullEpisodes, "transients", rep.TransientFaults,
+			"heals", rep.Heals, "auto_checkpoints", rep.AutoCheckpoints,
+			"scrub_passes", rep.ScrubPasses, "torn_tails", rep.TornTails)
+		return
+	}
 	if *faults > 0 && *walSoak {
 		// WAL soak mode: crash/reopen cycles that tear the write-ahead
 		// log's unsynced tail (mid-record, mid-group-commit), asserting
@@ -407,6 +442,9 @@ func runIngest(cfg bench.Config, shards int, report *bench.Report) error {
 		mode := "memory"
 		if c.WAL {
 			mode = "wal"
+		}
+		if c.Maint {
+			mode = "wal+maint"
 		}
 		if c.Shards > 1 {
 			mode = fmt.Sprintf("wal-%dsh", c.Shards)

@@ -38,10 +38,21 @@
 // when present; the shard count must match the one the files were
 // created with.
 //
+// The self-healing maintenance loop is opt-in through four flags:
+// -auto-checkpoint-bytes and -auto-checkpoint-age bound the WAL by
+// checkpointing when live bytes or record age cross the threshold,
+// -scrub-rate verifies committed pages in the background at the given
+// pages/sec, and -probe-backoff sets the initial retry backoff for
+// degraded-mode recovery probes. Any of them enables the loop, which
+// also probes a degraded store until a durable write round-trips and
+// then returns the server to read-write on its own.
+//
 // Usage:
 //
 //	dqserver [-addr :7207] [-metrics :7208] [-db db.dynq [-shards N] | -scale F -seed N [-dual] [-shards N]]
 //	         [-wal] [-group-commit-window 2ms]
+//	         [-auto-checkpoint-bytes N] [-auto-checkpoint-age 30s]
+//	         [-scrub-rate 50000] [-probe-backoff 1s]
 //	         [-slow-query 250ms] [-slow-write 250ms]
 //	         [-slo-latency 100ms] [-slo-write-latency 50ms] [-slo-window 5m]
 //	         [-log-level info] [-log-format text]
@@ -80,8 +91,13 @@ func main() {
 		shards  = flag.Int("shards", 1, "partition the index across N parallel shards; with -db, serves the sharded file set <db>.shard<i> (created fresh or recovered)")
 		walArm  = flag.Bool("wal", false, "arm a write-ahead log for durable writes; requires -db (sidecar <db>.wal, or one <db>.shard<i>.wal per shard with -shards)")
 		gcWin   = flag.Duration("group-commit-window", 0, "WAL group-commit coalescing window (0 = 2ms default, negative fsyncs every commit round)")
-		maxConc = flag.Int("max-concurrent", 0, "max concurrently executing read queries (0 = GOMAXPROCS, <0 = unlimited)")
-		maxQue  = flag.Int("max-queue", 0, "max read queries waiting for a slot before rejection (0 = 4x max-concurrent)")
+
+		autoCkptBytes = flag.Int64("auto-checkpoint-bytes", 0, "auto-checkpoint any WAL whose live bytes reach this many (0 disables; needs -wal)")
+		autoCkptAge   = flag.Duration("auto-checkpoint-age", 0, "auto-checkpoint any WAL whose oldest un-checkpointed record is this old (0 disables; needs -wal)")
+		scrubRate     = flag.Int("scrub-rate", 0, "background scrub rate over committed pages, in pages/sec (0 disables; needs -db)")
+		probeBackoff  = flag.Duration("probe-backoff", 0, "initial backoff between degraded-mode recovery probes (0 = 1s once any maintenance flag enables the loop; setting it alone enables probing)")
+		maxConc       = flag.Int("max-concurrent", 0, "max concurrently executing read queries (0 = GOMAXPROCS, <0 = unlimited)")
+		maxQue        = flag.Int("max-queue", 0, "max read queries waiting for a slot before rejection (0 = 4x max-concurrent)")
 
 		slowQuery       = flag.Duration("slow-query", obs.DefSlowThreshold, "capture queries slower than this into /debug/slow (negative disables)")
 		slowWrite       = flag.Duration("slow-write", obs.DefSlowThreshold, "capture writes slower than this into /debug/slow (negative disables)")
@@ -110,8 +126,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dqserver:", err)
 		os.Exit(2)
 	}
+	if (*autoCkptBytes > 0 || *autoCkptAge > 0) && !*walArm {
+		fmt.Fprintln(os.Stderr, "dqserver: -auto-checkpoint-bytes/-auto-checkpoint-age need -wal: without a log there is nothing to checkpoint")
+		os.Exit(2)
+	}
+	if *scrubRate > 0 && *path == "" {
+		fmt.Fprintln(os.Stderr, "dqserver: -scrub-rate needs -db: an in-memory index has no pages to scrub")
+		os.Exit(2)
+	}
 
-	db, recovery, err := openDB(*path, *scale, *seed, *dual, *shards, *walArm, *gcWin, logger)
+	maint := dynq.MaintenanceOptions{
+		Checkpoint:       dynq.CheckpointPolicy{MaxBytes: *autoCkptBytes, MaxAge: *autoCkptAge},
+		ScrubPagesPerSec: *scrubRate,
+		ProbeBackoff:     *probeBackoff,
+	}
+
+	db, recovery, err := openDB(*path, *scale, *seed, *dual, *shards, *walArm, *gcWin, maint, logger)
 	if err != nil {
 		fatal("open database", err)
 	}
@@ -139,6 +169,13 @@ func main() {
 	}
 	args = append(args, "shards", shardCount)
 	logger.Info("serving", args...)
+	if maint.Enabled() {
+		logger.Info("self-healing maintenance loop running",
+			"auto_checkpoint_bytes", *autoCkptBytes,
+			"auto_checkpoint_age", *autoCkptAge,
+			"scrub_pages_per_sec", *scrubRate,
+			"probe_backoff", *probeBackoff)
+	}
 
 	srv := netq.NewServer(db)
 	srv.WithLogger(logger)
@@ -247,7 +284,7 @@ func validateFlags(path string, shards int, walArm bool) error {
 	return nil
 }
 
-func openDB(path string, scale float64, seed int64, dual bool, shards int, walArm bool, gcWin time.Duration, logger *slog.Logger) (dynq.Database, *dynq.RecoveryReport, error) {
+func openDB(path string, scale float64, seed int64, dual bool, shards int, walArm bool, gcWin time.Duration, maint dynq.MaintenanceOptions, logger *slog.Logger) (dynq.Database, *dynq.RecoveryReport, error) {
 	if err := validateFlags(path, shards, walArm); err != nil {
 		return nil, nil, err
 	}
@@ -259,6 +296,7 @@ func openDB(path string, scale float64, seed int64, dual bool, shards int, walAr
 			Shards:            shards,
 			WAL:               walArm,
 			GroupCommitWindow: gcWin,
+			Maintenance:       maint,
 		})
 		if err != nil {
 			return nil, nil, err
@@ -281,7 +319,7 @@ func openDB(path string, scale float64, seed int64, dual bool, shards int, walAr
 		// unverified file; the report feeds dynq_recovery_* gauges. -wal
 		// forces a log sidecar into existence; without the flag an
 		// existing sidecar is still detected and replayed.
-		ropts := dynq.RecoverOptions{GroupCommitWindow: gcWin}
+		ropts := dynq.RecoverOptions{GroupCommitWindow: gcWin, Maintenance: maint}
 		if walArm {
 			ropts.WALPath = path + ".wal"
 		}
@@ -312,11 +350,11 @@ func openDB(path string, scale float64, seed int64, dual bool, shards int, walAr
 	var db dynq.Database
 	if shards > 1 {
 		db, err = dynq.OpenSharded(dynq.ShardOptions{
-			Options: dynq.Options{DualTimeAxes: dual},
+			Options: dynq.Options{DualTimeAxes: dual, Maintenance: maint},
 			Shards:  shards,
 		})
 	} else {
-		db, err = dynq.Open(dynq.Options{DualTimeAxes: dual})
+		db, err = dynq.Open(dynq.Options{DualTimeAxes: dual, Maintenance: maint})
 	}
 	if err != nil {
 		return nil, nil, err

@@ -60,7 +60,7 @@ func TestOpenDBShardedDurable(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "srv.dynq")
 	logger := discardLogger()
 
-	db, rep, err := openDB(path, 0, 1, false, 4, true, 0, logger)
+	db, rep, err := openDB(path, 0, 1, false, 4, true, 0, dynq.MaintenanceOptions{}, logger)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func TestOpenDBShardedDurable(t *testing.T) {
 	}
 
 	// Reopen: recovery path, contents preserved, report merged.
-	db2, rep2, err := openDB(path, 0, 1, false, 4, true, 0, logger)
+	db2, rep2, err := openDB(path, 0, 1, false, 4, true, 0, dynq.MaintenanceOptions{}, logger)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +100,7 @@ func TestOpenDBShardedDurable(t *testing.T) {
 	}
 
 	// A mismatched shard count is refused cleanly.
-	if _, _, err := openDB(path, 0, 1, false, 2, true, 0, logger); err == nil {
+	if _, _, err := openDB(path, 0, 1, false, 2, true, 0, dynq.MaintenanceOptions{}, logger); err == nil {
 		t.Fatal("reopen with the wrong shard count succeeded")
 	} else if !strings.Contains(err.Error(), "shard count") {
 		t.Fatalf("wrong-count error should explain the shard-count rule, got: %v", err)

@@ -4,7 +4,10 @@
 // SLO attainment and error-budget burn, runtime health, recent
 // operational events, and — when the server has a WAL armed — an ingest
 // panel (appends/s, bytes/s, fsync p50/p99, coalesce ratio, batch size,
-// checkpoint lag, log size).
+// checkpoint lag, log size). A server running the self-healing
+// maintenance loop adds a maint panel (auto-checkpoints, WAL pressure,
+// scrub progress, probe/heal counts), and a degraded server gets a
+// prominent banner with the age of the current read-only episode.
 //
 // The telemetry op bypasses the server's read admission control, so
 // dqtop keeps reporting while a server is shedding query load — which
@@ -31,6 +34,7 @@ import (
 	"time"
 
 	"dynq"
+	"dynq/internal/obs"
 	"dynq/netq"
 )
 
@@ -150,6 +154,17 @@ func render(out *strings.Builder, addr string, tel netq.Telemetry, eventLimit in
 		time.Duration(tel.UptimeSeconds*float64(time.Second)).Round(time.Second),
 		state, tel.ActiveConns, tel.InflightOps, tel.ReadQueueDepth,
 		tel.SlowCaptured, tel.SlowThreshold, tel.EventsTotal)
+	if tel.Degraded {
+		// A degraded server is the one the operator is staring at: give
+		// it its own banner with how long writes have been refused.
+		age := ""
+		if m := tel.Maintenance; m != nil && m.DegradedSeconds > 0 {
+			age = fmt.Sprintf(" for %s", time.Duration(m.DegradedSeconds*float64(time.Second)).Round(time.Second))
+		} else if since := lastEventTime(tel.Events, obs.EventDegradedEnter); !since.IsZero() {
+			age = fmt.Sprintf(" for %s", time.Since(since).Round(time.Second))
+		}
+		fmt.Fprintf(out, "  !! DEGRADED%s — rejecting writes until a recovery probe succeeds\n", age)
+	}
 	if r := tel.Runtime; r != nil {
 		fmt.Fprintf(out, "  goroutines %d  heap %s  gc %d (last pause %v)",
 			r.Goroutines, sizeof(r.HeapAllocBytes), r.NumGC, r.LastGCPause.Round(time.Microsecond))
@@ -213,6 +228,29 @@ func render(out *strings.Builder, addr string, tel netq.Telemetry, eventLimit in
 			w.LastLSN, w.DurableLSN, w.CheckpointLSN)
 	}
 
+	if m := tel.Maintenance; m != nil {
+		fmt.Fprintf(out, "  maint ckpts %d (%d failed)  wal pressure %.0f%%  scrub %d pages / %d passes / %d corrupt  downtime %s\n",
+			m.Checkpoints, m.CheckpointFailures, m.CheckpointPressure*100,
+			m.ScrubPages, m.ScrubPasses, m.ScrubCorruptions,
+			time.Duration(m.DowntimeTotalSeconds*float64(time.Second)).Round(time.Millisecond))
+		if m.Degraded {
+			fmt.Fprintf(out, "        probing: %d probes (%d failed)", m.Probes, m.ProbeFailures)
+			if m.NextProbeInSeconds > 0 {
+				fmt.Fprintf(out, "  next in %s", time.Duration(m.NextProbeInSeconds*float64(time.Second)).Round(time.Millisecond))
+			}
+			if m.LastProbeError != "" {
+				fmt.Fprintf(out, "  last: %s", m.LastProbeError)
+			}
+			out.WriteByte('\n')
+		} else if m.Heals > 0 {
+			fmt.Fprintf(out, "        healed %d episode(s) with %d probes (%d failed)\n",
+				m.Heals, m.Probes, m.ProbeFailures)
+		}
+		if m.LastScrubError != "" {
+			fmt.Fprintf(out, "        scrub error: %s\n", m.LastScrubError)
+		}
+	}
+
 	for _, slo := range tel.SLOs {
 		status := "ok"
 		if !slo.Met {
@@ -233,6 +271,17 @@ func render(out *strings.Builder, addr string, tel netq.Telemetry, eventLimit in
 		fmt.Fprintf(out, "  [%s] %s %s: %s\n",
 			ev.Time.Format("15:04:05"), ev.Severity, ev.Type, ev.Message)
 	}
+}
+
+// lastEventTime returns the timestamp of the newest event of the given
+// type in the snapshot (events arrive newest first), or the zero time.
+func lastEventTime(events []obs.Event, typ obs.EventType) time.Time {
+	for _, ev := range events {
+		if ev.Type == typ {
+			return ev.Time
+		}
+	}
+	return time.Time{}
 }
 
 // ms renders a latency in seconds as a compact duration string.

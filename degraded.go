@@ -2,8 +2,11 @@ package dynq
 
 import (
 	"errors"
+	"fmt"
 	"strconv"
 	"sync/atomic"
+	"syscall"
+	"time"
 
 	"dynq/internal/obs"
 )
@@ -11,8 +14,24 @@ import (
 // ErrReadOnly is returned by mutating operations once the database has
 // degraded to read-only mode after persistent storage write failures (or
 // after SetReadOnly(true)). Queries keep working; writes fail fast until
-// the operator clears the condition.
+// the operator clears the condition or the maintenance probe heals it.
 var ErrReadOnly = errors.New("dynq: database is read-only (degraded after storage write failures)")
+
+// ErrDiskFull wraps write failures caused by an exhausted volume
+// (ENOSPC), from either the page store or the WAL. It is carried over
+// the wire with its own error kind so clients can tell "the server's
+// disk is full" from a generic storage failure; the maintenance probe
+// clears the resulting degraded mode automatically once space returns.
+var ErrDiskFull = errors.New("dynq: disk full")
+
+// wrapDiskFull stamps ErrDiskFull onto ENOSPC-rooted failures so they
+// stay detectable after the generic write-path wrapping.
+func wrapDiskFull(err error) error {
+	if err == nil || !errors.Is(err, syscall.ENOSPC) || errors.Is(err, ErrDiskFull) {
+		return err
+	}
+	return fmt.Errorf("%w: %w", ErrDiskFull, err)
+}
 
 // defaultDegradeAfter is the number of CONSECUTIVE storage write
 // failures that trips degraded mode when Options.DegradeAfter is 0.
@@ -38,13 +57,15 @@ func (d *degradeState) gate() error {
 
 // note records the outcome of a storage-touching write: success resets
 // the consecutive-failure counter, failure advances it and trips
-// degraded mode at the threshold. It returns err unchanged so callers
+// degraded mode at the threshold. ENOSPC-rooted failures come back
+// stamped with ErrDiskFull; other errors return unchanged, so callers
 // can `return db.noteWriteResult(err)`.
 func (d *degradeState) note(err error) error {
 	if err == nil {
 		d.writeFails.Store(0)
 		return nil
 	}
+	err = wrapDiskFull(err)
 	n := d.writeFails.Add(1)
 	limit := d.after
 	if limit == 0 {
@@ -59,6 +80,33 @@ func (d *degradeState) note(err error) error {
 			})
 	}
 	return err
+}
+
+// trip enters degraded mode directly (no failure-count threshold) with
+// a caller-supplied journal message — the scrubber's path when it finds
+// unrepairable corruption.
+func (d *degradeState) trip(msg string, fields map[string]string) {
+	if d.degraded.CompareAndSwap(false, true) {
+		obs.DefaultJournal().Record(obs.EventDegradedEnter, obs.SeverityError, msg, fields)
+	}
+}
+
+// heal clears degraded mode from the maintenance probe path, journaling
+// the exit with how many probes it took and how long writes were
+// refused. Returns false when the database was not degraded (a racing
+// manual clear).
+func (d *degradeState) heal(probes int, downtime time.Duration) bool {
+	if !d.degraded.CompareAndSwap(true, false) {
+		return false
+	}
+	d.writeFails.Store(0)
+	obs.DefaultJournal().Record(obs.EventDegradedExit, obs.SeverityInfo,
+		"degraded mode cleared: maintenance probe wrote durably",
+		map[string]string{
+			"probes":   strconv.Itoa(probes),
+			"downtime": downtime.Round(time.Millisecond).String(),
+		})
+	return true
 }
 
 // set forces the degraded flag; clearing it also resets the failure

@@ -124,6 +124,10 @@ type Options struct {
 	// negative value disables coalescing — every commit round fsyncs
 	// immediately). Only meaningful with WALPath set.
 	GroupCommitWindow time.Duration
+	// Maintenance configures the self-healing maintenance loop
+	// (auto-checkpoint policy, background scrub, degraded-mode recovery
+	// probe). The zero value disables it.
+	Maintenance MaintenanceOptions
 }
 
 // DB is a mobile-object database: an NSI R-tree plus the dynamic query
@@ -159,6 +163,9 @@ type DB struct {
 	// recovery holds the open-time verification report when the database
 	// was opened through OpenFileRecover, nil otherwise.
 	recovery *RecoveryReport
+	// maint is the self-healing maintenance loop, nil when
+	// Options.Maintenance left it disabled.
+	maint *maintainer
 }
 
 // LastRecovery returns the report from open-time recovery, or nil when
@@ -224,6 +231,7 @@ func Open(opts Options) (*DB, error) {
 		}
 		db.wal = w
 	}
+	db.maint = startMaintainer(db, opts.Maintenance)
 	return db, nil
 }
 
@@ -257,6 +265,7 @@ func (o Options) toConfig() (rtree.Config, error) {
 // unsynced tail across the restart; without one, unsynced writes are
 // lost as before.
 func (db *DB) Close() error {
+	db.maint.stop()
 	var werr error
 	if db.wal != nil {
 		werr = db.wal.Close()

@@ -27,7 +27,12 @@ type IngestCell struct {
 	// Shards > 1 marks the sharded durable rows: the same stream against
 	// a sharded database with one log per shard, touched logs fsyncing
 	// in parallel. 0 is the single-tree engine.
-	Shards  int
+	Shards int
+	// Maint marks the self-healing row: the same durable batched stream
+	// with the maintenance loop running (auto-checkpoint policy,
+	// background scrub, probe watchdog), so its delta against the plain
+	// WAL row at the same batch size is the loop's ingest overhead.
+	Maint   bool
 	Updates int
 	Wall    time.Duration
 
@@ -110,18 +115,29 @@ func IngestExperiment(cfg Config, batches []int, shards int) ([]IngestCell, erro
 			serialCap = 500
 		}
 		for _, batch := range append([]int{1}, batches...) {
-			cell, err := runIngestRow(updates, batch, withWAL, 0, serialCap, dir)
+			cell, err := runIngestRow(updates, batch, withWAL, 0, serialCap, dir, false)
 			if err != nil {
 				return nil, err
 			}
 			cells = append(cells, cell)
 		}
 	}
+	// Self-healing overhead row: the largest durable batch again, with
+	// the maintenance loop ticking (auto-checkpoint + scrub + probe
+	// watchdog). Its distance from the plain WAL row at the same batch
+	// size is what the loop costs under sustained ingest.
+	if len(batches) > 0 {
+		cell, err := runIngestRow(updates, batches[len(batches)-1], true, 0, len(updates), dir, true)
+		if err != nil {
+			return nil, err
+		}
+		cells = append(cells, cell)
+	}
 	if shards > 1 {
 		// Sharded durable rows, batched only: a serial baseline would just
 		// re-measure one group-commit window per update.
 		for _, batch := range batches {
-			cell, err := runIngestRow(updates, batch, true, shards, len(updates), dir)
+			cell, err := runIngestRow(updates, batch, true, shards, len(updates), dir, false)
 			if err != nil {
 				return nil, err
 			}
@@ -133,7 +149,7 @@ func IngestExperiment(cfg Config, batches []int, shards int) ([]IngestCell, erro
 
 // runIngestRow times one (batch size, durability, sharding) row against
 // a fresh database and server.
-func runIngestRow(updates []dynq.MotionUpdate, batch int, withWAL bool, shards, serialCap int, dir string) (IngestCell, error) {
+func runIngestRow(updates []dynq.MotionUpdate, batch int, withWAL bool, shards, serialCap int, dir string, maint bool) (IngestCell, error) {
 	// Buffered like a production server: bufferless pass-through stores
 	// re-decode the root path on every insert, which would hide the wire
 	// and durability costs this experiment is about.
@@ -151,9 +167,22 @@ func runIngestRow(updates []dynq.MotionUpdate, batch int, withWAL bool, shards, 
 	} else {
 		opts := dynq.Options{BufferPages: 4096}
 		if withWAL {
-			path := filepath.Join(dir, fmt.Sprintf("ingest-b%d.pages", batch))
+			suffix := ""
+			if maint {
+				suffix = "-maint"
+			}
+			path := filepath.Join(dir, fmt.Sprintf("ingest-b%d%s.pages", batch, suffix))
 			opts.Path = path
 			opts.WALPath = path + ".wal"
+		}
+		if maint {
+			// Production-shaped self-healing settings: the byte threshold
+			// is low enough that the stream forces real auto-checkpoints.
+			opts.Maintenance = dynq.MaintenanceOptions{
+				Checkpoint:       dynq.CheckpointPolicy{MaxBytes: 1 << 20},
+				ScrubPagesPerSec: 50_000,
+				ProbeBackoff:     time.Second,
+			}
 		}
 		db, err = dynq.Open(opts)
 	}
@@ -206,7 +235,7 @@ func runIngestRow(updates []dynq.MotionUpdate, batch int, withWAL bool, shards, 
 		return IngestCell{}, fmt.Errorf("bench: ingest row (batch %d, wal %v, shards %d) left %d segments indexed, sent %d",
 			batch, withWAL, shards, st.Segments, n)
 	}
-	cell := IngestCell{Batch: batch, WAL: withWAL, Shards: shards, Updates: n, Wall: wall}
+	cell := IngestCell{Batch: batch, WAL: withWAL, Shards: shards, Maint: maint, Updates: n, Wall: wall}
 	tel, err := cl.Telemetry()
 	if err != nil {
 		return IngestCell{}, err

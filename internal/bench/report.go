@@ -146,7 +146,11 @@ type IngestCellReport struct {
 	Batch int  `json:"batch"`
 	WAL   bool `json:"wal"`
 	// Shards > 1 marks sharded durable rows (one WAL per shard).
-	Shards  int     `json:"shards,omitempty"`
+	Shards int `json:"shards,omitempty"`
+	// Maint marks the durable row re-run with the self-healing
+	// maintenance loop on; its delta vs the plain WAL row at the same
+	// batch size is the loop's ingest overhead.
+	Maint   bool    `json:"maint,omitempty"`
 	Updates int     `json:"updates"`
 	WallNS  int64   `json:"wall_ns"`
 	UPS     float64 `json:"ups"`
@@ -260,6 +264,7 @@ func (r *Report) AddIngestCells(cells []IngestCell) {
 			Batch:     c.Batch,
 			WAL:       c.WAL,
 			Shards:    c.Shards,
+			Maint:     c.Maint,
 			Updates:   c.Updates,
 			WallNS:    c.Wall.Nanoseconds(),
 			UPS:       c.UPS(),

@@ -21,6 +21,9 @@ const (
 	EventWALReplay       EventType = "wal_replay"       // open-time WAL replay re-applied records
 	EventSyncFailure     EventType = "sync_failure"     // checkpoint sync failed with a WAL armed
 	EventCheckpoint      EventType = "checkpoint"       // Sync checkpointed and truncated the WAL
+	EventAutoCheckpoint  EventType = "auto_checkpoint"  // maintenance loop checkpointed on policy
+	EventProbe           EventType = "probe"            // degraded-mode recovery probe attempted
+	EventScrub           EventType = "scrub"            // background scrub pass completed or found corruption
 )
 
 // Event severities.

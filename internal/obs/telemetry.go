@@ -43,6 +43,11 @@ type Telemetry struct {
 	// database has a log armed.
 	WAL *WALTelemetry `json:"wal,omitempty"`
 
+	// Maintenance is the self-healing section, present only when the
+	// server's database runs the maintenance loop (auto-checkpoint,
+	// degraded-mode probe, background scrub).
+	Maintenance *MaintenanceTelemetry `json:"maintenance,omitempty"`
+
 	Runtime *RuntimeSample `json:"runtime,omitempty"`
 
 	SlowThreshold time.Duration `json:"slow_threshold_ns"`
@@ -50,6 +55,36 @@ type Telemetry struct {
 
 	EventsTotal uint64  `json:"events_total"`
 	Events      []Event `json:"events,omitempty"` // newest first
+}
+
+// MaintenanceTelemetry is the self-healing section of a Telemetry
+// snapshot: what the background maintenance loop has done since boot and
+// where the database stands right now. Counters are cumulative.
+type MaintenanceTelemetry struct {
+	// Ticks counts maintenance loop iterations.
+	Ticks int64 `json:"ticks"`
+
+	// Auto-checkpoint policy.
+	Checkpoints        int64   `json:"checkpoints"`         // policy-driven checkpoints completed
+	CheckpointFailures int64   `json:"checkpoint_failures"` // policy-driven checkpoints that errored
+	CheckpointPressure float64 `json:"checkpoint_pressure"` // worst log's fraction of its nearest threshold (>= 1 means due)
+
+	// Degraded-mode recovery probe.
+	Degraded             bool    `json:"degraded"`                        // read-only right now
+	DegradedSeconds      float64 `json:"degraded_seconds,omitempty"`      // time spent degraded in the current episode
+	Probes               int64   `json:"probes"`                          // durable probe writes attempted
+	ProbeFailures        int64   `json:"probe_failures"`                  // probes that failed (backoff doubled)
+	Heals                int64   `json:"heals"`                           // degraded episodes cleared by a probe
+	NextProbeInSeconds   float64 `json:"next_probe_in_seconds,omitempty"` // backoff remaining before the next probe
+	LastProbeError       string  `json:"last_probe_error,omitempty"`
+	DowntimeTotalSeconds float64 `json:"downtime_total_seconds"` // cumulative degraded time across healed episodes
+
+	// Background scrub.
+	ScrubPages       int64  `json:"scrub_pages"`       // pages verified since boot
+	ScrubCorruptions int64  `json:"scrub_corruptions"` // pages that failed verification
+	ScrubPasses      int64  `json:"scrub_passes"`      // complete sweeps of the reachable set
+	ScrubCursor      int64  `json:"scrub_cursor"`      // pages into the current pass
+	LastScrubError   string `json:"last_scrub_error,omitempty"`
 }
 
 // HistSummary is one histogram's snapshot: cumulative since-boot stats

@@ -2,12 +2,19 @@ package pager
 
 import (
 	"errors"
+	"fmt"
 	"sync/atomic"
+	"syscall"
 	"time"
 )
 
 // ErrInjected is the failure returned by a FaultStore when armed.
 var ErrInjected = errors.New("pager: injected fault")
+
+// ErrNoSpace is the injected disk-full failure. It wraps syscall.ENOSPC
+// so callers detect it exactly like the real thing:
+// errors.Is(err, syscall.ENOSPC) holds for both.
+var ErrNoSpace = fmt.Errorf("pager: injected disk full: %w", syscall.ENOSPC)
 
 // FaultStore wraps a Store and injects failures on demand. It supports
 // two modes, usable together:
@@ -35,6 +42,9 @@ type FaultStore struct {
 	syncCountdown  atomic.Int64
 	allocCountdown atomic.Int64
 	freeCountdown  atomic.Int64
+
+	noSpaceCountdown atomic.Int64 // <0: disarmed; counts write-class ops
+	noSpaceSticky    atomic.Bool
 
 	plan atomic.Pointer[FaultPlan]
 	rng  atomic.Uint64
@@ -72,13 +82,13 @@ type FaultStats struct {
 
 	InjectedReads, InjectedWrites, InjectedSyncs int64
 	InjectedAllocs, InjectedFrees                int64
-	TornWrites, BitFlips                         int64
+	TornWrites, BitFlips, NoSpace                int64
 }
 
 type faultCounters struct {
 	reads, writes, syncs, allocs, frees               atomic.Int64
 	injReads, injWrites, injSyncs, injAllocs, injFree atomic.Int64
-	torn, flips                                       atomic.Int64
+	torn, flips, noSpace                              atomic.Int64
 }
 
 // NewFaultStore wraps inner with fault injection disarmed.
@@ -90,6 +100,7 @@ func NewFaultStore(inner Store) *FaultStore {
 	f.syncCountdown.Store(-1)
 	f.allocCountdown.Store(-1)
 	f.freeCountdown.Store(-1)
+	f.noSpaceCountdown.Store(-1)
 	return f
 }
 
@@ -115,6 +126,48 @@ func (f *FaultStore) ArmAllocs(n int64) { f.allocCountdown.Store(n) }
 // ArmFrees makes the n-th subsequent Free and all frees after it fail.
 func (f *FaultStore) ArmFrees(n int64) { f.freeCountdown.Store(n) }
 
+// ArmNoSpace simulates the disk filling up: the n-th subsequent
+// write-class operation (WritePage, Alloc, or Sync; 1-based) fails with
+// ErrNoSpace. Sticky mode keeps every write-class operation failing
+// until Disarm or DisarmNoSpace — a full volume. Transient mode fails
+// exactly one operation and then behaves as if space was freed.
+func (f *FaultStore) ArmNoSpace(n int64, sticky bool) {
+	f.noSpaceSticky.Store(sticky)
+	f.noSpaceCountdown.Store(n)
+}
+
+// DisarmNoSpace frees the simulated volume without touching other
+// armed faults.
+func (f *FaultStore) DisarmNoSpace() { f.noSpaceCountdown.Store(-1) }
+
+// NoSpaceArmed reports whether a disk-full fault is still pending or
+// sticking.
+func (f *FaultStore) NoSpaceArmed() bool { return f.noSpaceCountdown.Load() >= 0 }
+
+// tripNoSpace advances the disk-full countdown for one write-class
+// operation.
+func (f *FaultStore) tripNoSpace() bool {
+	sticky := f.noSpaceSticky.Load()
+	for {
+		v := f.noSpaceCountdown.Load()
+		switch {
+		case v < 0:
+			return false
+		case v <= 1:
+			if sticky {
+				return true // stay full
+			}
+			if f.noSpaceCountdown.CompareAndSwap(v, -1) {
+				return true // one failure, then space returns
+			}
+		default:
+			if f.noSpaceCountdown.CompareAndSwap(v, v-1) {
+				return false
+			}
+		}
+	}
+}
+
 // Script installs (or, with nil, removes) a probabilistic fault plan.
 // The generator is reseeded from plan.Seed.
 func (f *FaultStore) Script(plan *FaultPlan) {
@@ -133,6 +186,7 @@ func (f *FaultStore) Disarm() {
 	f.syncCountdown.Store(-1)
 	f.allocCountdown.Store(-1)
 	f.freeCountdown.Store(-1)
+	f.noSpaceCountdown.Store(-1)
 	f.plan.Store(nil)
 }
 
@@ -151,6 +205,7 @@ func (f *FaultStore) Stats() FaultStats {
 		InjectedFrees:  f.stats.injFree.Load(),
 		TornWrites:     f.stats.torn.Load(),
 		BitFlips:       f.stats.flips.Load(),
+		NoSpace:        f.stats.noSpace.Load(),
 	}
 }
 
@@ -273,6 +328,10 @@ func (f *FaultStore) ReadPage(id PageID, buf []byte) error {
 // WritePage implements Store.
 func (f *FaultStore) WritePage(id PageID, buf []byte) error {
 	f.stats.writes.Add(1)
+	if f.tripNoSpace() {
+		f.stats.noSpace.Add(1)
+		return ErrNoSpace
+	}
 	if tripped, first := tripOnce(&f.tornCountdown); tripped {
 		f.stats.injWrites.Add(1)
 		if first {
@@ -308,6 +367,10 @@ func (f *FaultStore) WritePage(id PageID, buf []byte) error {
 // Alloc implements Store.
 func (f *FaultStore) Alloc() (PageID, error) {
 	f.stats.allocs.Add(1)
+	if f.tripNoSpace() {
+		f.stats.noSpace.Add(1)
+		return InvalidPage, ErrNoSpace
+	}
 	if trip(&f.allocCountdown) {
 		f.stats.injAllocs.Add(1)
 		return InvalidPage, ErrInjected
@@ -339,6 +402,10 @@ func (f *FaultStore) NumPages() int { return f.Inner.NumPages() }
 // Sync implements Store.
 func (f *FaultStore) Sync() error {
 	f.stats.syncs.Add(1)
+	if f.tripNoSpace() {
+		f.stats.noSpace.Add(1)
+		return ErrNoSpace
+	}
 	if trip(&f.syncCountdown) {
 		f.stats.injSyncs.Add(1)
 		return ErrInjected
@@ -383,6 +450,47 @@ func (f *FaultStore) SetAux(data []byte) error {
 func (f *FaultStore) Aux() []byte {
 	if s, ok := f.Inner.(interface{ Aux() []byte }); ok {
 		return s.Aux()
+	}
+	return nil
+}
+
+// ReadPageEpoch forwards to the inner store's verified epoch read when
+// it has one, applying the same read-fault injection as ReadPage. The
+// background scrubber uses this to check CRC + epoch trailers through
+// whatever store the database was opened on.
+func (f *FaultStore) ReadPageEpoch(id PageID, buf []byte) (uint64, error) {
+	s, ok := f.Inner.(interface {
+		ReadPageEpoch(PageID, []byte) (uint64, error)
+	})
+	if !ok {
+		return 0, errors.New("pager: inner store has no epoch reads")
+	}
+	f.stats.reads.Add(1)
+	if trip(&f.readCountdown) {
+		f.stats.injReads.Add(1)
+		return 0, ErrInjected
+	}
+	if p := f.enter(); p != nil && f.chance(p.ReadErr) {
+		f.stats.injReads.Add(1)
+		return 0, ErrInjected
+	}
+	return s.ReadPageEpoch(id, buf)
+}
+
+// CommittedSeq forwards to the inner store's committed header sequence
+// when it has one (fault-free: it is an in-memory read).
+func (f *FaultStore) CommittedSeq() uint64 {
+	if s, ok := f.Inner.(interface{ CommittedSeq() uint64 }); ok {
+		return s.CommittedSeq()
+	}
+	return 0
+}
+
+// VerifyHeader forwards to the inner store's committed-header recheck
+// when it has one (fault-free: the probe wants the real on-disk truth).
+func (f *FaultStore) VerifyHeader() error {
+	if s, ok := f.Inner.(interface{ VerifyHeader() error }); ok {
+		return s.VerifyHeader()
 	}
 	return nil
 }

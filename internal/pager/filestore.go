@@ -415,6 +415,34 @@ func (fs *FileStore) NumPages() int { return int(fs.count) }
 // CommittedSeq returns the sequence number of the last committed header.
 func (fs *FileStore) CommittedSeq() uint64 { return fs.seq }
 
+// VerifyHeader re-reads the committed header slot from disk and checks
+// it still decodes to the committed sequence — the post-recovery sanity
+// check the maintenance probe runs before clearing degraded mode, so a
+// header torn by the failure burst that tripped read-only is caught
+// before writes resume.
+func (fs *FileStore) VerifyHeader() error {
+	if fs.closed {
+		return ErrClosed
+	}
+	buf := make([]byte, PageSize)
+	slot := int64(fs.seq % headerSlots)
+	if n, err := fs.f.ReadAt(buf, slot*PageSize); err != nil && n != PageSize {
+		return fmt.Errorf("pager: reread header slot %d: %w", slot, err)
+	}
+	if !bytes.Equal(buf[hdrMagicOff:hdrMagicOff+8], []byte(fileMagic)) {
+		return fmt.Errorf("pager: header slot %d: %w (bad magic)", slot, ErrCorruptHeader)
+	}
+	cand, ok := decodeHeader(fs.f, buf)
+	if !ok {
+		return fmt.Errorf("pager: header slot %d: %w", slot, ErrCorruptHeader)
+	}
+	if cand.seq != fs.seq {
+		return fmt.Errorf("pager: header slot %d holds seq %d, committed state is %d: %w",
+			slot, cand.seq, fs.seq, ErrCorruptHeader)
+	}
+	return nil
+}
+
 // BothHeaderSlotsValid reports whether both header slots decoded cleanly
 // when the store was opened (false after recovering from a torn header
 // commit; the next Sync repairs the stale slot).

@@ -85,6 +85,13 @@ type Options struct {
 	// concurrent writers before fsyncing (0 = the 2ms default; negative
 	// = fsync immediately, no coalescing delay).
 	GroupCommitWindow time.Duration
+
+	// Fault, when non-nil, is consulted before every physical
+	// write-class operation ("append", "fsync", "checkpoint"); a non-nil
+	// return is injected as that operation's failure. The log file sits
+	// beside the page store and bypasses pager.FaultStore, so disk-full
+	// and write-error chaos testing hooks in here instead.
+	Fault func(op string) error
 }
 
 func (o Options) window() time.Duration {
@@ -146,7 +153,7 @@ type Log struct {
 	gcCond  *sync.Cond
 	syncing bool   // a leader's fsync round is in flight
 	durable uint64 // highest LSN known fsynced (or checkpointed)
-	syncErr error  // sticky fsync failure; cleared only by reopening
+	syncErr error  // sticky fsync failure; cleared only by RetrySync
 
 	stAppends, stBytes, stFsyncs, stCoalesced, stCheckpoints atomic.Int64
 
@@ -154,6 +161,8 @@ type Log struct {
 	// behind duration measurements; set via WithClock before use.
 	nowFn func() time.Time
 	met   walMetrics
+
+	fault func(op string) error // Options.Fault
 }
 
 // Create creates (or truncates) a log at path with a fresh header.
@@ -221,7 +230,7 @@ func Open(path string, opts Options) (*Log, *ScanReport, error) {
 }
 
 func newLog(path string, f *os.File, opts Options) *Log {
-	l := &Log{path: path, f: f, window: opts.window(), nowFn: time.Now}
+	l := &Log{path: path, f: f, window: opts.window(), nowFn: time.Now, fault: opts.Fault}
 	l.gcCond = sync.NewCond(&l.gcMu)
 	l.met = newWALMetrics()
 	return l
@@ -394,6 +403,11 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	}
 	lsn := l.nextLSN
 	rec := EncodeRecord(lsn, l.seq, payload)
+	if l.fault != nil {
+		if err := l.fault("append"); err != nil {
+			return 0, fmt.Errorf("wal: append: %w", err)
+		}
+	}
 	if _, err := l.f.WriteAt(rec, l.tail); err != nil {
 		return 0, fmt.Errorf("wal: append: %w", err)
 	}
@@ -458,6 +472,52 @@ func (l *Log) waitDurable(lsn uint64, window time.Duration) error {
 	}
 }
 
+// RetrySync re-attempts the fsync behind a sticky failure. On success
+// the sticky error is cleared and everything appended so far is durable,
+// re-arming the log for new durability promises — the recovery half of
+// the circuit breaker (the maintenance probe calls this once the
+// underlying storage looks healthy again). A closed log stays closed.
+func (l *Log) RetrySync() error {
+	l.gcMu.Lock()
+	for l.syncing {
+		l.gcCond.Wait()
+	}
+	if errors.Is(l.syncErr, ErrClosed) {
+		l.gcMu.Unlock()
+		return ErrClosed
+	}
+	l.syncing = true
+	l.gcMu.Unlock()
+
+	high := l.appended.Load()
+	start := l.nowFn()
+	err := l.fsync()
+	elapsed := l.nowFn().Sub(start)
+
+	l.gcMu.Lock()
+	l.syncing = false
+	if err != nil {
+		l.syncErr = err
+	} else {
+		l.syncErr = nil
+		l.met.fsync.ObserveDuration(elapsed)
+		if high > l.durable {
+			l.met.batch.Observe(float64(high - l.durable))
+			l.durable = high
+		}
+	}
+	l.gcCond.Broadcast()
+	l.gcMu.Unlock()
+	return err
+}
+
+// SyncErr returns the sticky durability failure, if any.
+func (l *Log) SyncErr() error {
+	l.gcMu.Lock()
+	defer l.gcMu.Unlock()
+	return l.syncErr
+}
+
 func (l *Log) fsync() error {
 	l.mu.Lock()
 	f, closed := l.f, l.closed
@@ -466,6 +526,11 @@ func (l *Log) fsync() error {
 		return ErrClosed
 	}
 	l.stFsyncs.Add(1)
+	if l.fault != nil {
+		if err := l.fault("fsync"); err != nil {
+			return fmt.Errorf("wal: fsync: %w", err)
+		}
+	}
 	if err := f.Sync(); err != nil {
 		return fmt.Errorf("wal: fsync: %w", err)
 	}
@@ -483,6 +548,12 @@ func (l *Log) Checkpoint(lsn uint64) error {
 	if l.closed {
 		l.mu.Unlock()
 		return ErrClosed
+	}
+	if l.fault != nil {
+		if err := l.fault("checkpoint"); err != nil {
+			l.mu.Unlock()
+			return fmt.Errorf("wal: checkpoint: %w", err)
+		}
 	}
 	if err := l.f.Truncate(recordsStart); err != nil {
 		l.mu.Unlock()

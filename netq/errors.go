@@ -17,6 +17,7 @@ const (
 	ErrKindReadOnly   = "read_only"
 	ErrKindNotFound   = "not_found"
 	ErrKindNoWAL      = "no_wal"
+	ErrKindDiskFull   = "disk_full"
 )
 
 // ErrNoTracker is returned (and matched with errors.Is on both sides of
@@ -75,6 +76,10 @@ func errKind(err error) string {
 		return ErrKindNoSession
 	case errors.Is(err, ErrOverloaded):
 		return ErrKindOverloaded
+	case errors.Is(err, dynq.ErrDiskFull):
+		// Checked before the generic kinds: a disk-full failure is more
+		// actionable than "storage error" on the client side.
+		return ErrKindDiskFull
 	case errors.Is(err, dynq.ErrReadOnly):
 		return ErrKindReadOnly
 	case errors.Is(err, dynq.ErrNotFound):
@@ -106,6 +111,8 @@ func typedError(req Request, resp Response) error {
 		return &wireError{msg: resp.Err, sentinel: ErrNoSession}
 	case ErrKindOverloaded:
 		return &wireError{msg: resp.Err, sentinel: ErrOverloaded}
+	case ErrKindDiskFull:
+		return &wireError{msg: resp.Err, sentinel: dynq.ErrDiskFull}
 	case ErrKindReadOnly:
 		return &wireError{msg: resp.Err, sentinel: dynq.ErrReadOnly}
 	case ErrKindNotFound:

@@ -140,7 +140,19 @@ func newServerMetrics(reg *obs.Registry, db dynq.Database) *serverMetrics {
 	if wdb, ok := db.(walMetricsSource); ok {
 		wdb.RegisterWALMetrics(reg)
 	}
+	// A database running the self-healing maintenance loop exposes its
+	// checkpoint/probe/scrub counters.
+	if mdb, ok := db.(maintMetricsSource); ok {
+		mdb.RegisterMaintenanceMetrics(reg)
+	}
 	return m
+}
+
+// maintMetricsSource is the optional Database capability registering
+// the maintenance loop's metrics (registration is a no-op when no loop
+// is running).
+type maintMetricsSource interface {
+	RegisterMaintenanceMetrics(reg *obs.Registry) bool
 }
 
 // walMetricsSource is the optional Database capability registering an

@@ -146,6 +146,14 @@ type walTelemetrySource interface {
 	WALTelemetry(windows []time.Duration) (obs.WALTelemetry, bool)
 }
 
+// maintenanceTelemetrySource is the optional Database capability
+// exposing the self-healing maintenance loop's snapshot. Both dynq
+// database flavors implement it; databases without a loop running
+// return ok=false and their snapshots omit the section.
+type maintenanceTelemetrySource interface {
+	MaintenanceTelemetry() (obs.MaintenanceTelemetry, bool)
+}
+
 // noteOverload aggregates admission-control rejections into journal
 // burst events: the first rejection of a quiet period is journaled
 // immediately, then further rejections accumulate until
@@ -297,6 +305,11 @@ func (s *Server) Telemetry() Telemetry {
 	if src, ok := s.db.(walTelemetrySource); ok {
 		if w, ok := src.WALTelemetry(s.tel.winSpans); ok {
 			tel.WAL = &w
+		}
+	}
+	if src, ok := s.db.(maintenanceTelemetrySource); ok {
+		if mt, ok := src.MaintenanceTelemetry(); ok {
+			tel.Maintenance = &mt
 		}
 	}
 	for _, op := range knownOps {

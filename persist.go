@@ -146,6 +146,14 @@ func (db *DB) Sync() error {
 	if err := db.writeGate(); err != nil {
 		return err
 	}
+	return db.syncLocked()
+}
+
+// syncLocked is Sync's body without the degraded-mode gate, under the
+// already-held exclusive lock. The maintenance loop uses it directly:
+// auto-checkpoints run it through the gate via Sync, while the recovery
+// probe must flush and commit exactly while the database is degraded.
+func (db *DB) syncLocked() error {
 	var lsn uint64
 	if db.wal != nil {
 		lsn = db.wal.LastLSN()
@@ -184,7 +192,7 @@ func (db *DB) Sync() error {
 // writers keep appending to a log whose checkpoint cannot advance, so
 // "retry later" silently trades durability for an unbounded log.
 func (db *DB) syncFailure(stage string, cause error) error {
-	err := fmt.Errorf("dynq: %s: %w", stage, cause)
+	err := wrapDiskFull(fmt.Errorf("dynq: %s: %w", stage, cause))
 	if db.wal == nil {
 		return db.noteWriteResult(err)
 	}

@@ -113,6 +113,9 @@ type RecoverOptions struct {
 	// DegradeAfter is the consecutive-write-failure threshold (see
 	// Options.DegradeAfter).
 	DegradeAfter int
+	// Maintenance configures the self-healing maintenance loop (see
+	// Options.Maintenance).
+	Maintenance MaintenanceOptions
 }
 
 // OpenFileRecoverWith is OpenFileRecover with knobs: it can force-arm a
@@ -159,6 +162,7 @@ func OpenFileRecoverWith(path string, opts RecoverOptions) (*DB, *RecoveryReport
 			return nil, nil, err
 		}
 	}
+	db.maint = startMaintainer(db, opts.Maintenance)
 	return db, rep, nil
 }
 
@@ -170,7 +174,13 @@ func OpenFileRecoverWith(path string, opts RecoverOptions) (*DB, *RecoveryReport
 // crash). The replayed state lives in memory until the next Sync
 // checkpoints it — exactly like writes that never crashed.
 func (db *DB) armWAL(path string, window time.Duration, rep *RecoveryReport) error {
-	w, scan, err := wal.Open(path, wal.Options{GroupCommitWindow: window})
+	return db.armWALWith(path, wal.Options{GroupCommitWindow: window}, rep)
+}
+
+// armWALWith is armWAL with the full log option set; the chaos soak uses
+// it to interpose a fault hook on the log's physical writes.
+func (db *DB) armWALWith(path string, wopts wal.Options, rep *RecoveryReport) error {
+	w, scan, err := wal.Open(path, wopts)
 	if err != nil {
 		return fmt.Errorf("dynq: open wal: %w", err)
 	}

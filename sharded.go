@@ -65,6 +65,9 @@ type ShardedDB struct {
 	wals     []*wal.Log
 	path     string
 	recovery []*RecoveryReport
+	// maint is the self-healing maintenance loop, nil when
+	// Options.Maintenance left it disabled.
+	maint *maintainer
 }
 
 // shardFilePath names shard i's page file under a sharded database path.
@@ -167,6 +170,7 @@ func OpenSharded(opts ShardOptions) (*ShardedDB, error) {
 			db.wals[i] = w
 		}
 	}
+	db.maint = startMaintainer(db, opts.Maintenance)
 	return db, nil
 }
 
@@ -213,6 +217,7 @@ func (db *ShardedDB) closeWALs() error {
 // Close shuts the worker pool down and releases every shard's store and
 // log.
 func (db *ShardedDB) Close() error {
+	db.maint.stop()
 	err := db.engine.Close()
 	if werr := db.closeWALs(); werr != nil && err == nil {
 		err = werr
@@ -289,12 +294,15 @@ func (db *ShardedDB) ApplyUpdates(ctx context.Context, updates []MotionUpdate, o
 		return nil
 	}
 	ws := beginWriteSpan(ctx)
-	err := db.applyUpdates(ctx, updates, opts, &ws)
+	err := db.applyUpdates(ctx, updates, opts, &ws, true)
 	ws.finish(len(updates), err)
 	return err
 }
 
-func (db *ShardedDB) applyUpdates(ctx context.Context, updates []MotionUpdate, opts WriteOptions, ws *writeSpan) error {
+// applyUpdates is the batch write path. gated controls the degraded
+// read-only check; the maintenance probe passes false to attempt a write
+// while the database is degraded.
+func (db *ShardedDB) applyUpdates(ctx context.Context, updates []MotionUpdate, opts WriteOptions, ws *writeSpan, gated bool) error {
 	ctx, finish := opts.begin(ctx, db.engine.CostSnapshot)
 	defer finish()
 	// db.wals is immutable after open: requesting an explicit durability
@@ -303,13 +311,13 @@ func (db *ShardedDB) applyUpdates(ctx context.Context, updates []MotionUpdate, o
 		return err
 	}
 	if db.wals == nil {
-		return db.applyUnlogged(ctx, updates, ws)
+		return db.applyUnlogged(ctx, updates, ws, gated)
 	}
-	return db.applyLogged(ctx, updates, opts, ws)
+	return db.applyLogged(ctx, updates, opts, ws, gated)
 }
 
 // applyUnlogged is the in-memory write path: one engine batch, no log.
-func (db *ShardedDB) applyUnlogged(ctx context.Context, updates []MotionUpdate, ws *writeSpan) error {
+func (db *ShardedDB) applyUnlogged(ctx context.Context, updates []MotionUpdate, ws *writeSpan, gated bool) error {
 	mark := ws.now()
 	ups := make([]shard.Update, len(updates))
 	for i, u := range updates {
@@ -329,8 +337,10 @@ func (db *ShardedDB) applyUnlogged(ctx context.Context, updates []MotionUpdate, 
 	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	if err := db.health.gate(); err != nil {
-		return err
+	if gated {
+		if err := db.health.gate(); err != nil {
+			return err
+		}
 	}
 	mark = ws.now()
 	err := db.engine.ApplyBatch(ups)
@@ -348,7 +358,7 @@ func (db *ShardedDB) applyUnlogged(ctx context.Context, updates []MotionUpdate, 
 // as one record (write-ahead), and applies it to its tree. The
 // durability wait runs after every shard lock is released, in parallel
 // across the touched logs.
-func (db *ShardedDB) applyLogged(ctx context.Context, updates []MotionUpdate, opts WriteOptions, ws *writeSpan) error {
+func (db *ShardedDB) applyLogged(ctx context.Context, updates []MotionUpdate, opts WriteOptions, ws *writeSpan, gated bool) error {
 	nShards := db.engine.Shards()
 	mark := ws.now()
 	parts := make([][]MotionUpdate, nShards)
@@ -373,9 +383,11 @@ func (db *ShardedDB) applyLogged(ctx context.Context, updates []MotionUpdate, op
 		return err
 	}
 	db.mu.RLock()
-	if err := db.health.gate(); err != nil {
-		db.mu.RUnlock()
-		return err
+	if gated {
+		if err := db.health.gate(); err != nil {
+			db.mu.RUnlock()
+			return err
+		}
 	}
 	if err := ctx.Err(); err != nil {
 		db.mu.RUnlock()

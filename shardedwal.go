@@ -63,6 +63,9 @@ type ShardRecoverOptions struct {
 	// DegradeAfter is the consecutive-write-failure threshold (see
 	// Options.DegradeAfter).
 	DegradeAfter int
+	// Maintenance configures the self-healing maintenance loop (see
+	// Options.Maintenance).
+	Maintenance MaintenanceOptions
 }
 
 // OpenShardedRecover reopens a sharded database created by OpenSharded
@@ -96,6 +99,7 @@ func OpenShardedRecover(path string, opts ShardRecoverOptions) (*ShardedDB, []*R
 				GroupCommitWindow: opts.GroupCommitWindow,
 				BufferPages:       opts.BufferPages,
 				DegradeAfter:      opts.DegradeAfter,
+				Maintenance:       opts.Maintenance,
 			},
 			Shards:  opts.Shards,
 			Workers: opts.Workers,
@@ -205,6 +209,7 @@ func OpenShardedRecover(path string, opts ShardRecoverOptions) (*ShardedDB, []*R
 	for _, rep := range reps {
 		rep.journal()
 	}
+	db.maint = startMaintainer(db, opts.Maintenance)
 	return db, reps, nil
 }
 
@@ -343,31 +348,21 @@ func (db *ShardedDB) Sync() error {
 	if err := db.health.gate(); err != nil {
 		return err
 	}
+	return db.syncLocked()
+}
+
+// syncLocked is Sync's body without the degraded-mode gate, under the
+// already-held exclusive lock; the maintenance probe commits through it
+// while the database is still degraded.
+func (db *ShardedDB) syncLocked() error {
 	start := time.Now()
 	var truncated int64
 	for i := 0; i < db.engine.Shards(); i++ {
-		sh := db.engine.Shard(i)
-		var lsn uint64
-		if db.wals != nil {
-			lsn = db.wals[i].LastLSN()
+		n, err := db.syncShardLocked(i)
+		if err != nil {
+			return err
 		}
-		if err := sh.Tree.Pool().Flush(); err != nil {
-			return db.syncShardFailure(i, "flush pages", err)
-		}
-		if s, ok := sh.Store().(auxStore); ok {
-			if err := s.SetAux(encodeMeta(sh.Tree.Meta(), lsn)); err != nil {
-				return db.syncShardFailure(i, "stage metadata", err)
-			}
-		}
-		if err := sh.Store().Sync(); err != nil {
-			return db.syncShardFailure(i, "commit", err)
-		}
-		if db.wals != nil {
-			truncated += db.wals[i].LiveBytes()
-			if err := db.wals[i].Checkpoint(lsn); err != nil {
-				return db.syncShardFailure(i, "wal checkpoint", err)
-			}
-		}
+		truncated += n
 	}
 	if db.wals != nil {
 		obs.DefaultJournal().Record(obs.EventCheckpoint, obs.SeverityInfo,
@@ -381,10 +376,42 @@ func (db *ShardedDB) Sync() error {
 	return db.health.note(nil)
 }
 
+// syncShardLocked flushes, commits, and checkpoints ONE shard under the
+// exclusively held database lock, returning the log bytes truncated. It
+// is the unit both Sync and the auto-checkpoint policy are built from —
+// the policy checkpoints only the shards whose logs crossed a threshold,
+// worst lag first, instead of paying for all of them.
+func (db *ShardedDB) syncShardLocked(i int) (int64, error) {
+	sh := db.engine.Shard(i)
+	var lsn uint64
+	if db.wals != nil {
+		lsn = db.wals[i].LastLSN()
+	}
+	if err := sh.Tree.Pool().Flush(); err != nil {
+		return 0, db.syncShardFailure(i, "flush pages", err)
+	}
+	if s, ok := sh.Store().(auxStore); ok {
+		if err := s.SetAux(encodeMeta(sh.Tree.Meta(), lsn)); err != nil {
+			return 0, db.syncShardFailure(i, "stage metadata", err)
+		}
+	}
+	if err := sh.Store().Sync(); err != nil {
+		return 0, db.syncShardFailure(i, "commit", err)
+	}
+	var truncated int64
+	if db.wals != nil {
+		truncated = db.wals[i].LiveBytes()
+		if err := db.wals[i].Checkpoint(lsn); err != nil {
+			return 0, db.syncShardFailure(i, "wal checkpoint", err)
+		}
+	}
+	return truncated, nil
+}
+
 // syncShardFailure classifies a failed Sync stage on one shard,
 // mirroring the single-tree syncFailure rules.
 func (db *ShardedDB) syncShardFailure(i int, stage string, cause error) error {
-	err := fmt.Errorf("dynq: shard %d %s: %w", i, stage, cause)
+	err := wrapDiskFull(fmt.Errorf("dynq: shard %d %s: %w", i, stage, cause))
 	if db.wals == nil {
 		return db.health.note(err)
 	}

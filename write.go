@@ -152,12 +152,16 @@ func (db *DB) ApplyUpdates(ctx context.Context, updates []MotionUpdate, opts Wri
 		return nil
 	}
 	ws := beginWriteSpan(ctx)
-	err := db.applyUpdates(ctx, updates, opts, &ws)
+	err := db.applyUpdates(ctx, updates, opts, &ws, true)
 	ws.finish(len(updates), err)
 	return err
 }
 
-func (db *DB) applyUpdates(ctx context.Context, updates []MotionUpdate, opts WriteOptions, ws *writeSpan) error {
+// applyUpdates is the batch write path. gated controls the degraded
+// read-only check: public writes pass true; the maintenance probe passes
+// false, because its whole purpose is to attempt a write while the
+// database is degraded.
+func (db *DB) applyUpdates(ctx context.Context, updates []MotionUpdate, opts WriteOptions, ws *writeSpan, gated bool) error {
 	ctx, finish := opts.begin(ctx, db.counters.Snapshot)
 	defer finish()
 	// db.wal is immutable after open, so the durability contract can be
@@ -186,9 +190,11 @@ func (db *DB) applyUpdates(ctx context.Context, updates []MotionUpdate, opts Wri
 		return err
 	}
 	db.mu.Lock()
-	if err := db.writeGate(); err != nil {
-		db.mu.Unlock()
-		return err
+	if gated {
+		if err := db.writeGate(); err != nil {
+			db.mu.Unlock()
+			return err
+		}
 	}
 	if err := ctx.Err(); err != nil {
 		db.mu.Unlock()
